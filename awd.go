@@ -1,0 +1,355 @@
+// Package awd (adaptive window detection) is the public API of this
+// reproduction of "Adaptive Window-Based Sensor Attack Detection for
+// Cyber-Physical Systems" (Zhang, Wang, Liu, Kong — DAC 2022).
+//
+// It exposes the paper's detection system behind plain-Go types so a
+// downstream control loop can adopt it without touching the internal
+// packages:
+//
+//	det, err := awd.NewDetector(awd.DetectorConfig{
+//	    A: [][]float64{{1}}, B: [][]float64{{1}}, Dt: 0.02,
+//	    InputLow: []float64{-1}, InputHigh: []float64{1},
+//	    Eps:       0.01,
+//	    SafeLow:   []float64{-10}, SafeHigh: []float64{10},
+//	    Tau:       []float64{0.5},
+//	    MaxWindow: 40,
+//	})
+//	...
+//	dec := det.Step(estimate, appliedInput) // once per control period
+//	if dec.Alarm() { ... }
+//
+// The package also exposes the evaluation plants (Models, RunScenario) so
+// the paper's experiments can be replayed programmatically; the cmd/awdexp
+// tool builds on the same entry points.
+package awd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// DetectorConfig describes a plant and its detection parameters, mirroring
+// the paper's Table 1 columns. All slices are copied at construction.
+type DetectorConfig struct {
+	// Discrete LTI dynamics x' = A x + B u (+ bounded disturbance). A is
+	// n×n, B is n×m. Dt is the control period in seconds (metadata only).
+	A, B [][]float64
+	Dt   float64
+
+	// Actuator range U: per-input-channel bounds (length m).
+	InputLow, InputHigh []float64
+
+	// Eps bounds the per-step disturbance in the 2-norm (ε).
+	Eps float64
+
+	// Safe state set S: per-dimension bounds (length n). Use
+	// math.Inf(±1) for unconstrained dimensions.
+	SafeLow, SafeHigh []float64
+
+	// Tau is the per-dimension detection threshold τ (length n).
+	Tau []float64
+
+	// MaxWindow is w_m, the maximum detection window in control steps.
+	MaxWindow int
+
+	// InitRadius bounds estimate noise around the trusted reachability
+	// initial state (0 = exact estimates).
+	InitRadius float64
+
+	// FixedWindow, when non-zero, builds the fixed-window baseline detector
+	// instead of the adaptive system: positive values set the window size,
+	// negative values select the degenerate single-sample window (the
+	// paper's "window size 0").
+	FixedWindow int
+}
+
+// Decision reports the outcome of one detection step.
+type Decision struct {
+	// Step is the control step index (0-based from construction/reset).
+	Step int
+	// Window is the detection window size used this step.
+	Window int
+	// Deadline is the estimated detection deadline t_d (adaptive only).
+	Deadline int
+	// Primary reports the window rule firing on the window ending at Step.
+	Primary bool
+	// Complementary reports the shrink-time re-check firing on a historical
+	// step (ComplementaryStep).
+	Complementary     bool
+	ComplementaryStep int
+	// Dims attributes the alarm to the state dimensions whose windowed
+	// average residual exceeded τ — the suspect sensors. Nil when silent.
+	Dims []int
+}
+
+// Alarm reports whether any check fired this step.
+func (d Decision) Alarm() bool { return d.Primary || d.Complementary }
+
+// Detector is the assembled attack-detection pipeline of Fig. 1: Data
+// Logger + Deadline Estimator + Adaptive Detector (or the fixed-window
+// baseline). It is not safe for concurrent use; drive it from the control
+// loop's thread.
+type Detector struct {
+	sys *core.System
+}
+
+// NewDetector validates the configuration and builds a detector.
+func NewDetector(cfg DetectorConfig) (*Detector, error) {
+	if len(cfg.A) == 0 {
+		return nil, fmt.Errorf("awd: empty A matrix")
+	}
+	a := mat.FromRows(cfg.A)
+	if len(cfg.B) != a.Rows() {
+		return nil, fmt.Errorf("awd: B has %d rows, want %d", len(cfg.B), a.Rows())
+	}
+	b := mat.FromRows(cfg.B)
+	dt := cfg.Dt
+	if dt <= 0 {
+		dt = 1
+	}
+	sys, err := lti.New(a, b, nil, dt)
+	if err != nil {
+		return nil, fmt.Errorf("awd: %w", err)
+	}
+	if len(cfg.InputLow) != b.Cols() || len(cfg.InputHigh) != b.Cols() {
+		return nil, fmt.Errorf("awd: input bounds length %d/%d, want %d",
+			len(cfg.InputLow), len(cfg.InputHigh), b.Cols())
+	}
+	for i := range cfg.InputLow {
+		if math.IsInf(cfg.InputLow[i], 0) || math.IsInf(cfg.InputHigh[i], 0) {
+			return nil, fmt.Errorf("awd: actuator range must be bounded (channel %d)", i)
+		}
+	}
+	if len(cfg.SafeLow) != a.Rows() || len(cfg.SafeHigh) != a.Rows() {
+		return nil, fmt.Errorf("awd: safe bounds length %d/%d, want %d",
+			len(cfg.SafeLow), len(cfg.SafeHigh), a.Rows())
+	}
+	cc := core.Config{
+		Sys:        sys,
+		Inputs:     geom.BoxFromBounds(cfg.InputLow, cfg.InputHigh),
+		Eps:        cfg.Eps,
+		Safe:       geom.BoxFromBounds(cfg.SafeLow, cfg.SafeHigh),
+		Tau:        mat.VecOf(cfg.Tau...),
+		MaxWindow:  cfg.MaxWindow,
+		InitRadius: cfg.InitRadius,
+	}
+	var csys *core.System
+	if cfg.FixedWindow != 0 {
+		csys, err = core.NewFixed(cc, cfg.FixedWindow)
+	} else {
+		csys, err = core.New(cc)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("awd: %w", err)
+	}
+	return &Detector{sys: csys}, nil
+}
+
+// Step feeds one control step: the state estimate x̂_t delivered by the
+// sensors and the input u_{t−1} that was applied over the preceding period
+// (nil for zero input). It returns the detection decision for step t.
+func (d *Detector) Step(estimate, appliedInput []float64) Decision {
+	var u mat.Vec
+	if appliedInput != nil {
+		u = mat.VecOf(appliedInput...)
+	}
+	dec := d.sys.Step(mat.VecOf(estimate...), u)
+	return Decision{
+		Step:              dec.Step,
+		Window:            dec.Window,
+		Deadline:          dec.Deadline,
+		Primary:           dec.Alarm,
+		Complementary:     dec.Complementary,
+		ComplementaryStep: dec.ComplementaryStep,
+		Dims:              append([]int(nil), dec.Dims...),
+	}
+}
+
+// Reset clears all run state so the detector can start a fresh episode.
+func (d *Detector) Reset() { d.sys.Reset() }
+
+// ModelInfo summarizes one built-in evaluation plant.
+type ModelInfo struct {
+	Name      string
+	No        int
+	StateDim  int
+	InputDim  int
+	Dt        float64
+	MaxWindow int
+}
+
+// Models lists the built-in evaluation plants: the five Table 1 simulators
+// plus the RC-car testbed model.
+func Models() []ModelInfo {
+	ms := append(models.All(), models.TestbedCar())
+	out := make([]ModelInfo, len(ms))
+	for i, m := range ms {
+		out[i] = ModelInfo{
+			Name:      m.Name,
+			No:        m.No,
+			StateDim:  m.Sys.StateDim(),
+			InputDim:  m.Sys.InputDim(),
+			Dt:        m.Sys.Dt,
+			MaxWindow: m.MaxWindow,
+		}
+	}
+	return out
+}
+
+// ScenarioConfig selects a built-in plant, attack, and strategy.
+type ScenarioConfig struct {
+	Model    string // "aircraft-pitch", ..., "testbed-car"
+	Attack   string // "bias", "delay", "replay", "none"
+	Strategy string // "adaptive" (default), "fixed", "cusum", "ewma"
+	// FixedWindow sizes the fixed baseline (0 = the model's w_m).
+	FixedWindow int
+	Seed        uint64
+	Steps       int // 0 = the model's default run length
+}
+
+// ScenarioResult condenses one run.
+type ScenarioResult struct {
+	AttackStart    int     // -1 when no attack
+	Detected       bool    // alarm at/after onset
+	FirstAlarm     int     // -1 = never
+	DetectionDelay int     // -1 = undetected
+	FalsePositives float64 // pre-attack alarm rate
+	UnsafeStep     int     // -1 = state never left the safe set
+	DeadlineMissed bool    // unsafe entry before the first alarm
+}
+
+// RunScenario executes one closed-loop evaluation run and returns its
+// summary metrics.
+func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	m := models.ByName(cfg.Model)
+	if m == nil {
+		return ScenarioResult{}, fmt.Errorf("awd: unknown model %q", cfg.Model)
+	}
+	att, err := sim.BuildAttack(m, defaultStr(cfg.Attack, "none"))
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	var strat sim.Strategy
+	switch defaultStr(cfg.Strategy, "adaptive") {
+	case "adaptive":
+		strat = sim.Adaptive
+	case "fixed":
+		strat = sim.FixedWindow
+	case "cusum":
+		strat = sim.CUSUMBaseline
+	case "ewma":
+		strat = sim.EWMABaseline
+	default:
+		return ScenarioResult{}, fmt.Errorf("awd: unknown strategy %q", cfg.Strategy)
+	}
+	tr, err := sim.Run(sim.Config{
+		Model:    m,
+		Attack:   att,
+		Strategy: strat,
+		FixedWin: cfg.FixedWindow,
+		Steps:    cfg.Steps,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	met := sim.Analyze(tr)
+	return ScenarioResult{
+		AttackStart:    tr.AttackStart,
+		Detected:       met.Detected,
+		FirstAlarm:     met.FirstAlarm,
+		DetectionDelay: met.DetectionDelay,
+		FalsePositives: met.FPRate,
+		UnsafeStep:     met.UnsafeStep,
+		DeadlineMissed: met.DeadlineMissed,
+	}, nil
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// RecoveryResult summarizes a detection-plus-recovery run (see
+// internal/recovery): on the first alarm the loop abandons the compromised
+// sensors, dead-reckons the physical state from the last trusted estimate,
+// and steers back to the pre-attack set point with saturated LQR feedback.
+type RecoveryResult struct {
+	AttackStart int
+	// AlarmStep is when detection engaged recovery (-1 = never).
+	AlarmStep int
+	// EverUnsafe reports whether the true state left the safe set at any
+	// point during the run.
+	EverUnsafe bool
+	// FinalSafe reports whether the run ended inside the safe set.
+	FinalSafe bool
+	// FinalError is the controlled dimension's distance from the recovery
+	// target at the end of the run.
+	FinalError float64
+}
+
+// RunRecoveryScenario executes a closed-loop run that hands off from the
+// selected detector to the LQR recovery controller at the first alarm.
+func RunRecoveryScenario(cfg ScenarioConfig) (RecoveryResult, error) {
+	m := models.ByName(cfg.Model)
+	if m == nil {
+		return RecoveryResult{}, fmt.Errorf("awd: unknown model %q", cfg.Model)
+	}
+	att, err := sim.BuildAttack(m, defaultStr(cfg.Attack, "none"))
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	var strat sim.Strategy
+	switch defaultStr(cfg.Strategy, "adaptive") {
+	case "adaptive":
+		strat = sim.Adaptive
+	case "fixed":
+		strat = sim.FixedWindow
+	case "cusum":
+		strat = sim.CUSUMBaseline
+	case "ewma":
+		strat = sim.EWMABaseline
+	default:
+		return RecoveryResult{}, fmt.Errorf("awd: unknown strategy %q", cfg.Strategy)
+	}
+	out, err := sim.RunWithRecovery(sim.Config{
+		Model:    m,
+		Attack:   att,
+		Strategy: strat,
+		FixedWin: cfg.FixedWindow,
+		Steps:    cfg.Steps,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	return RecoveryResult{
+		AttackStart: out.AttackStart,
+		AlarmStep:   out.AlarmStep,
+		EverUnsafe:  out.EverUnsafe,
+		FinalSafe:   out.FinalSafe,
+		FinalError:  out.FinalError,
+	}, nil
+}
+
+// EstimateDeadline runs the reachability deadline query (Sec. 3) from an
+// explicit trusted state, independent of the detector's own logging: how
+// many control steps remain before the plant could reach the unsafe set
+// under worst-case inputs and disturbance. Only adaptive detectors carry
+// an estimator; fixed-window variants return an error.
+func (d *Detector) EstimateDeadline(state []float64) (int, error) {
+	est := d.sys.Estimator()
+	if est == nil {
+		return 0, fmt.Errorf("awd: this detector variant has no deadline estimator")
+	}
+	return est.FromState(mat.VecOf(state...)), nil
+}

@@ -1,0 +1,239 @@
+package awd
+
+import (
+	"math"
+	"testing"
+)
+
+func scalarCfg() DetectorConfig {
+	return DetectorConfig{
+		A: [][]float64{{1}}, B: [][]float64{{1}}, Dt: 1,
+		InputLow: []float64{-1}, InputHigh: []float64{1},
+		Eps:     0,
+		SafeLow: []float64{-10}, SafeHigh: []float64{10},
+		Tau:       []float64{0.5},
+		MaxWindow: 8,
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	cases := map[string]func(DetectorConfig) DetectorConfig{
+		"empty A":         func(c DetectorConfig) DetectorConfig { c.A = nil; return c },
+		"B rows":          func(c DetectorConfig) DetectorConfig { c.B = [][]float64{{1}, {1}}; return c },
+		"input bounds":    func(c DetectorConfig) DetectorConfig { c.InputLow = nil; return c },
+		"unbounded input": func(c DetectorConfig) DetectorConfig { c.InputHigh = []float64{math.Inf(1)}; return c },
+		"safe bounds":     func(c DetectorConfig) DetectorConfig { c.SafeLow = []float64{0, 0}; return c },
+		"tau":             func(c DetectorConfig) DetectorConfig { c.Tau = []float64{1, 2}; return c },
+		"max window":      func(c DetectorConfig) DetectorConfig { c.MaxWindow = 0; return c },
+	}
+	for name, mut := range cases {
+		if _, err := NewDetector(mut(scalarCfg())); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	if _, err := NewDetector(scalarCfg()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDetectorAlarmsOnAttack(t *testing.T) {
+	det, err := NewDetector(scalarCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean steps: constant state, zero input → zero residuals.
+	for i := 0; i < 10; i++ {
+		if dec := det.Step([]float64{1}, []float64{0}); dec.Alarm() {
+			t.Fatalf("clean step %d alarmed", i)
+		}
+	}
+	// Spoofed jump: residual 4 > τ in any window.
+	alarmed := false
+	v := 1.0
+	for i := 0; i < 5 && !alarmed; i++ {
+		v += 4
+		alarmed = det.Step([]float64{v}, []float64{0}).Alarm()
+	}
+	if !alarmed {
+		t.Error("attack never detected")
+	}
+}
+
+func TestDetectorDeadlineShrinksNearBoundary(t *testing.T) {
+	det, err := NewDetector(scalarCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var far, near Decision
+	for i := 0; i < 12; i++ {
+		far = det.Step([]float64{0}, []float64{0})
+	}
+	det.Reset()
+	for i := 0; i < 12; i++ {
+		near = det.Step([]float64{9.3}, []float64{0})
+	}
+	if near.Deadline >= far.Deadline {
+		t.Errorf("deadline near boundary (%d) should be tighter than far (%d)",
+			near.Deadline, far.Deadline)
+	}
+	if near.Window != near.Deadline {
+		t.Errorf("window %d should track deadline %d", near.Window, near.Deadline)
+	}
+}
+
+func TestDetectorFixedWindowVariant(t *testing.T) {
+	cfg := scalarCfg()
+	cfg.FixedWindow = 3
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := det.Step([]float64{0}, nil)
+	if dec.Window != 3 || dec.Deadline != 0 {
+		t.Errorf("fixed decision = %+v", dec)
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	det, err := NewDetector(scalarCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Step([]float64{1}, nil)
+	det.Step([]float64{2}, nil)
+	det.Reset()
+	if dec := det.Step([]float64{5}, nil); dec.Step != 0 || dec.Alarm() {
+		t.Errorf("post-reset decision = %+v", dec)
+	}
+}
+
+func TestModelsRegistry(t *testing.T) {
+	ms := Models()
+	if len(ms) != 6 {
+		t.Fatalf("models = %d, want 6", len(ms))
+	}
+	byName := map[string]ModelInfo{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if byName["quadrotor"].StateDim != 12 || byName["quadrotor"].InputDim != 4 {
+		t.Errorf("quadrotor dims wrong: %+v", byName["quadrotor"])
+	}
+	if byName["testbed-car"].Dt != 0.05 {
+		t.Errorf("testbed dt wrong: %+v", byName["testbed-car"])
+	}
+}
+
+func TestRunScenarioBias(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{Model: "vehicle-turning", Attack: "bias", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected || res.DeadlineMissed {
+		t.Errorf("adaptive bias scenario: %+v", res)
+	}
+	resF, err := RunScenario(ScenarioConfig{Model: "vehicle-turning", Attack: "bias", Strategy: "fixed", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resF.Detected && resF.DetectionDelay < res.DetectionDelay {
+		t.Errorf("fixed should not beat adaptive: %+v vs %+v", resF, res)
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{Model: "nope"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := RunScenario(ScenarioConfig{Model: "quadrotor", Attack: "emp"}); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	if _, err := RunScenario(ScenarioConfig{Model: "quadrotor", Strategy: "psychic"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunScenarioDefaultsToCleanRun(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{Model: "series-rlc", Seed: 2, Steps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackStart != -1 || res.Detected {
+		t.Errorf("clean scenario: %+v", res)
+	}
+}
+
+func TestRunScenarioCUSUM(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{Model: "series-rlc", Attack: "bias", Strategy: "cusum", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecoveryScenario(t *testing.T) {
+	res, err := RunRecoveryScenario(ScenarioConfig{Model: "series-rlc", Attack: "bias", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AlarmStep < 0 {
+		t.Fatal("recovery never engaged")
+	}
+	if !res.FinalSafe {
+		t.Errorf("recovery ended unsafe: %+v", res)
+	}
+	if _, err := RunRecoveryScenario(ScenarioConfig{Model: "nope"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := RunRecoveryScenario(ScenarioConfig{Model: "series-rlc", Strategy: "psychic"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunScenarioEWMA(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{Model: "series-rlc", Attack: "bias", Strategy: "ewma", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateDeadline(t *testing.T) {
+	det, err := NewDetector(scalarCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := det.EstimateDeadline([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := det.EstimateDeadline([]float64{9.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near >= far {
+		t.Errorf("near deadline %d should be tighter than far %d", near, far)
+	}
+	cfgF := scalarCfg()
+	cfgF.FixedWindow = 3
+	detF, err := NewDetector(cfgF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := detF.EstimateDeadline([]float64{0}); err == nil {
+		t.Error("fixed variant should have no estimator")
+	}
+}
+
+func TestDecisionDimsAttribution(t *testing.T) {
+	det, err := NewDetector(scalarCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Step([]float64{0}, nil)
+	var dec Decision
+	v := 0.0
+	for i := 0; i < 5 && !dec.Alarm(); i++ {
+		v += 5
+		dec = det.Step([]float64{v}, nil)
+	}
+	if !dec.Alarm() || len(dec.Dims) != 1 || dec.Dims[0] != 0 {
+		t.Errorf("facade dims = %+v", dec)
+	}
+}

@@ -1,0 +1,292 @@
+package awd
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (at reduced Monte-Carlo scale — pass -benchtime or edit the
+// run counts for paper-scale campaigns) and quantifies the runtime claims:
+// per-step detector overhead and the precomputed-vs-naive reachability gap.
+//
+// One benchmark per evaluation artifact:
+//
+//	BenchmarkTable1Models          — Table 1 (model construction + render)
+//	BenchmarkFig6Traces            — Fig. 6  (trace comparison panels)
+//	BenchmarkFig7WindowSweep       — Fig. 7  (window-size profiling)
+//	BenchmarkTable2Campaign        — Table 2 (adaptive vs fixed campaign)
+//	BenchmarkFig8Testbed           — Fig. 8  (RC-car testbed scenario)
+//
+// plus the DESIGN.md ablations:
+//
+//	BenchmarkReachPrecomputedVsNaive
+//	BenchmarkAblationComplementary
+//	BenchmarkAblationMaxWindow
+//	BenchmarkBaselineCUSUM
+//	BenchmarkDetectorStep / BenchmarkDeadlineEstimation
+import (
+	"testing"
+
+	"repro/internal/deadline"
+	"repro/internal/exp"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/reach"
+	"repro/internal/sim"
+)
+
+// BenchmarkTable1Models regenerates Table 1: construct (and discretize)
+// all five plants and render their settings.
+func BenchmarkTable1Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := exp.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig6Traces regenerates the Fig. 6 panels: vehicle turning and
+// series RLC under bias/delay/replay, adaptive vs fixed.
+func BenchmarkFig6Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := exp.Fig6(exp.Fig6Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 6 {
+			b.Fatalf("panels = %d", len(panels))
+		}
+	}
+}
+
+// BenchmarkFig7WindowSweep regenerates a reduced Fig. 7 profile (3 runs per
+// window, stride 25); scale Runs/Step up for the paper's 100×1 sweep.
+func BenchmarkFig7WindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Fig7(exp.Fig7Config{Runs: 3, MaxWindow: 100, Step: 25, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 5 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkTable2Campaign regenerates a reduced Table 2 (1 run per case;
+// the paper uses 100). All 30 (simulator, attack, strategy) cases execute.
+func BenchmarkTable2Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(exp.Table2Config{Runs: 1, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 30 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig8Testbed regenerates the Fig. 8 testbed scenario.
+func BenchmarkFig8Testbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8(exp.Fig8Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.AdaptiveAlert < 0 {
+			b.Fatal("adaptive never alerted")
+		}
+	}
+}
+
+// BenchmarkReachPrecomputedVsNaive quantifies the deadline estimator's
+// precomputation: evaluating the reachable-set box at every step of the
+// horizon with the cached coefficient tables versus re-deriving Eq. (2)
+// from scratch (the paper's low-overhead requirement, Sec. 1 challenge 2).
+func BenchmarkReachPrecomputedVsNaive(b *testing.B) {
+	m := models.AircraftPitch()
+	x0 := mat.VecOf(0.1, 0, 0.2)
+	const horizon = 40
+
+	b.Run("precomputed", func(b *testing.B) {
+		an, err := reach.New(m.Sys, m.U, m.Eps, horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := an.Stepper(x0, 0)
+			for s.Advance() {
+				_ = s.Box()
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for t := 1; t <= horizon; t++ {
+				_ = reach.NaiveReachBox(m.Sys, m.U, m.Eps, x0, t)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectorStep measures the full per-control-period cost of the
+// assembled adaptive system (log + deadline search + window check) for the
+// smallest and largest plants.
+func BenchmarkDetectorStep(b *testing.B) {
+	for _, m := range []*models.Model{models.VehicleTurning(), models.Quadrotor()} {
+		b.Run(m.Name, func(b *testing.B) {
+			det, err := sim.Detector(sim.Config{Model: m, Strategy: sim.Adaptive})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := m.X0.Clone()
+			u := mat.NewVec(m.Sys.InputDim())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.Step(est, u)
+			}
+		})
+	}
+}
+
+// BenchmarkDeadlineEstimation isolates the reachability deadline search
+// from a fixed trusted state, per plant.
+func BenchmarkDeadlineEstimation(b *testing.B) {
+	for _, m := range models.All() {
+		b.Run(m.Name, func(b *testing.B) {
+			an, err := reach.New(m.Sys, m.U, m.Eps, m.MaxWindow)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est, err := deadline.New(an, m.Safe, m.EstimatorRadius())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = est.FromState(m.X0)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationComplementary runs the complementary-detection on/off
+// comparison (1 run per case here; see cmd/awdexp -exp ablations for the
+// full campaign).
+func BenchmarkAblationComplementary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationComplementary(1, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationMaxWindow sweeps the maximum window design knob.
+func BenchmarkAblationMaxWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationMaxWindow(1, uint64(i+1), []int{10, 40, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkBaselineCUSUM compares the adaptive detector against CUSUM.
+func BenchmarkBaselineCUSUM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationCUSUM(1, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 15 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkExtendedScenarios runs the freeze/ramp/noise threat-model
+// extension campaign (1 run per case).
+func BenchmarkExtendedScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.ExtendedScenarios(1, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 30 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkRecoveryStudy couples detection to LQR recovery (1 run/case).
+func BenchmarkRecoveryStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RecoveryStudy(1, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkThresholdSweep profiles the τ knob (3 multipliers, 2 runs each).
+func BenchmarkThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.ThresholdSweep(2, uint64(i+1), []float64{0.5, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkDeadlineValidation runs the Definition 3.1 conservativeness
+// check (reduced scale).
+func BenchmarkDeadlineValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.DeadlineValidation(4, 3, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Violations != 0 {
+				b.Fatalf("%s: conservativeness violated", r.Simulator)
+			}
+		}
+	}
+}
+
+// BenchmarkMagnitudeSweep maps the detectability boundary (reduced scale).
+func BenchmarkMagnitudeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.MagnitudeSweep(2, uint64(i+1), []float64{0.5, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkStealthyImpact runs the stealthy-adversary limit study (reduced).
+func BenchmarkStealthyImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.StealthyImpact(1, uint64(i+1), []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Deadlines: how the Detection Deadline Estimator sees each plant. For
+// every Table 1 simulator this walks the controlled state from its
+// operating point toward the safe boundary and prints the reachability
+// deadline at each position — the signal that drives the adaptive window.
+//
+// Run with:
+//
+//	go run ./examples/deadlines
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/deadline"
+	"repro/internal/exp"
+	"repro/internal/models"
+	"repro/internal/reach"
+)
+
+func main() {
+	for _, m := range models.All() {
+		an, err := reach.New(m.Sys, m.U, m.Eps, m.MaxWindow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := deadline.New(an, m.Safe, m.EstimatorRadius())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		iv := m.Safe.Interval(m.CtrlDim)
+		if math.IsInf(iv.Hi, 1) && math.IsInf(iv.Lo, -1) {
+			continue
+		}
+		// Walk the controlled dimension from the origin-side toward the
+		// nearest bounded edge.
+		edge := iv.Hi
+		if math.IsInf(edge, 1) {
+			edge = iv.Lo
+		}
+		const samples = 24
+		vals := make([]float64, samples)
+		for i := 0; i < samples; i++ {
+			x := m.X0.Clone()
+			x[m.CtrlDim] = edge * float64(i) / float64(samples-1)
+			vals[i] = float64(est.FromState(x))
+		}
+		fmt.Print(exp.RenderChart(
+			fmt.Sprintf("%s: deadline t_d vs controlled state (0 → boundary %.3g), w_m = %d",
+				m.Name, edge, m.MaxWindow),
+			64, 9,
+			exp.Series{Name: "deadline (steps)", Values: vals},
+		))
+		fmt.Println()
+	}
+	fmt.Println("Deadlines collapse as the state nears the boundary — the window")
+	fmt.Println("follows, trading false alarms for guaranteed timeliness.")
+}

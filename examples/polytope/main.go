@@ -1,0 +1,66 @@
+// Polytope: deadlines against non-axis-aligned safe sets. The paper's
+// Table 1 safe sets are boxes, but the support-function machinery of
+// Sec. 3.4 handles any convex polytope directly — and for diagonal safety
+// constraints (e.g. "combined current + voltage stress", "x + y clearance")
+// the box over-approximation is provably more conservative than the exact
+// polytopic test. This example quantifies that gap on a 2-D plant.
+//
+// Run with:
+//
+//	go run ./examples/polytope
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/reach"
+)
+
+func main() {
+	// A gently rotating, marginally stable 2-D plant with two actuators.
+	sys, err := lti.New(
+		mat.FromRows([][]float64{{1, 0.05}, {-0.02, 1}}),
+		mat.Diag(0.08, 0.08),
+		nil, 0.05,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := geom.UniformBox(2, -1, 1)
+	an, err := reach.New(sys, u, 0.01, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Safety constraint: x₁ + x₂ <= 3 (a diagonal face).
+	diag := geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1, 1), 3))
+	// The tightest box INSIDE which the diagonal constraint is implied by
+	// per-axis bounds would be x_i <= 1.5 each; the loosest box the
+	// constraint fits in is x_i <= 3. An implementer stuck with box safe
+	// sets must pick one; both misjudge the deadline.
+	tightBox := geom.NewBox(
+		geom.NewInterval(-1e9, 1.5), geom.NewInterval(-1e9, 1.5))
+	looseBox := geom.NewBox(
+		geom.NewInterval(-1e9, 3), geom.NewInterval(-1e9, 3))
+
+	fmt.Println("Deadline vs state, diagonal constraint x1+x2 <= 3, horizon 60")
+	fmt.Printf("%-14s  %-10s  %-12s  %-12s\n", "state", "polytope", "tight box", "loose box")
+	for _, x0 := range []mat.Vec{
+		{0, 0}, {1, 1}, {1.3, 1.3}, {2.4, 0.2}, {0.2, 2.4}, {1.45, 1.45},
+	} {
+		dp := an.DeadlinePolytope(x0, 0, diag)
+		dt := an.Deadline(x0, 0, tightBox)
+		dl := an.Deadline(x0, 0, looseBox)
+		fmt.Printf("(%4.2f, %4.2f)    %-10d  %-12d  %-12d\n", x0[0], x0[1], dp, dt, dl)
+	}
+
+	fmt.Println()
+	fmt.Println("The tight box cries wolf for states like (2.4, 0.2) — safe by the")
+	fmt.Println("real constraint but outside the per-axis bound — while the loose box")
+	fmt.Println("overestimates the deadline near the diagonal, e.g. (1.45, 1.45).")
+	fmt.Println("The exact polytopic support test does neither.")
+}

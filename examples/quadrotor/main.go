@@ -1,0 +1,74 @@
+// Quadrotor: the 12-state Sabatino quadrotor hovering just under a 5 m
+// altitude ceiling, attacked with a replay of older (lower-altitude)
+// sensor recordings. The replayed data makes the controller climb the real
+// vehicle through the ceiling; the adaptive detector catches the replay
+// discontinuity immediately because its window has shrunk near the
+// boundary, while the fixed-window baseline dilutes it.
+//
+// Run with:
+//
+//	go run ./examples/quadrotor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	awd "repro"
+)
+
+func main() {
+	fmt.Println("Quadrotor altitude hold under a sensor replay attack")
+	fmt.Println()
+
+	for _, m := range awd.Models() {
+		if m.Name != "quadrotor" {
+			continue
+		}
+		fmt.Printf("plant: %s (n=%d states, m=%d inputs, dt=%gs, w_m=%d)\n\n",
+			m.Name, m.StateDim, m.InputDim, m.Dt, m.MaxWindow)
+	}
+
+	type outcome struct {
+		inTime, detected, runs int
+		sumDelay               int
+	}
+	results := map[string]*outcome{"adaptive": {}, "fixed": {}}
+
+	const runs = 40
+	for i := 0; i < runs; i++ {
+		seed := uint64(500 + i*13)
+		for _, strategy := range []string{"adaptive", "fixed"} {
+			res, err := awd.RunScenario(awd.ScenarioConfig{
+				Model:    "quadrotor",
+				Attack:   "replay",
+				Strategy: strategy,
+				Seed:     seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			o := results[strategy]
+			o.runs++
+			if res.Detected {
+				o.detected++
+				o.sumDelay += res.DetectionDelay
+			}
+			if res.Detected && !res.DeadlineMissed {
+				o.inTime++
+			}
+		}
+	}
+
+	for _, strategy := range []string{"adaptive", "fixed"} {
+		o := results[strategy]
+		meanDelay := "-"
+		if o.detected > 0 {
+			meanDelay = fmt.Sprintf("%.1f steps", float64(o.sumDelay)/float64(o.detected))
+		}
+		fmt.Printf("%-8s  detected %d/%d   in time %d/%d   mean delay %s\n",
+			strategy, o.detected, o.runs, o.inTime, o.runs, meanDelay)
+	}
+	fmt.Println("\nThe adaptive window tracks the reachability deadline near the ceiling,")
+	fmt.Println("so the replay discontinuity lands in a short window and fires at once.")
+}

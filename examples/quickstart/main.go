@@ -1,0 +1,93 @@
+// Quickstart: wire the adaptive attack detector into a minimal control
+// loop you own. The plant here is a scalar integrator x' = x + u kept at a
+// set point by a proportional controller; halfway through, an attacker
+// starts spoofing the sensor with a constant offset.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	awd "repro"
+)
+
+func main() {
+	det, err := awd.NewDetector(awd.DetectorConfig{
+		// x' = x + u, one control input.
+		A:  [][]float64{{1}},
+		B:  [][]float64{{1}},
+		Dt: 0.02,
+		// Actuator range U = [-1, 1].
+		InputLow:  []float64{-1},
+		InputHigh: []float64{1},
+		// Disturbance bound ε and the safe set |x| <= 10.
+		Eps:      0.005,
+		SafeLow:  []float64{-10},
+		SafeHigh: []float64{10},
+		// Detection threshold τ and maximum window w_m.
+		Tau:       []float64{0.3},
+		MaxWindow: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		setPoint    = 8.5 // near the unsafe boundary: deadlines are tight
+		attackStart = 120
+		attackBias  = -0.9 // sensor reads low -> controller pushes x up
+	)
+	x := 0.0
+	u := 0.0
+	firstAlarm := -1
+	for t := 0; t < 240; t++ {
+		// Sense (the attacker corrupts the reading after attackStart).
+		reading := x
+		if t >= attackStart {
+			reading += attackBias
+		}
+
+		// Detect: one call per control period, with the input that was
+		// applied over the preceding period.
+		dec := det.Step([]float64{reading}, []float64{u})
+		if dec.Alarm() && firstAlarm < 0 {
+			firstAlarm = t
+			fmt.Printf("ALARM at step %d (window %d, deadline %d)\n",
+				t, dec.Window, dec.Deadline)
+		}
+
+		// Control from the (possibly corrupted) reading.
+		u = clamp(0.4*(setPoint-reading), -1, 1)
+
+		// Plant advances under the true dynamics.
+		x = x + u
+
+		if t%40 == 0 || t == attackStart {
+			fmt.Printf("t=%3d  x=%6.3f  reading=%6.3f  window=%2d  deadline=%2d\n",
+				t, x, reading, dec.Window, dec.Deadline)
+		}
+	}
+
+	switch {
+	case firstAlarm < 0:
+		fmt.Println("attack was never detected")
+	case firstAlarm-attackStart <= 2:
+		fmt.Printf("attack detected %d step(s) after onset — in time\n", firstAlarm-attackStart)
+	default:
+		fmt.Printf("attack detected with delay %d\n", firstAlarm-attackStart)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,34 @@
+// Recovery: what timely detection buys you. Each plant is hit with its
+// bias attack; on the first alarm the loop abandons the compromised
+// sensors, dead-reckons the physical state from the Data Logger's last
+// trusted estimate, and steers back with LQR (the strategy of the paper's
+// companion works, refs [13, 14]). Recovery gated on the adaptive detector
+// engages almost immediately; gated on the fixed-window baseline it often
+// never engages because the attack stays below the diluted threshold.
+//
+// Run with:
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	const runs = 20
+	fmt.Printf("Detection-triggered LQR recovery, bias scenario, %d runs per case\n\n", runs)
+
+	rows, err := exp.RecoveryStudy(runs, 4242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderRecovery(rows, runs))
+
+	fmt.Println("Reading: 'alarmed' counts runs where detection fired at all —")
+	fmt.Println("recovery cannot engage without an alarm. 'final safe' counts runs")
+	fmt.Println("that ended inside the safe set after the recovery maneuver.")
+}

@@ -1,0 +1,178 @@
+// Package attack implements the three sensor attack scenarios of the
+// evaluation (Sec. 6.1.1):
+//
+//   - Bias: sensor data replaced by the clean value plus an arbitrary offset.
+//   - Delay: the controller receives stale measurements, so the state
+//     estimate is not updated in time.
+//   - Replay: sensor data replaced by previously recorded values.
+//
+// An Attack is stateful (delay and replay must observe the clean stream to
+// build their buffers) and is driven once per control step by the simulator.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Attack corrupts the sensor measurement stream. Apply must be called
+// exactly once per control step, in order, with the clean measurement; it
+// returns the measurement the controller actually sees.
+type Attack interface {
+	// Name identifies the attack scenario ("bias", "delay", "replay", ...).
+	Name() string
+	// Apply observes the clean measurement for step t and returns the
+	// (possibly corrupted) measurement delivered to the controller.
+	Apply(t int, clean mat.Vec) mat.Vec
+	// Active reports whether the attack corrupts step t.
+	Active(t int) bool
+	// Reset clears internal buffers so the attack can drive a fresh run.
+	Reset()
+}
+
+// Schedule is the activation window [Start, End) in control steps.
+// End <= 0 means "until the end of the run".
+type Schedule struct {
+	Start, End int
+}
+
+// Active reports whether step t falls inside the schedule.
+func (s Schedule) Active(t int) bool {
+	return t >= s.Start && (s.End <= 0 || t < s.End)
+}
+
+// None is the absence of an attack; it passes measurements through
+// untouched. Useful for false-positive (clean-run) campaigns.
+type None struct{}
+
+// Name returns "none".
+func (None) Name() string { return "none" }
+
+// Apply returns the clean measurement unchanged.
+func (None) Apply(_ int, clean mat.Vec) mat.Vec { return clean }
+
+// Active always reports false.
+func (None) Active(int) bool { return false }
+
+// Reset is a no-op.
+func (None) Reset() {}
+
+// Bias adds a fixed offset to every measurement inside the schedule.
+type Bias struct {
+	Schedule Schedule
+	Offset   mat.Vec
+}
+
+// NewBias returns a bias attack adding offset during sched.
+func NewBias(sched Schedule, offset mat.Vec) *Bias {
+	return &Bias{Schedule: sched, Offset: offset.Clone()}
+}
+
+// Name returns "bias".
+func (b *Bias) Name() string { return "bias" }
+
+// Active reports whether the bias is applied at step t.
+func (b *Bias) Active(t int) bool { return b.Schedule.Active(t) }
+
+// Apply adds the offset inside the schedule.
+func (b *Bias) Apply(t int, clean mat.Vec) mat.Vec {
+	if !b.Active(t) {
+		return clean
+	}
+	if len(clean) != len(b.Offset) {
+		panic(fmt.Sprintf("attack: bias offset dimension %d vs measurement %d", len(b.Offset), len(clean)))
+	}
+	return clean.Add(b.Offset)
+}
+
+// Reset is a no-op for the stateless bias attack.
+func (b *Bias) Reset() {}
+
+// Delay withholds fresh measurements: inside the schedule the controller
+// receives the measurement from Lag steps earlier (clamped to the oldest
+// observed sample). This models a sensor-availability (DoS-style) attack.
+type Delay struct {
+	Schedule Schedule
+	Lag      int
+
+	history []mat.Vec
+}
+
+// NewDelay returns a delay attack with the given lag in control steps.
+func NewDelay(sched Schedule, lag int) *Delay {
+	if lag <= 0 {
+		panic(fmt.Sprintf("attack: delay lag must be positive, got %d", lag))
+	}
+	return &Delay{Schedule: sched, Lag: lag}
+}
+
+// Name returns "delay".
+func (d *Delay) Name() string { return "delay" }
+
+// Active reports whether stale data is served at step t.
+func (d *Delay) Active(t int) bool { return d.Schedule.Active(t) }
+
+// Apply records the clean measurement and, inside the schedule, serves the
+// measurement observed Lag steps ago.
+func (d *Delay) Apply(t int, clean mat.Vec) mat.Vec {
+	d.history = append(d.history, clean.Clone())
+	if !d.Active(t) {
+		return clean
+	}
+	idx := len(d.history) - 1 - d.Lag
+	if idx < 0 {
+		idx = 0
+	}
+	return d.history[idx].Clone()
+}
+
+// Reset clears the measurement history.
+func (d *Delay) Reset() { d.history = nil }
+
+// Replay records clean measurements during [RecordStart, RecordStart+N) and,
+// inside the attack schedule, replaces measurements with the recording,
+// looping if the attack outlasts it.
+type Replay struct {
+	Schedule    Schedule
+	RecordStart int
+	N           int
+
+	recorded []mat.Vec
+}
+
+// NewReplay returns a replay attack that records n steps starting at
+// recordStart and replays them during sched.
+func NewReplay(sched Schedule, recordStart, n int) *Replay {
+	if n <= 0 {
+		panic(fmt.Sprintf("attack: replay length must be positive, got %d", n))
+	}
+	if recordStart < 0 {
+		panic(fmt.Sprintf("attack: negative record start %d", recordStart))
+	}
+	if recordStart+n > sched.Start {
+		panic(fmt.Sprintf("attack: recording window [%d,%d) overlaps attack start %d",
+			recordStart, recordStart+n, sched.Start))
+	}
+	return &Replay{Schedule: sched, RecordStart: recordStart, N: n}
+}
+
+// Name returns "replay".
+func (r *Replay) Name() string { return "replay" }
+
+// Active reports whether recorded data is served at step t.
+func (r *Replay) Active(t int) bool { return r.Schedule.Active(t) }
+
+// Apply records during the recording window and replays during the attack.
+func (r *Replay) Apply(t int, clean mat.Vec) mat.Vec {
+	if t >= r.RecordStart && t < r.RecordStart+r.N {
+		r.recorded = append(r.recorded, clean.Clone())
+	}
+	if !r.Active(t) || len(r.recorded) == 0 {
+		return clean
+	}
+	return r.recorded[(t-r.Schedule.Start)%len(r.recorded)].Clone()
+}
+
+// Reset clears the recording.
+func (r *Replay) Reset() { r.recorded = nil }

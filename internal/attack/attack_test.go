@@ -1,0 +1,177 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestScheduleActive(t *testing.T) {
+	s := Schedule{Start: 10, End: 20}
+	if s.Active(9) || !s.Active(10) || !s.Active(19) || s.Active(20) {
+		t.Error("bounded schedule activation wrong")
+	}
+	open := Schedule{Start: 5}
+	if !open.Active(5) || !open.Active(1<<20) || open.Active(4) {
+		t.Error("open-ended schedule activation wrong")
+	}
+}
+
+func TestNonePassesThrough(t *testing.T) {
+	var a None
+	y := mat.VecOf(1, 2)
+	if got := a.Apply(3, y); !got.Equal(y, 0) {
+		t.Errorf("None.Apply = %v", got)
+	}
+	if a.Active(0) || a.Name() != "none" {
+		t.Error("None metadata wrong")
+	}
+	a.Reset() // must not panic
+}
+
+func TestBiasInsideAndOutsideWindow(t *testing.T) {
+	b := NewBias(Schedule{Start: 5, End: 8}, mat.VecOf(2.5))
+	if got := b.Apply(4, mat.VecOf(1)); !got.Equal(mat.VecOf(1), 0) {
+		t.Errorf("bias before window = %v", got)
+	}
+	if got := b.Apply(5, mat.VecOf(1)); !got.Equal(mat.VecOf(3.5), 0) {
+		t.Errorf("bias inside window = %v", got)
+	}
+	if got := b.Apply(8, mat.VecOf(1)); !got.Equal(mat.VecOf(1), 0) {
+		t.Errorf("bias after window = %v", got)
+	}
+	if b.Name() != "bias" {
+		t.Error("name")
+	}
+}
+
+func TestBiasDoesNotAliasOffset(t *testing.T) {
+	off := mat.VecOf(1)
+	b := NewBias(Schedule{Start: 0}, off)
+	off[0] = 99
+	if got := b.Apply(0, mat.VecOf(0)); !got.Equal(mat.VecOf(1), 0) {
+		t.Errorf("bias aliased caller's offset: %v", got)
+	}
+}
+
+func TestBiasDimensionMismatchPanics(t *testing.T) {
+	b := NewBias(Schedule{Start: 0}, mat.VecOf(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Apply(0, mat.VecOf(1, 2))
+}
+
+func TestDelayServesStaleData(t *testing.T) {
+	d := NewDelay(Schedule{Start: 3, End: 6}, 2)
+	// Feed measurements 0,1,2,3,4,5 at steps 0..5.
+	var got []float64
+	for t0 := 0; t0 < 6; t0++ {
+		out := d.Apply(t0, mat.VecOf(float64(t0)))
+		got = append(got, out[0])
+	}
+	// Steps 0-2 clean; steps 3-5 lagged by 2: 1, 2, 3.
+	want := []float64{0, 1, 2, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d: got %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestDelayClampsAtOldest(t *testing.T) {
+	d := NewDelay(Schedule{Start: 0, End: 3}, 10)
+	out := d.Apply(0, mat.VecOf(7))
+	if out[0] != 7 {
+		t.Errorf("clamped delay = %v, want oldest sample 7", out[0])
+	}
+}
+
+func TestDelayReset(t *testing.T) {
+	d := NewDelay(Schedule{Start: 1, End: 10}, 1)
+	d.Apply(0, mat.VecOf(100))
+	d.Reset()
+	// After reset the history starts fresh; step 0 is clean anyway, step 1
+	// should serve the new step-0 value, not the stale pre-reset one.
+	d.Apply(0, mat.VecOf(5))
+	if out := d.Apply(1, mat.VecOf(6)); out[0] != 5 {
+		t.Errorf("post-reset delayed value = %v, want 5", out[0])
+	}
+}
+
+func TestDelayNonPositiveLagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDelay(Schedule{}, 0)
+}
+
+func TestReplayReplaysRecording(t *testing.T) {
+	r := NewReplay(Schedule{Start: 5, End: 11}, 1, 3) // record steps 1,2,3
+	var got []float64
+	for t0 := 0; t0 < 11; t0++ {
+		out := r.Apply(t0, mat.VecOf(float64(t0)*10))
+		got = append(got, out[0])
+	}
+	// Steps 0-4 clean (0..40); steps 5-10 replay recording [10,20,30] looping.
+	want := []float64{0, 10, 20, 30, 40, 10, 20, 30, 10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d: got %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestReplayEmptyRecordingPassesThrough(t *testing.T) {
+	// Recording window hasn't produced anything (Apply never called during
+	// it) — replay degrades to pass-through instead of panicking.
+	r := NewReplay(Schedule{Start: 5, End: 8}, 0, 2)
+	if out := r.Apply(6, mat.VecOf(9)); out[0] != 9 {
+		t.Errorf("empty-recording replay = %v", out[0])
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewReplay(Schedule{Start: 5}, 0, 0) },  // non-positive n
+		func() { NewReplay(Schedule{Start: 5}, -1, 2) }, // negative start
+		func() { NewReplay(Schedule{Start: 5}, 4, 3) },  // overlaps attack
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReplayReset(t *testing.T) {
+	r := NewReplay(Schedule{Start: 3, End: 6}, 0, 2)
+	r.Apply(0, mat.VecOf(1))
+	r.Apply(1, mat.VecOf(2))
+	r.Reset()
+	// Fresh run: record again.
+	r.Apply(0, mat.VecOf(7))
+	r.Apply(1, mat.VecOf(8))
+	r.Apply(2, mat.VecOf(9))
+	if out := r.Apply(3, mat.VecOf(0)); out[0] != 7 {
+		t.Errorf("post-reset replay = %v, want 7", out[0])
+	}
+}
+
+func TestAttacksImplementInterface(t *testing.T) {
+	for _, a := range []Attack{None{}, NewBias(Schedule{}, mat.VecOf(1)),
+		NewDelay(Schedule{Start: 1}, 1), NewReplay(Schedule{Start: 5}, 0, 2)} {
+		if a.Name() == "" {
+			t.Errorf("%T has empty name", a)
+		}
+	}
+}

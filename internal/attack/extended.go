@@ -1,0 +1,209 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+// This file extends the three headline scenarios of Sec. 6.1.1 with the
+// rest of the paper's threat model (Sec. 2): availability attacks (a stuck
+// sensor is the measurement-stream view of DoS), stealthier integrity
+// attacks (ramping bias), partial compromise (‖e_t‖₀ < n via per-dimension
+// masks), and transduction-style noise injection (the acoustic-gyroscope
+// attacks the introduction cites raise the victim channel's noise floor).
+
+// Freeze is a stuck-at / availability attack: inside the schedule the
+// controller keeps receiving the last measurement seen before the attack
+// (optionally only on masked dimensions). This models a sensor DoS where
+// the data source stops updating.
+type Freeze struct {
+	Schedule Schedule
+	// Mask selects the frozen dimensions; nil freezes all of them.
+	Mask []bool
+
+	frozen mat.Vec
+}
+
+// NewFreeze returns a stuck-at attack. mask may be nil (freeze everything);
+// otherwise its length must match the measurement dimension at Apply time.
+func NewFreeze(sched Schedule, mask []bool) *Freeze {
+	var cp []bool
+	if mask != nil {
+		cp = make([]bool, len(mask))
+		copy(cp, mask)
+	}
+	return &Freeze{Schedule: sched, Mask: cp}
+}
+
+// Name returns "freeze".
+func (f *Freeze) Name() string { return "freeze" }
+
+// Active reports whether measurements are stuck at step t.
+func (f *Freeze) Active(t int) bool { return f.Schedule.Active(t) }
+
+// Apply records the latest clean measurement while inactive and serves the
+// frozen value inside the schedule.
+func (f *Freeze) Apply(t int, clean mat.Vec) mat.Vec {
+	if !f.Active(t) {
+		f.frozen = clean.Clone()
+		return clean
+	}
+	if f.frozen == nil {
+		// Attack began before any clean sample was seen; nothing to serve.
+		return clean
+	}
+	if f.Mask == nil {
+		return f.frozen.Clone()
+	}
+	if len(f.Mask) != len(clean) {
+		panic(fmt.Sprintf("attack: freeze mask dimension %d vs measurement %d", len(f.Mask), len(clean)))
+	}
+	out := clean.Clone()
+	for i, m := range f.Mask {
+		if m {
+			out[i] = f.frozen[i]
+		}
+	}
+	return out
+}
+
+// Reset clears the frozen sample.
+func (f *Freeze) Reset() { f.frozen = nil }
+
+// Ramp is a stealthy integrity attack: the injected offset grows linearly
+// from zero to Offset over RampSteps, then holds. Because there is no onset
+// discontinuity, window detectors only see the sustained model-mismatch
+// term — the hardest case for residual detection (cf. the stealthy-attack
+// analysis of Urbina et al. the paper cites).
+type Ramp struct {
+	Schedule  Schedule
+	Offset    mat.Vec
+	RampSteps int
+}
+
+// NewRamp returns a ramping bias attack.
+func NewRamp(sched Schedule, offset mat.Vec, rampSteps int) *Ramp {
+	if rampSteps < 1 {
+		panic(fmt.Sprintf("attack: ramp steps %d must be >= 1", rampSteps))
+	}
+	return &Ramp{Schedule: sched, Offset: offset.Clone(), RampSteps: rampSteps}
+}
+
+// Name returns "ramp".
+func (r *Ramp) Name() string { return "ramp" }
+
+// Active reports whether the ramp corrupts step t.
+func (r *Ramp) Active(t int) bool { return r.Schedule.Active(t) }
+
+// Apply adds the scaled offset inside the schedule.
+func (r *Ramp) Apply(t int, clean mat.Vec) mat.Vec {
+	if !r.Active(t) {
+		return clean
+	}
+	if len(clean) != len(r.Offset) {
+		panic(fmt.Sprintf("attack: ramp offset dimension %d vs measurement %d", len(r.Offset), len(clean)))
+	}
+	progress := float64(t-r.Schedule.Start+1) / float64(r.RampSteps)
+	if progress > 1 {
+		progress = 1
+	}
+	return clean.Add(r.Offset.Scale(progress))
+}
+
+// Reset is a no-op for the stateless ramp.
+func (r *Ramp) Reset() {}
+
+// NoiseInjection raises the noise floor of masked channels — the
+// measurement-stream effect of transduction attacks (acoustic injection on
+// gyroscopes, EMI on analog sensors) from the papers cited in Sec. 1.
+type NoiseInjection struct {
+	Schedule Schedule
+	// Amp is the per-dimension uniform amplitude of the injected noise.
+	Amp  mat.Vec
+	Seed uint64
+
+	src *noise.Source
+}
+
+// NewNoiseInjection returns a noise-floor attack with deterministic seed.
+func NewNoiseInjection(sched Schedule, amp mat.Vec, seed uint64) *NoiseInjection {
+	for i, a := range amp {
+		if a < 0 {
+			panic(fmt.Sprintf("attack: negative noise amplitude %v in dimension %d", a, i))
+		}
+	}
+	return &NoiseInjection{Schedule: sched, Amp: amp.Clone(), Seed: seed, src: noise.NewSource(seed)}
+}
+
+// Name returns "noise".
+func (n *NoiseInjection) Name() string { return "noise" }
+
+// Active reports whether noise is injected at step t.
+func (n *NoiseInjection) Active(t int) bool { return n.Schedule.Active(t) }
+
+// Apply adds bounded uniform noise inside the schedule.
+func (n *NoiseInjection) Apply(t int, clean mat.Vec) mat.Vec {
+	if !n.Active(t) {
+		return clean
+	}
+	if len(clean) != len(n.Amp) {
+		panic(fmt.Sprintf("attack: noise amplitude dimension %d vs measurement %d", len(n.Amp), len(clean)))
+	}
+	out := clean.Clone()
+	for i, a := range n.Amp {
+		if a > 0 {
+			out[i] += n.src.Uniform(-a, a)
+		}
+	}
+	return out
+}
+
+// Reset re-seeds the noise stream for a fresh run.
+func (n *NoiseInjection) Reset() { n.src = noise.NewSource(n.Seed) }
+
+// Masked restricts an inner attack to a subset of measurement dimensions,
+// modelling partial compromise 0 < ‖e_t‖₀ < n (Sec. 2's threat model): only
+// masked dimensions take the attacked values, the rest pass through clean.
+type Masked struct {
+	Inner Attack
+	Mask  []bool
+}
+
+// NewMasked wraps an attack with a dimension mask.
+func NewMasked(inner Attack, mask []bool) *Masked {
+	if inner == nil {
+		panic("attack: nil inner attack")
+	}
+	if len(mask) == 0 {
+		panic("attack: empty mask")
+	}
+	cp := make([]bool, len(mask))
+	copy(cp, mask)
+	return &Masked{Inner: inner, Mask: cp}
+}
+
+// Name returns the inner attack's name with a "masked-" prefix.
+func (m *Masked) Name() string { return "masked-" + m.Inner.Name() }
+
+// Active defers to the inner attack.
+func (m *Masked) Active(t int) bool { return m.Inner.Active(t) }
+
+// Apply runs the inner attack and then restores unmasked dimensions.
+func (m *Masked) Apply(t int, clean mat.Vec) mat.Vec {
+	if len(m.Mask) != len(clean) {
+		panic(fmt.Sprintf("attack: mask dimension %d vs measurement %d", len(m.Mask), len(clean)))
+	}
+	attacked := m.Inner.Apply(t, clean)
+	out := clean.Clone()
+	for i, sel := range m.Mask {
+		if sel {
+			out[i] = attacked[i]
+		}
+	}
+	return out
+}
+
+// Reset defers to the inner attack.
+func (m *Masked) Reset() { m.Inner.Reset() }

@@ -1,0 +1,219 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestFreezeServesLastCleanSample(t *testing.T) {
+	f := NewFreeze(Schedule{Start: 3, End: 6}, nil)
+	var got []float64
+	for i := 0; i < 7; i++ {
+		out := f.Apply(i, mat.VecOf(float64(i)))
+		got = append(got, out[0])
+	}
+	want := []float64{0, 1, 2, 2, 2, 2, 6} // frozen at the step-2 value
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d: got %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestFreezeMaskedDimensions(t *testing.T) {
+	f := NewFreeze(Schedule{Start: 1, End: 3}, []bool{true, false})
+	f.Apply(0, mat.VecOf(10, 20))
+	out := f.Apply(1, mat.VecOf(11, 21))
+	if out[0] != 10 || out[1] != 21 {
+		t.Errorf("masked freeze = %v, want [10 21]", out)
+	}
+}
+
+func TestFreezeBeforeAnySamplePassesThrough(t *testing.T) {
+	f := NewFreeze(Schedule{Start: 0, End: 2}, nil)
+	if out := f.Apply(0, mat.VecOf(5)); out[0] != 5 {
+		t.Errorf("freeze with no history = %v", out)
+	}
+}
+
+func TestFreezeMaskDimensionMismatchPanics(t *testing.T) {
+	f := NewFreeze(Schedule{Start: 1}, []bool{true})
+	f.Apply(0, mat.VecOf(1, 2)) // records clean sample of dim 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Apply(1, mat.VecOf(1, 2))
+}
+
+func TestFreezeReset(t *testing.T) {
+	f := NewFreeze(Schedule{Start: 1}, nil)
+	f.Apply(0, mat.VecOf(42))
+	f.Reset()
+	if out := f.Apply(1, mat.VecOf(7)); out[0] != 7 {
+		t.Errorf("post-reset freeze served stale value %v", out[0])
+	}
+}
+
+func TestFreezeMaskCopied(t *testing.T) {
+	mask := []bool{true}
+	f := NewFreeze(Schedule{Start: 1}, mask)
+	mask[0] = false
+	f.Apply(0, mat.VecOf(1))
+	if out := f.Apply(1, mat.VecOf(9)); out[0] != 1 {
+		t.Error("freeze aliased caller's mask")
+	}
+}
+
+func TestRampGrowsLinearly(t *testing.T) {
+	r := NewRamp(Schedule{Start: 10}, mat.VecOf(4), 4)
+	cases := []struct {
+		step int
+		want float64
+	}{
+		{9, 0}, {10, 1}, {11, 2}, {12, 3}, {13, 4}, {20, 4},
+	}
+	for _, c := range cases {
+		out := r.Apply(c.step, mat.VecOf(0))
+		if math.Abs(out[0]-c.want) > 1e-12 {
+			t.Errorf("step %d: offset %v, want %v", c.step, out[0], c.want)
+		}
+	}
+}
+
+func TestRampNoOnsetDiscontinuity(t *testing.T) {
+	// The injected offset at the first attacked step must be only one
+	// ramp increment, not the full bias.
+	r := NewRamp(Schedule{Start: 5}, mat.VecOf(10), 100)
+	out := r.Apply(5, mat.VecOf(0))
+	if out[0] > 0.11 {
+		t.Errorf("first-step offset %v too large for stealth", out[0])
+	}
+}
+
+func TestRampValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRamp(Schedule{}, mat.VecOf(1), 0)
+}
+
+func TestNoiseInjectionBoundedAndSeeded(t *testing.T) {
+	n1 := NewNoiseInjection(Schedule{Start: 0}, mat.VecOf(0.5, 0), 9)
+	n2 := NewNoiseInjection(Schedule{Start: 0}, mat.VecOf(0.5, 0), 9)
+	for i := 0; i < 1000; i++ {
+		a := n1.Apply(i, mat.VecOf(1, 1))
+		b := n2.Apply(i, mat.VecOf(1, 1))
+		if math.Abs(a[0]-1) > 0.5 {
+			t.Fatalf("step %d: injected noise out of bounds: %v", i, a[0])
+		}
+		if a[1] != 1 {
+			t.Fatalf("zero-amplitude channel perturbed: %v", a[1])
+		}
+		if a[0] != b[0] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestNoiseInjectionInactiveOutsideSchedule(t *testing.T) {
+	n := NewNoiseInjection(Schedule{Start: 10, End: 20}, mat.VecOf(1), 3)
+	if out := n.Apply(5, mat.VecOf(2)); out[0] != 2 {
+		t.Error("noise injected outside schedule")
+	}
+}
+
+func TestNoiseInjectionResetReplaysStream(t *testing.T) {
+	n := NewNoiseInjection(Schedule{Start: 0}, mat.VecOf(1), 17)
+	first := n.Apply(0, mat.VecOf(0))[0]
+	n.Apply(1, mat.VecOf(0))
+	n.Reset()
+	if got := n.Apply(0, mat.VecOf(0))[0]; got != first {
+		t.Errorf("post-reset first draw %v != %v", got, first)
+	}
+}
+
+func TestNoiseInjectionNegativeAmpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNoiseInjection(Schedule{}, mat.VecOf(-0.1), 1)
+}
+
+func TestMaskedRestrictsAttackToDimensions(t *testing.T) {
+	inner := NewBias(Schedule{Start: 0}, mat.VecOf(5, 5))
+	m := NewMasked(inner, []bool{false, true})
+	out := m.Apply(0, mat.VecOf(1, 1))
+	if out[0] != 1 || out[1] != 6 {
+		t.Errorf("masked bias = %v, want [1 6]", out)
+	}
+	if m.Name() != "masked-bias" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestMaskedPartialCompromiseInvariant(t *testing.T) {
+	// Threat model: 0 < ‖e_t‖₀ < n. With a single masked dimension the
+	// error vector must have exactly one non-zero entry.
+	inner := NewBias(Schedule{Start: 0}, mat.VecOf(3, 3, 3))
+	m := NewMasked(inner, []bool{false, true, false})
+	clean := mat.VecOf(1, 2, 3)
+	out := m.Apply(0, clean)
+	nonzero := 0
+	for i := range out {
+		if out[i] != clean[i] {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Errorf("‖e‖₀ = %d, want 1", nonzero)
+	}
+}
+
+func TestMaskedValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewMasked(nil, []bool{true}) },
+		func() { NewMasked(None{}, nil) },
+		func() { NewMasked(NewBias(Schedule{}, mat.VecOf(1)), []bool{true, false}).Apply(0, mat.VecOf(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaskedResetPropagates(t *testing.T) {
+	inner := NewDelay(Schedule{Start: 1}, 1)
+	m := NewMasked(inner, []bool{true})
+	m.Apply(0, mat.VecOf(100))
+	m.Reset()
+	m.Apply(0, mat.VecOf(5))
+	if out := m.Apply(1, mat.VecOf(6)); out[0] != 5 {
+		t.Errorf("reset did not propagate: %v", out[0])
+	}
+}
+
+func TestExtendedAttacksImplementInterface(t *testing.T) {
+	for _, a := range []Attack{
+		NewFreeze(Schedule{Start: 1}, nil),
+		NewRamp(Schedule{Start: 1}, mat.VecOf(1), 5),
+		NewNoiseInjection(Schedule{Start: 1}, mat.VecOf(1), 1),
+		NewMasked(None{}, []bool{true}),
+	} {
+		if a.Name() == "" {
+			t.Errorf("%T has empty name", a)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package attack
+
+import "repro/internal/mat"
+
+// Sequence chains multiple attacks into one measurement-stream adversary:
+// each step, every stage observes the stream in order and may corrupt it
+// further (stage i sees stage i−1's output as its "clean" input). This
+// models the multi-stage campaigns of the threat model — e.g. a
+// reconnaissance replay-recording phase followed by a bias injection, or a
+// noise-floor raise that masks a concurrent ramp.
+type Sequence struct {
+	stages []Attack
+}
+
+// NewSequence chains the given attacks in application order.
+func NewSequence(stages ...Attack) *Sequence {
+	if len(stages) == 0 {
+		panic("attack: empty sequence")
+	}
+	for i, s := range stages {
+		if s == nil {
+			panic("attack: nil stage in sequence")
+		}
+		_ = i
+	}
+	cp := make([]Attack, len(stages))
+	copy(cp, stages)
+	return &Sequence{stages: cp}
+}
+
+// Name joins the stage names with "+".
+func (s *Sequence) Name() string {
+	out := ""
+	for i, st := range s.stages {
+		if i > 0 {
+			out += "+"
+		}
+		out += st.Name()
+	}
+	return out
+}
+
+// Active reports whether any stage corrupts step t.
+func (s *Sequence) Active(t int) bool {
+	for _, st := range s.stages {
+		if st.Active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply threads the measurement through every stage in order.
+func (s *Sequence) Apply(t int, clean mat.Vec) mat.Vec {
+	out := clean
+	for _, st := range s.stages {
+		out = st.Apply(t, out)
+	}
+	return out
+}
+
+// Reset resets every stage.
+func (s *Sequence) Reset() {
+	for _, st := range s.stages {
+		st.Reset()
+	}
+}
+
+// Onset returns the earliest stage onset, or -1 if no stage has a schedule.
+func (s *Sequence) Onset() int {
+	onset := -1
+	for _, st := range s.stages {
+		var so int
+		switch v := st.(type) {
+		case *Bias:
+			so = v.Schedule.Start
+		case *Delay:
+			so = v.Schedule.Start
+		case *Replay:
+			so = v.Schedule.Start
+		case *Freeze:
+			so = v.Schedule.Start
+		case *Ramp:
+			so = v.Schedule.Start
+		case *NoiseInjection:
+			so = v.Schedule.Start
+		case *Masked:
+			so = onsetOf(v.Inner)
+		default:
+			continue
+		}
+		if so >= 0 && (onset < 0 || so < onset) {
+			onset = so
+		}
+	}
+	return onset
+}
+
+func onsetOf(a Attack) int {
+	if seq, ok := a.(*Sequence); ok {
+		return seq.Onset()
+	}
+	s := NewSequence(a)
+	return s.Onset()
+}

@@ -1,0 +1,94 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSequenceAppliesStagesInOrder(t *testing.T) {
+	// Stage 1 adds 1 from step 0; stage 2 adds 10 from step 5.
+	s := NewSequence(
+		NewBias(Schedule{Start: 0}, mat.VecOf(1)),
+		NewBias(Schedule{Start: 5}, mat.VecOf(10)),
+	)
+	if out := s.Apply(0, mat.VecOf(0)); out[0] != 1 {
+		t.Errorf("step 0 = %v, want 1", out[0])
+	}
+	if out := s.Apply(5, mat.VecOf(0)); out[0] != 11 {
+		t.Errorf("step 5 = %v, want 11", out[0])
+	}
+	if s.Name() != "bias+bias" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+func TestSequenceStagesSeeUpstreamOutput(t *testing.T) {
+	// A replay stage records the *biased* stream — reconnaissance on the
+	// already-corrupted channel.
+	bias := NewBias(Schedule{Start: 0, End: 3}, mat.VecOf(100))
+	replay := NewReplay(Schedule{Start: 10}, 0, 2)
+	s := NewSequence(bias, replay)
+	s.Apply(0, mat.VecOf(1)) // replay records 101
+	s.Apply(1, mat.VecOf(2)) // records 102
+	for step := 2; step < 10; step++ {
+		s.Apply(step, mat.VecOf(0))
+	}
+	if out := s.Apply(10, mat.VecOf(0)); out[0] != 101 {
+		t.Errorf("replayed value = %v, want the biased 101", out[0])
+	}
+}
+
+func TestSequenceActiveAndOnset(t *testing.T) {
+	s := NewSequence(
+		NewDelay(Schedule{Start: 30, End: 40}, 2),
+		NewBias(Schedule{Start: 20, End: 25}, mat.VecOf(1)),
+	)
+	if !s.Active(22) || !s.Active(35) || s.Active(27) {
+		t.Error("Active union wrong")
+	}
+	if s.Onset() != 20 {
+		t.Errorf("Onset = %d, want 20", s.Onset())
+	}
+}
+
+func TestSequenceOnsetWithMaskedStage(t *testing.T) {
+	s := NewSequence(NewMasked(NewBias(Schedule{Start: 7}, mat.VecOf(1)), []bool{true}))
+	if s.Onset() != 7 {
+		t.Errorf("Onset = %d, want 7", s.Onset())
+	}
+}
+
+func TestSequenceOnsetNone(t *testing.T) {
+	s := NewSequence(None{})
+	if s.Onset() != -1 {
+		t.Errorf("Onset = %d, want -1", s.Onset())
+	}
+}
+
+func TestSequenceReset(t *testing.T) {
+	d := NewDelay(Schedule{Start: 1}, 1)
+	s := NewSequence(d)
+	s.Apply(0, mat.VecOf(9))
+	s.Reset()
+	s.Apply(0, mat.VecOf(5))
+	if out := s.Apply(1, mat.VecOf(6)); out[0] != 5 {
+		t.Errorf("reset not propagated: %v", out[0])
+	}
+}
+
+func TestSequenceValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewSequence() },
+		func() { NewSequence(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Stealthy is the residual-aware adversary of the stealthy-attack
+// literature the paper builds on (Urbina et al., "Limiting the impact of
+// stealthy attacks on industrial control systems"): it knows the plant
+// model AND the detection threshold, and shapes its injected offset so the
+// residual it induces stays below a fraction α of τ in every dimension at
+// every step — invisible to any residual detector with that threshold, no
+// matter the window size.
+//
+// For the additive sensor offset o_t, the induced residual is
+//
+//	Δz_t = |o_t − A o_{t−1}|
+//
+// (the clean terms cancel), so the attacker greedily grows o toward its
+// goal direction while capping each step's |o_t − A o_{t−1}| at α·τ.
+// The reachable offset saturates where the sustained term |(I−A) o| hits
+// the cap — the quantitative "stealth ceiling" that bounds the attack's
+// impact. The StealthyImpact experiment measures that ceiling.
+type Stealthy struct {
+	Schedule Schedule
+	// Direction is the unit-intent of the attacker in sensor space; the
+	// offset grows along it.
+	Direction mat.Vec
+	// Alpha is the fraction of τ the induced residual may use (< 1 for
+	// guaranteed invisibility against threshold τ).
+	Alpha float64
+	// Tau is the detector's per-dimension threshold the attacker evades.
+	Tau mat.Vec
+	// A is the plant's state matrix (the attacker's model knowledge).
+	A *matDense
+
+	offset mat.Vec
+}
+
+// matDense aliases mat.Dense to keep the struct self-describing without an
+// import cycle risk in user code.
+type matDense = mat.Dense
+
+// NewStealthy builds a residual-aware stealthy attack.
+func NewStealthy(sched Schedule, a *mat.Dense, direction, tau mat.Vec, alpha float64) *Stealthy {
+	if a == nil || a.Rows() != a.Cols() {
+		panic("attack: stealthy needs a square A")
+	}
+	n := a.Rows()
+	if len(direction) != n || len(tau) != n {
+		panic(fmt.Sprintf("attack: stealthy dimension mismatch (A %dx%d, dir %d, tau %d)",
+			n, n, len(direction), len(tau)))
+	}
+	if direction.Norm2() == 0 {
+		panic("attack: stealthy zero direction")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("attack: stealthy alpha %v outside (0, 1)", alpha))
+	}
+	for i, v := range tau {
+		if v <= 0 {
+			panic(fmt.Sprintf("attack: stealthy tau[%d] = %v must be positive", i, v))
+		}
+	}
+	return &Stealthy{
+		Schedule:  sched,
+		Direction: direction.Scale(1 / direction.Norm2()),
+		Alpha:     alpha,
+		Tau:       tau.Clone(),
+		A:         a.Clone(),
+	}
+}
+
+// Name returns "stealthy".
+func (s *Stealthy) Name() string { return "stealthy" }
+
+// Active reports whether the offset is applied at step t.
+func (s *Stealthy) Active(t int) bool { return s.Schedule.Active(t) }
+
+// Apply grows the offset along the goal direction as fast as the residual
+// budget allows and adds it to the measurement.
+func (s *Stealthy) Apply(t int, clean mat.Vec) mat.Vec {
+	if !s.Active(t) {
+		return clean
+	}
+	n := len(s.Tau)
+	if len(clean) != n {
+		panic(fmt.Sprintf("attack: stealthy measurement dimension %d, want %d", len(clean), n))
+	}
+	if s.offset == nil {
+		s.offset = mat.NewVec(n)
+	}
+	// Baseline: carrying A·o_prev forward induces zero residual. Any move
+	// d from there costs |d| per dimension; spend the budget along the goal
+	// direction.
+	carried := s.A.MulVec(s.offset)
+	// Largest gamma such that |gamma·dir_i| <= α·τ_i for all i.
+	gamma := 1e308
+	for i := 0; i < n; i++ {
+		d := s.Direction[i]
+		if d == 0 {
+			continue
+		}
+		if lim := s.Alpha * s.Tau[i] / abs(d); lim < gamma {
+			gamma = lim
+		}
+	}
+	s.offset = carried.Add(s.Direction.Scale(gamma))
+	return clean.Add(s.offset)
+}
+
+// Offset returns a copy of the current injected offset.
+func (s *Stealthy) Offset() mat.Vec {
+	if s.offset == nil {
+		return mat.NewVec(len(s.Tau))
+	}
+	return s.offset.Clone()
+}
+
+// Reset clears the accumulated offset.
+func (s *Stealthy) Reset() { s.offset = nil }
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

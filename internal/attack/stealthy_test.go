@@ -1,0 +1,114 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestStealthyResidualStaysUnderBudget(t *testing.T) {
+	// For the pure offset sequence, the induced residual |o_t − A o_{t−1}|
+	// must never exceed α·τ in any dimension.
+	a := mat.FromRows([][]float64{{0.9, 0.1}, {0, 0.95}})
+	s := NewStealthy(Schedule{Start: 0}, a, mat.VecOf(1, 0.5), mat.VecOf(0.1, 0.2), 0.5)
+	prev := mat.NewVec(2)
+	for step := 0; step < 200; step++ {
+		s.Apply(step, mat.NewVec(2))
+		o := s.Offset()
+		delta := o.Sub(a.MulVec(prev))
+		if delta[0] > 0.05+1e-12 || delta[1] > 0.1+1e-12 {
+			t.Fatalf("step %d: residual budget exceeded: %v", step, delta)
+		}
+		prev = o
+	}
+}
+
+func TestStealthyCeilingStablePlant(t *testing.T) {
+	// Scalar A = 0.9, τ = 0.1, α = 0.5: per-step budget γ = 0.05, offset
+	// converges to γ/(1−A) = 0.5.
+	s := NewStealthy(Schedule{Start: 0}, mat.Diag(0.9), mat.VecOf(1), mat.VecOf(0.1), 0.5)
+	for step := 0; step < 500; step++ {
+		s.Apply(step, mat.VecOf(0))
+	}
+	if got := s.Offset()[0]; math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("stealth ceiling = %v, want 0.5", got)
+	}
+}
+
+func TestStealthyUnboundedOnIntegrator(t *testing.T) {
+	// A = 1 (integrator state): the stealthy offset grows without bound —
+	// the classic result that integrating plants are unboundedly
+	// attackable below any residual threshold.
+	s := NewStealthy(Schedule{Start: 0}, mat.Diag(1), mat.VecOf(1), mat.VecOf(0.1), 0.5)
+	for step := 0; step < 100; step++ {
+		s.Apply(step, mat.VecOf(0))
+	}
+	if got := s.Offset()[0]; math.Abs(got-100*0.05) > 1e-9 {
+		t.Errorf("integrator offset = %v, want 5 (100 steps x 0.05)", got)
+	}
+}
+
+func TestStealthyInvisibleToWindowDetector(t *testing.T) {
+	// Closed check at the residual level: feed the offset deltas through
+	// the window rule at every window size 0..20 — never an alarm (the
+	// windowed average of values <= ατ < τ cannot exceed τ).
+	a := mat.Diag(0.9)
+	s := NewStealthy(Schedule{Start: 0}, a, mat.VecOf(1), mat.VecOf(0.1), 0.6)
+	prev := mat.NewVec(1)
+	var residuals []float64
+	for step := 0; step < 100; step++ {
+		s.Apply(step, mat.VecOf(0))
+		o := s.Offset()
+		residuals = append(residuals, math.Abs(o[0]-0.9*prev[0]))
+		prev = o
+	}
+	for w := 0; w <= 20; w++ {
+		for end := w; end < len(residuals); end++ {
+			sum := 0.0
+			for k := end - w; k <= end; k++ {
+				sum += residuals[k]
+			}
+			if avg := sum / float64(w+1); avg > 0.1 {
+				t.Fatalf("window %d at %d: avg %v exceeds tau", w, end, avg)
+			}
+		}
+	}
+}
+
+func TestStealthyInactiveAndReset(t *testing.T) {
+	s := NewStealthy(Schedule{Start: 10}, mat.Diag(0.9), mat.VecOf(1), mat.VecOf(0.1), 0.5)
+	if out := s.Apply(0, mat.VecOf(7)); out[0] != 7 {
+		t.Error("inactive stealthy modified the measurement")
+	}
+	s.Apply(10, mat.VecOf(0))
+	if s.Offset()[0] == 0 {
+		t.Error("active stealthy did not inject")
+	}
+	s.Reset()
+	if s.Offset()[0] != 0 {
+		t.Error("reset did not clear the offset")
+	}
+}
+
+func TestStealthyValidation(t *testing.T) {
+	a := mat.Diag(0.9)
+	for i, fn := range []func(){
+		func() { NewStealthy(Schedule{}, nil, mat.VecOf(1), mat.VecOf(1), 0.5) },
+		func() { NewStealthy(Schedule{}, mat.NewDense(1, 2), mat.VecOf(1), mat.VecOf(1), 0.5) },
+		func() { NewStealthy(Schedule{}, a, mat.VecOf(1, 2), mat.VecOf(1), 0.5) },
+		func() { NewStealthy(Schedule{}, a, mat.VecOf(0), mat.VecOf(1), 0.5) },
+		func() { NewStealthy(Schedule{}, a, mat.VecOf(1), mat.VecOf(0), 0.5) },
+		func() { NewStealthy(Schedule{}, a, mat.VecOf(1), mat.VecOf(1), 0) },
+		func() { NewStealthy(Schedule{}, a, mat.VecOf(1), mat.VecOf(1), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

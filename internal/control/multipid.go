@@ -1,0 +1,80 @@
+package control
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Loop is one channel of a multi-loop PID controller: a PID on the error
+// between a reference and one tracked state dimension, driving one input
+// channel. This is how multi-input plants (the quadrotor's thrust + three
+// torques) are supervised by decoupled PID loops in practice.
+type Loop struct {
+	StateDim   int // tracked state dimension
+	InputIdx   int // driven input channel
+	Ref        Reference
+	Kp, Ki, Kd float64
+}
+
+// MultiPID runs several decoupled PID loops against one state estimate,
+// producing a full input vector saturated to the actuator box.
+type MultiPID struct {
+	loops []Loop
+	pids  []*PID
+	lo    mat.Vec
+	hi    mat.Vec
+}
+
+// NewMultiPID validates the loop definitions against the given actuator
+// bounds (which fix the input dimension) and builds fresh PID state for
+// each loop. Multiple loops may not drive the same input channel.
+func NewMultiPID(dt float64, lo, hi mat.Vec, loops ...Loop) (*MultiPID, error) {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		return nil, fmt.Errorf("control: actuator bounds length %d/%d", len(lo), len(hi))
+	}
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("control: no loops")
+	}
+	used := make(map[int]bool)
+	pids := make([]*PID, len(loops))
+	for i, l := range loops {
+		if l.InputIdx < 0 || l.InputIdx >= len(lo) {
+			return nil, fmt.Errorf("control: loop %d input channel %d out of range", i, l.InputIdx)
+		}
+		if used[l.InputIdx] {
+			return nil, fmt.Errorf("control: loops share input channel %d", l.InputIdx)
+		}
+		used[l.InputIdx] = true
+		if l.StateDim < 0 {
+			return nil, fmt.Errorf("control: loop %d negative state dimension", i)
+		}
+		if l.Ref == nil {
+			return nil, fmt.Errorf("control: loop %d nil reference", i)
+		}
+		pids[i] = NewPID(l.Kp, l.Ki, l.Kd, dt)
+	}
+	return &MultiPID{loops: append([]Loop(nil), loops...), pids: pids, lo: lo.Clone(), hi: hi.Clone()}, nil
+}
+
+// Update computes the saturated input vector for control step t from the
+// state estimate. Channels not driven by any loop stay zero.
+func (m *MultiPID) Update(t int, estimate mat.Vec) mat.Vec {
+	u := mat.NewVec(len(m.lo))
+	for i, l := range m.loops {
+		if l.StateDim >= len(estimate) {
+			panic(fmt.Sprintf("control: loop %d tracks dimension %d of a %d-dim estimate",
+				i, l.StateDim, len(estimate)))
+		}
+		err := l.Ref.At(t) - estimate[l.StateDim]
+		u[l.InputIdx] = m.pids[i].UpdateClamped(err, m.lo[l.InputIdx], m.hi[l.InputIdx])
+	}
+	return u
+}
+
+// Reset clears every loop's PID state.
+func (m *MultiPID) Reset() {
+	for _, p := range m.pids {
+		p.Reset()
+	}
+}

@@ -1,0 +1,114 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestNewMultiPIDValidation(t *testing.T) {
+	lo, hi := mat.VecOf(-1, -1), mat.VecOf(1, 1)
+	good := Loop{StateDim: 0, InputIdx: 0, Ref: ConstantRef(1), Kp: 1}
+	cases := []struct {
+		name  string
+		lo    mat.Vec
+		hi    mat.Vec
+		loops []Loop
+	}{
+		{"mismatched bounds", mat.VecOf(0), hi, []Loop{good}},
+		{"no loops", lo, hi, nil},
+		{"input out of range", lo, hi, []Loop{{StateDim: 0, InputIdx: 5, Ref: ConstantRef(0)}}},
+		{"duplicate channel", lo, hi, []Loop{good, {StateDim: 1, InputIdx: 0, Ref: ConstantRef(0)}}},
+		{"negative state dim", lo, hi, []Loop{{StateDim: -1, InputIdx: 0, Ref: ConstantRef(0)}}},
+		{"nil reference", lo, hi, []Loop{{StateDim: 0, InputIdx: 0}}},
+	}
+	for _, c := range cases {
+		if _, err := NewMultiPID(0.1, c.lo, c.hi, c.loops...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewMultiPID(0.1, lo, hi, good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMultiPIDDrivesAssignedChannels(t *testing.T) {
+	m, err := NewMultiPID(0.1, mat.VecOf(-10, -10, -10), mat.VecOf(10, 10, 10),
+		Loop{StateDim: 0, InputIdx: 0, Ref: ConstantRef(1), Kp: 2},
+		Loop{StateDim: 1, InputIdx: 2, Ref: ConstantRef(-1), Kp: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := m.Update(0, mat.VecOf(0, 0))
+	// Channel 0: 2·(1−0) = 2; channel 1 undriven = 0; channel 2: 3·(−1−0) = −3.
+	if math.Abs(u[0]-2) > 1e-12 || u[1] != 0 || math.Abs(u[2]+3) > 1e-12 {
+		t.Errorf("u = %v", u)
+	}
+}
+
+func TestMultiPIDSaturates(t *testing.T) {
+	m, err := NewMultiPID(0.1, mat.VecOf(-1), mat.VecOf(1),
+		Loop{StateDim: 0, InputIdx: 0, Ref: ConstantRef(100), Kp: 50},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := m.Update(0, mat.VecOf(0))
+	if u[0] != 1 {
+		t.Errorf("u = %v, want saturated 1", u[0])
+	}
+}
+
+func TestMultiPIDClosedLoopTwoChannels(t *testing.T) {
+	// Two decoupled scalar plants x_i' = x_i + 0.1 u_i, tracked to
+	// different set points by separate loops over one estimate vector.
+	m, err := NewMultiPID(0.1, mat.VecOf(-10, -10), mat.VecOf(10, 10),
+		Loop{StateDim: 0, InputIdx: 0, Ref: ConstantRef(2), Kp: 2, Ki: 1},
+		Loop{StateDim: 1, InputIdx: 1, Ref: ConstantRef(-3), Kp: 2, Ki: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.VecOf(0, 0)
+	for t0 := 0; t0 < 600; t0++ {
+		u := m.Update(t0, x)
+		x[0] += 0.1 * u[0]
+		x[1] += 0.1 * u[1]
+	}
+	if math.Abs(x[0]-2) > 1e-2 || math.Abs(x[1]+3) > 1e-2 {
+		t.Errorf("settled at %v, want (2, -3)", x)
+	}
+}
+
+func TestMultiPIDReset(t *testing.T) {
+	m, err := NewMultiPID(0.1, mat.VecOf(-10), mat.VecOf(10),
+		Loop{StateDim: 0, InputIdx: 0, Ref: ConstantRef(1), Ki: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := m.Update(0, mat.VecOf(0))
+	m.Update(1, mat.VecOf(0)) // integral accumulates
+	m.Reset()
+	u2 := m.Update(0, mat.VecOf(0))
+	if u1[0] != u2[0] {
+		t.Errorf("post-reset output %v != fresh output %v", u2[0], u1[0])
+	}
+}
+
+func TestMultiPIDPanicsOnShortEstimate(t *testing.T) {
+	m, err := NewMultiPID(0.1, mat.VecOf(-1), mat.VecOf(1),
+		Loop{StateDim: 3, InputIdx: 0, Ref: ConstantRef(0), Kp: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Update(0, mat.VecOf(0, 0))
+}

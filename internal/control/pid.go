@@ -1,0 +1,146 @@
+// Package control implements the PID feedback loop that supervises every
+// plant in the evaluation (Table 1 lists the gains), plus reference signal
+// generators and actuator saturation to the control input range U.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// PID is a discrete PID controller acting on a scalar error signal.
+// The integral term accumulates err·dt; the derivative term differences the
+// error across one control step. Output saturation (the actuator's range U)
+// is applied by the caller via Saturate, and anti-windup conditionally
+// freezes the integrator when the output is saturated.
+type PID struct {
+	Kp, Ki, Kd float64
+	dt         float64
+
+	integral float64
+	prevErr  float64
+	primed   bool // prevErr valid?
+}
+
+// NewPID returns a PID controller with the given gains and control period.
+func NewPID(kp, ki, kd, dt float64) *PID {
+	if dt <= 0 {
+		panic(fmt.Sprintf("control: non-positive dt %v", dt))
+	}
+	return &PID{Kp: kp, Ki: ki, Kd: kd, dt: dt}
+}
+
+// Update advances the controller one step with the given error
+// (reference − measurement) and returns the raw (unsaturated) output.
+func (p *PID) Update(err float64) float64 {
+	p.integral += err * p.dt
+	d := 0.0
+	if p.primed {
+		d = (err - p.prevErr) / p.dt
+	}
+	p.prevErr = err
+	p.primed = true
+	return p.Kp*err + p.Ki*p.integral + p.Kd*d
+}
+
+// UpdateClamped is Update with output saturation to [lo, hi] and
+// conditional-integration anti-windup: if the raw output exceeds the limits
+// and the error would push it further, the integral contribution of this
+// step is rolled back.
+func (p *PID) UpdateClamped(err, lo, hi float64) float64 {
+	raw := p.Update(err)
+	if raw > hi {
+		if err > 0 {
+			p.integral -= err * p.dt
+		}
+		return hi
+	}
+	if raw < lo {
+		if err < 0 {
+			p.integral -= err * p.dt
+		}
+		return lo
+	}
+	return raw
+}
+
+// Reset clears the controller's internal state.
+func (p *PID) Reset() {
+	p.integral = 0
+	p.prevErr = 0
+	p.primed = false
+}
+
+// Saturate clamps each input channel to its interval in the box U
+// (Sec. 3.2.2: every actuator has a bounded range).
+func Saturate(u mat.Vec, lo, hi mat.Vec) mat.Vec {
+	if len(u) != len(lo) || len(u) != len(hi) {
+		panic("control: Saturate dimension mismatch")
+	}
+	out := make(mat.Vec, len(u))
+	for i := range u {
+		out[i] = math.Min(math.Max(u[i], lo[i]), hi[i])
+	}
+	return out
+}
+
+// Reference produces the desired (reference) state r_t for a control step.
+type Reference interface {
+	At(t int) float64
+}
+
+// ConstantRef holds a fixed set point.
+type ConstantRef float64
+
+// At returns the constant set point.
+func (c ConstantRef) At(int) float64 { return float64(c) }
+
+// StepRef switches from Before to After at step At0 (a set-point change,
+// e.g. the start of a turn for the vehicle-turning plant).
+type StepRef struct {
+	Before, After float64
+	At0           int
+}
+
+// At returns Before for t < At0 and After from At0 on.
+func (s StepRef) At(t int) float64 {
+	if t < s.At0 {
+		return s.Before
+	}
+	return s.After
+}
+
+// RampRef ramps linearly from Start to End over [0, Steps], holding End
+// afterwards.
+type RampRef struct {
+	Start, End float64
+	Steps      int
+}
+
+// At returns the ramped reference value.
+func (r RampRef) At(t int) float64 {
+	if r.Steps <= 0 || t >= r.Steps {
+		return r.End
+	}
+	if t <= 0 {
+		return r.Start
+	}
+	return r.Start + (r.End-r.Start)*float64(t)/float64(r.Steps)
+}
+
+// SineRef oscillates around Center with the given amplitude and period (in
+// steps); used by the quadrotor hover-with-sway scenario.
+type SineRef struct {
+	Center, Amplitude float64
+	Period            int
+}
+
+// At returns the sinusoidal reference value.
+func (s SineRef) At(t int) float64 {
+	if s.Period <= 0 {
+		return s.Center
+	}
+	return s.Center + s.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(s.Period))
+}

@@ -1,0 +1,157 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestPIDProportionalOnly(t *testing.T) {
+	p := NewPID(2, 0, 0, 0.1)
+	if got := p.Update(3); got != 6 {
+		t.Errorf("P-only output = %v, want 6", got)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	p := NewPID(0, 1, 0, 0.5)
+	p.Update(2) // integral = 1
+	if got := p.Update(2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("I output after 2 steps = %v, want 2", got)
+	}
+}
+
+func TestPIDDerivativeFirstStepZero(t *testing.T) {
+	p := NewPID(0, 0, 1, 0.1)
+	if got := p.Update(5); got != 0 {
+		t.Errorf("D output on first step = %v, want 0 (unprimed)", got)
+	}
+	// Second step: (3-5)/0.1 = -20.
+	if got := p.Update(3); math.Abs(got+20) > 1e-12 {
+		t.Errorf("D output = %v, want -20", got)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	p := NewPID(1, 1, 1, 0.1)
+	p.Update(1)
+	p.Update(2)
+	p.Reset()
+	q := NewPID(1, 1, 1, 0.1)
+	if p.Update(3) != q.Update(3) {
+		t.Error("Reset did not restore initial behaviour")
+	}
+}
+
+func TestPIDNonPositiveDtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPID(1, 0, 0, 0)
+}
+
+func TestUpdateClampedSaturates(t *testing.T) {
+	p := NewPID(10, 0, 0, 0.1)
+	if got := p.UpdateClamped(5, -1, 1); got != 1 {
+		t.Errorf("clamped output = %v, want 1", got)
+	}
+	if got := p.UpdateClamped(-5, -1, 1); got != -1 {
+		t.Errorf("clamped output = %v, want -1", got)
+	}
+}
+
+func TestUpdateClampedAntiWindup(t *testing.T) {
+	// With huge sustained error and windup, recovery takes many steps; with
+	// conditional integration the controller recovers immediately once the
+	// error flips sign.
+	p := NewPID(1, 10, 0, 0.1)
+	for i := 0; i < 100; i++ {
+		p.UpdateClamped(10, -1, 1) // saturated high for a long time
+	}
+	if p.integral > 10*0.1+1e-9 {
+		t.Errorf("integral wound up to %v despite saturation", p.integral)
+	}
+	// Error reverses; output should leave the upper rail promptly.
+	out := p.UpdateClamped(-1, -1, 1)
+	if out >= 1 {
+		t.Errorf("output stuck at rail: %v", out)
+	}
+}
+
+func TestPIDClosedLoopConvergence(t *testing.T) {
+	// Scalar plant x' = x + 0.1u tracked to a set point: PI control must
+	// drive the error to ~0.
+	p := NewPID(2, 1, 0, 0.1)
+	x, ref := 0.0, 1.0
+	for i := 0; i < 500; i++ {
+		u := p.UpdateClamped(ref-x, -10, 10)
+		x += 0.1 * u
+	}
+	if math.Abs(x-ref) > 1e-3 {
+		t.Errorf("closed loop settled at %v, want %v", x, ref)
+	}
+}
+
+func TestSaturateVector(t *testing.T) {
+	u := mat.VecOf(-5, 0.5, 9)
+	lo := mat.VecOf(-1, -1, -1)
+	hi := mat.VecOf(1, 1, 1)
+	got := Saturate(u, lo, hi)
+	if !got.Equal(mat.VecOf(-1, 0.5, 1), 0) {
+		t.Errorf("Saturate = %v", got)
+	}
+}
+
+func TestSaturateMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Saturate(mat.VecOf(1), mat.VecOf(0, 0), mat.VecOf(1, 1))
+}
+
+func TestConstantRef(t *testing.T) {
+	r := ConstantRef(4)
+	if r.At(0) != 4 || r.At(1000) != 4 {
+		t.Error("ConstantRef not constant")
+	}
+}
+
+func TestStepRef(t *testing.T) {
+	r := StepRef{Before: 0, After: 2, At0: 10}
+	if r.At(9) != 0 || r.At(10) != 2 || r.At(11) != 2 {
+		t.Errorf("StepRef values: %v %v %v", r.At(9), r.At(10), r.At(11))
+	}
+}
+
+func TestRampRef(t *testing.T) {
+	r := RampRef{Start: 0, End: 10, Steps: 10}
+	if r.At(0) != 0 || r.At(5) != 5 || r.At(10) != 10 || r.At(99) != 10 {
+		t.Errorf("RampRef: %v %v %v %v", r.At(0), r.At(5), r.At(10), r.At(99))
+	}
+	if r.At(-1) != 0 {
+		t.Errorf("RampRef before start = %v", r.At(-1))
+	}
+	degenerate := RampRef{Start: 1, End: 2, Steps: 0}
+	if degenerate.At(0) != 2 {
+		t.Errorf("degenerate ramp = %v", degenerate.At(0))
+	}
+}
+
+func TestSineRef(t *testing.T) {
+	r := SineRef{Center: 1, Amplitude: 2, Period: 4}
+	if math.Abs(r.At(0)-1) > 1e-12 {
+		t.Errorf("sine at 0 = %v", r.At(0))
+	}
+	if math.Abs(r.At(1)-3) > 1e-12 {
+		t.Errorf("sine at quarter period = %v, want 3", r.At(1))
+	}
+	flat := SineRef{Center: 5, Amplitude: 1, Period: 0}
+	if flat.At(3) != 5 {
+		t.Errorf("zero-period sine = %v", flat.At(3))
+	}
+}

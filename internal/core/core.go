@@ -1,0 +1,265 @@
+// Package core assembles the paper's three components (Fig. 1) — the Data
+// Logger, the Detection Deadline Estimator, and the Adaptive Detector — into
+// one per-control-step System. Fixed-window and CUSUM variants share the
+// same logging front-end so the evaluation can compare strategies under
+// identical inputs.
+//
+// Per Step call the adaptive system:
+//
+//  1. logs the new state estimate and its residual (Data Logger, Sec. 5),
+//  2. computes the detection deadline t_d by reachability from the latest
+//     trusted estimate x̂_{t−w_c−1} (Deadline Estimator, Sec. 3),
+//  3. re-sizes the detection window to min(t_d, w_m) and runs the window
+//     rule, with complementary detection on shrink (Adaptive Detector,
+//     Sec. 4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/deadline"
+	"repro/internal/detect"
+	"repro/internal/geom"
+	"repro/internal/logger"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/reach"
+)
+
+// Config collects everything needed to instantiate a detection system for
+// one plant. Fields mirror Table 1.
+type Config struct {
+	Sys       *lti.System
+	Inputs    geom.Box // control input range U
+	Eps       float64  // per-step uncertainty bound ε
+	Safe      geom.Box // safe state set S
+	Tau       mat.Vec  // detection threshold τ
+	MaxWindow int      // maximum detection window w_m
+
+	// InitRadius bounds the estimate noise around the trusted initial state
+	// used for reachability (Sec. 3.3.1). Zero means exact estimates.
+	InitRadius float64
+
+	// DisableComplementary turns off the complementary detection pass
+	// (ablation only).
+	DisableComplementary bool
+
+	// CUSUM parameters (only for NewCUSUM). Zero values derive defaults
+	// from Tau: drift = Tau, threshold = 4·Tau.
+	CUSUMDrift     mat.Vec
+	CUSUMThreshold mat.Vec
+
+	// EWMA parameters (only for NewEWMA). Zero values derive defaults:
+	// λ = 2/(MaxWindow+1) (window-equivalent memory), threshold = Tau.
+	EWMALambda    float64
+	EWMAThreshold mat.Vec
+}
+
+func (c Config) validate() error {
+	if c.Sys == nil {
+		return fmt.Errorf("core: nil system")
+	}
+	n := c.Sys.StateDim()
+	if c.Safe.Dim() != n {
+		return fmt.Errorf("core: safe set dimension %d, want %d", c.Safe.Dim(), n)
+	}
+	if len(c.Tau) != n {
+		return fmt.Errorf("core: threshold dimension %d, want %d", len(c.Tau), n)
+	}
+	if c.MaxWindow < 1 {
+		return fmt.Errorf("core: maximum window %d must be >= 1", c.MaxWindow)
+	}
+	return nil
+}
+
+// Decision is the outcome of one detection step.
+type Decision struct {
+	Step     int  // control step this decision refers to
+	Window   int  // detection window size used
+	Deadline int  // detection deadline t_d computed this step (adaptive only)
+	Alarm    bool // window rule fired on the window ending at Step
+	// Complementary indicates the shrink-time complementary pass fired; the
+	// alarm belongs to ComplementaryStep (< Step).
+	Complementary     bool
+	ComplementaryStep int
+	// Dims attributes the alarm to the residual dimensions that exceeded τ
+	// (window detectors only; nil for CUSUM/EWMA and when silent).
+	Dims []int
+}
+
+// Alarmed reports whether any check fired this step.
+func (d Decision) Alarmed() bool { return d.Alarm || d.Complementary }
+
+type mode int
+
+const (
+	modeAdaptive mode = iota
+	modeFixed
+	modeCUSUM
+	modeEWMA
+)
+
+// System is an assembled detection pipeline.
+type System struct {
+	cfg  Config
+	mode mode
+
+	log      *logger.Logger
+	est      *deadline.Estimator // adaptive only
+	adaptive *detect.Adaptive    // adaptive only
+	fixed    *detect.Fixed       // fixed only
+	cusum    *detect.CUSUM       // cusum only
+	ewma     *detect.EWMA        // ewma only
+}
+
+// New builds the full adaptive detection system of the paper.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	an, err := reach.New(cfg.Sys, cfg.Inputs, cfg.Eps, cfg.MaxWindow)
+	if err != nil {
+		return nil, err
+	}
+	est, err := deadline.New(an, cfg.Safe, cfg.InitRadius)
+	if err != nil {
+		return nil, err
+	}
+	ad := detect.NewAdaptive(cfg.Tau, cfg.MaxWindow)
+	ad.SkipComplementary = cfg.DisableComplementary
+	return &System{
+		cfg:      cfg,
+		mode:     modeAdaptive,
+		log:      logger.New(cfg.Sys, cfg.MaxWindow),
+		est:      est,
+		adaptive: ad,
+	}, nil
+}
+
+// NewFixed builds the fixed-window baseline sharing the same logger
+// front-end. w = 0 defaults to MaxWindow; a negative w selects the
+// degenerate single-sample window (the paper's "window size 0", which
+// checks only the current residual).
+func NewFixed(cfg Config, w int) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case w == 0:
+		w = cfg.MaxWindow
+	case w < 0:
+		w = 0
+	}
+	return &System{
+		cfg:   cfg,
+		mode:  modeFixed,
+		log:   logger.New(cfg.Sys, cfg.MaxWindow),
+		fixed: detect.NewFixed(cfg.Tau, w),
+	}, nil
+}
+
+// NewCUSUM builds the CUSUM baseline sharing the same logger front-end.
+func NewCUSUM(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	drift := cfg.CUSUMDrift
+	if drift == nil {
+		drift = cfg.Tau.Clone()
+	}
+	threshold := cfg.CUSUMThreshold
+	if threshold == nil {
+		threshold = cfg.Tau.Scale(4)
+		for i, v := range threshold {
+			if v <= 0 {
+				return nil, fmt.Errorf("core: derived CUSUM threshold %v in dimension %d not positive", v, i)
+			}
+		}
+	}
+	return &System{
+		cfg:   cfg,
+		mode:  modeCUSUM,
+		log:   logger.New(cfg.Sys, cfg.MaxWindow),
+		cusum: detect.NewCUSUM(threshold, drift, true),
+	}, nil
+}
+
+// NewEWMA builds the EWMA baseline sharing the same logger front-end.
+func NewEWMA(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lambda := cfg.EWMALambda
+	if lambda == 0 {
+		lambda = 2 / float64(cfg.MaxWindow+1)
+	}
+	threshold := cfg.EWMAThreshold
+	if threshold == nil {
+		threshold = cfg.Tau.Clone()
+		for i, v := range threshold {
+			if v <= 0 {
+				return nil, fmt.Errorf("core: derived EWMA threshold %v in dimension %d not positive", v, i)
+			}
+		}
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("core: EWMA lambda %v outside (0, 1]", lambda)
+	}
+	return &System{
+		cfg:  cfg,
+		mode: modeEWMA,
+		log:  logger.New(cfg.Sys, cfg.MaxWindow),
+		ewma: detect.NewEWMA(lambda, threshold, true),
+	}, nil
+}
+
+// Log exposes the Data Logger (read access for traces and experiments).
+func (s *System) Log() *logger.Logger { return s.log }
+
+// Estimator exposes the deadline estimator; nil for non-adaptive systems.
+func (s *System) Estimator() *deadline.Estimator { return s.est }
+
+// Step ingests the state estimate for the next control step together with
+// the input applied over the preceding period, and returns the detection
+// decision for that step.
+func (s *System) Step(estimate, appliedU mat.Vec) Decision {
+	entry := s.log.Observe(estimate, appliedU)
+	dec := Decision{Step: entry.Step, ComplementaryStep: -1}
+
+	switch s.mode {
+	case modeAdaptive:
+		td, _ := s.est.FromLogger(s.log, s.adaptive.CurrentWindow())
+		dec.Deadline = td
+		res := s.adaptive.Step(s.log, td)
+		dec.Window = res.Window
+		dec.Alarm = res.Alarm
+		dec.Complementary = res.Complementary
+		dec.ComplementaryStep = res.ComplementaryStep
+		dec.Dims = res.Dims
+	case modeFixed:
+		res := s.fixed.Step(s.log)
+		dec.Window = res.Window
+		dec.Alarm = res.Alarm
+		dec.Dims = res.Dims
+	case modeCUSUM:
+		dec.Alarm = s.cusum.Update(entry.Residual)
+	case modeEWMA:
+		dec.Alarm = s.ewma.Update(entry.Residual)
+	}
+	return dec
+}
+
+// Reset clears all run state so the system can drive a fresh experiment.
+func (s *System) Reset() {
+	s.log.Reset()
+	switch s.mode {
+	case modeAdaptive:
+		s.adaptive.Reset()
+	case modeFixed:
+		s.fixed.Reset()
+	case modeCUSUM:
+		s.cusum.Reset()
+	case modeEWMA:
+		s.ewma.Reset()
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// Scalar plant x' = x + u (identity-observable), safe |x| <= 10.
+func cfg(t *testing.T) Config {
+	t.Helper()
+	sys, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Sys:       sys,
+		Inputs:    geom.UniformBox(1, -1, 1),
+		Eps:       0,
+		Safe:      geom.UniformBox(1, -10, 10),
+		Tau:       mat.VecOf(0.5),
+		MaxWindow: 8,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := cfg(t)
+
+	bad := good
+	bad.Sys = nil
+	if _, err := New(bad); err == nil {
+		t.Error("nil system accepted")
+	}
+
+	bad = good
+	bad.Safe = geom.UniformBox(2, -1, 1)
+	if _, err := New(bad); err == nil {
+		t.Error("wrong safe dimension accepted")
+	}
+
+	bad = good
+	bad.Tau = mat.VecOf(1, 2)
+	if _, err := New(bad); err == nil {
+		t.Error("wrong tau dimension accepted")
+	}
+
+	bad = good
+	bad.MaxWindow = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero max window accepted")
+	}
+}
+
+func TestAdaptiveSystemDeadlineDrivesWindow(t *testing.T) {
+	sys, err := New(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed estimates far from the boundary: deadline should saturate at w_m.
+	var dec Decision
+	for i := 0; i < 5; i++ {
+		dec = sys.Step(mat.VecOf(0), mat.VecOf(0))
+	}
+	if dec.Deadline != 8 || dec.Window != 8 {
+		t.Errorf("far-field decision = %+v, want deadline/window 8", dec)
+	}
+	// Now drive the estimate near the boundary: trusted estimate catches up
+	// after the window length, and the deadline must tighten.
+	for i := 0; i < 20; i++ {
+		dec = sys.Step(mat.VecOf(9.2), mat.VecOf(0))
+	}
+	if dec.Deadline >= 8 {
+		t.Errorf("near-boundary deadline = %d, want < 8", dec.Deadline)
+	}
+	if dec.Window != dec.Deadline {
+		t.Errorf("window %d should track deadline %d", dec.Window, dec.Deadline)
+	}
+}
+
+func TestAdaptiveSystemAlarm(t *testing.T) {
+	sys, err := New(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	// Jump of 3 with zero input: residual 3 > τ even averaged over w_m.
+	for i := 0; i < 3; i++ {
+		dec := sys.Step(mat.VecOf(float64(3*(i+1))), mat.VecOf(0))
+		if dec.Alarmed() {
+			return
+		}
+	}
+	t.Error("adaptive system never alarmed on large residuals")
+}
+
+func TestFixedSystem(t *testing.T) {
+	sys, err := NewFixed(cfg(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Estimator() != nil {
+		t.Error("fixed system should have no estimator")
+	}
+	dec := sys.Step(mat.VecOf(0), mat.VecOf(0))
+	if dec.Window != 4 || dec.Alarm {
+		t.Errorf("fixed decision = %+v", dec)
+	}
+	// Default window when w <= 0.
+	sysDef, err := NewFixed(cfg(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := sysDef.Step(mat.VecOf(0), mat.VecOf(0)); dec.Window != 8 {
+		t.Errorf("default fixed window = %d, want 8", dec.Window)
+	}
+}
+
+func TestCUSUMSystem(t *testing.T) {
+	sys, err := NewCUSUM(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	alarmed := false
+	for i := 1; i <= 10 && !alarmed; i++ {
+		// Sustained residual 2 per step: CUSUM statistic grows by 2−τ each
+		// step and crosses the 4τ default threshold quickly.
+		dec := sys.Step(mat.VecOf(float64(2*i)), mat.VecOf(0))
+		alarmed = dec.Alarm
+	}
+	if !alarmed {
+		t.Error("CUSUM system never alarmed on sustained shift")
+	}
+}
+
+func TestSystemReset(t *testing.T) {
+	for name, build := range map[string]func() (*System, error){
+		"adaptive": func() (*System, error) { return New(cfg(t)) },
+		"fixed":    func() (*System, error) { return NewFixed(cfg(t), 3) },
+		"cusum":    func() (*System, error) { return NewCUSUM(cfg(t)) },
+	} {
+		sys, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sys.Step(mat.VecOf(1), mat.VecOf(0))
+		sys.Step(mat.VecOf(9), mat.VecOf(0))
+		sys.Reset()
+		if sys.Log().Current() != -1 {
+			t.Errorf("%s: log not cleared", name)
+		}
+		dec := sys.Step(mat.VecOf(1), mat.VecOf(0))
+		if dec.Step != 0 {
+			t.Errorf("%s: post-reset step = %d", name, dec.Step)
+		}
+		if dec.Alarm {
+			t.Errorf("%s: first post-reset step alarmed (residual should be 0)", name)
+		}
+	}
+}
+
+func TestDecisionAlarmed(t *testing.T) {
+	if (Decision{}).Alarmed() {
+		t.Error("zero decision alarmed")
+	}
+	if !(Decision{Alarm: true}).Alarmed() || !(Decision{Complementary: true}).Alarmed() {
+		t.Error("Alarmed misses flags")
+	}
+}
+
+func TestCUSUMDerivedThresholdValidation(t *testing.T) {
+	bad := cfg(t)
+	bad.Tau = mat.VecOf(0) // 4·0 = 0 is not a valid CUSUM threshold
+	if _, err := NewCUSUM(bad); err == nil {
+		t.Error("zero-derived CUSUM threshold accepted")
+	}
+}
+
+func TestAdaptiveComplementaryFlagSurfacing(t *testing.T) {
+	// Craft a shrink that must fire complementary detection: burst hidden in
+	// a big window, then estimates rushed to the boundary so the deadline
+	// collapses.
+	c := cfg(t)
+	c.Tau = mat.VecOf(0.9)
+	sys, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet phase (window grows to 8).
+	val := 0.0
+	for i := 0; i < 10; i++ {
+		sys.Step(mat.VecOf(val), mat.VecOf(0))
+	}
+	// Burst: two +4 jumps (residual 4 each), then quiet at the new level.
+	val = 4
+	sys.Step(mat.VecOf(val), mat.VecOf(0))
+	val = 8
+	sys.Step(mat.VecOf(val), mat.VecOf(0))
+	// Rush toward the boundary so the trusted estimate (once it exits the
+	// window) slams the deadline down and shrinks the window.
+	fired := false
+	val = 9.4
+	for i := 0; i < 10 && !fired; i++ {
+		dec := sys.Step(mat.VecOf(val), mat.VecOf(0))
+		fired = dec.Alarmed()
+	}
+	if !fired {
+		t.Error("system never alarmed across burst + shrink")
+	}
+}
+
+func TestEWMASystem(t *testing.T) {
+	sys, err := NewEWMA(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	alarmed := false
+	v := 0.0
+	for i := 0; i < 40 && !alarmed; i++ {
+		v += 2 // sustained residual 2 > τ: the EWMA must cross eventually
+		alarmed = sys.Step(mat.VecOf(v), mat.VecOf(0)).Alarm
+	}
+	if !alarmed {
+		t.Error("EWMA system never alarmed on sustained shift")
+	}
+	sys.Reset()
+	if dec := sys.Step(mat.VecOf(0), mat.VecOf(0)); dec.Alarm {
+		t.Error("post-reset EWMA alarmed")
+	}
+}
+
+func TestEWMAValidationThroughConfig(t *testing.T) {
+	bad := cfg(t)
+	bad.EWMALambda = 2
+	if _, err := NewEWMA(bad); err == nil {
+		t.Error("lambda > 1 accepted")
+	}
+	bad = cfg(t)
+	bad.Tau = mat.VecOf(0)
+	if _, err := NewEWMA(bad); err == nil {
+		t.Error("zero-derived EWMA threshold accepted")
+	}
+}
+
+func TestDecisionCarriesDims(t *testing.T) {
+	sys, err := New(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	var dec Decision
+	for i := 1; i <= 5 && !dec.Alarmed(); i++ {
+		dec = sys.Step(mat.VecOf(float64(5*i)), mat.VecOf(0))
+	}
+	if !dec.Alarmed() || len(dec.Dims) == 0 || dec.Dims[0] != 0 {
+		t.Errorf("decision dims = %+v", dec)
+	}
+}

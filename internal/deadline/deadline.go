@@ -1,0 +1,59 @@
+// Package deadline implements the Detection Deadline Estimator (Sec. 3.3):
+// each control step it selects the latest trustworthy state estimate
+// x̂_{t−w_c−1} from the Data Logger — the newest sample that has moved
+// outside the detection window and whose detection result is final — and
+// searches forward with the precomputed reachability analysis for the last
+// step t_d at which the over-approximated reachable set is still disjoint
+// from the unsafe set. The search is capped at the maximum detection window
+// w_m (Sec. 4.3), which is also the Analysis horizon.
+package deadline
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/logger"
+	"repro/internal/mat"
+	"repro/internal/reach"
+)
+
+// Estimator computes detection deadlines on the fly.
+type Estimator struct {
+	an         *reach.Analysis
+	safe       geom.Box
+	initRadius float64
+}
+
+// New returns an estimator over the given reachability analysis and safe
+// set. initRadius is the radius of the ball bounding estimate noise around
+// the trusted initial state (Sec. 3.3.1); pass 0 for exact estimates.
+func New(an *reach.Analysis, safe geom.Box, initRadius float64) (*Estimator, error) {
+	if initRadius < 0 {
+		return nil, fmt.Errorf("deadline: negative initial radius %v", initRadius)
+	}
+	return &Estimator{an: an, safe: safe, initRadius: initRadius}, nil
+}
+
+// Safe returns the safe state set.
+func (e *Estimator) Safe() geom.Box { return e.safe }
+
+// MaxDeadline returns the cap on reported deadlines (the analysis horizon,
+// i.e. the maximum detection window w_m).
+func (e *Estimator) MaxDeadline() int { return e.an.Horizon() }
+
+// FromState computes the deadline starting from an explicit trusted state.
+func (e *Estimator) FromState(x0 mat.Vec) int {
+	return e.an.Deadline(x0, e.initRadius, e.safe)
+}
+
+// FromLogger computes the deadline using the logger's latest trustworthy
+// estimate for the given current window size (x̂_{t−w−1}, Sec. 3.3.1). ok is
+// false when the logger cannot supply the trusted sample (e.g. nothing
+// observed yet); callers should then fall back to the maximum deadline.
+func (e *Estimator) FromLogger(log *logger.Logger, window int) (int, bool) {
+	x0, ok := log.TrustedEstimate(window)
+	if !ok {
+		return e.MaxDeadline(), false
+	}
+	return e.FromState(x0), true
+}

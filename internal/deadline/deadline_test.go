@@ -1,0 +1,131 @@
+package deadline
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/logger"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/reach"
+)
+
+// Plant x' = x + u, u ∈ [-1, 1]: reach box from x0 is x0 ± t.
+func fixture(t *testing.T, horizon int) (*lti.System, *reach.Analysis) {
+	t.Helper()
+	sys, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := reach.New(sys, geom.UniformBox(1, -1, 1), 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, an
+}
+
+func TestFromState(t *testing.T) {
+	_, an := fixture(t, 20)
+	est, err := New(an, geom.UniformBox(1, -10, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From x0 = 0, |x| can reach 10 at t = 10; first unsafe 11, deadline 10.
+	if d := est.FromState(mat.VecOf(0)); d != 10 {
+		t.Errorf("deadline = %d, want 10", d)
+	}
+	// From x0 = 8, first unsafe at 3 (reach 8±3 vs bound 10), deadline 2.
+	if d := est.FromState(mat.VecOf(8)); d != 2 {
+		t.Errorf("deadline = %d, want 2", d)
+	}
+}
+
+func TestInitRadiusTightensDeadline(t *testing.T) {
+	_, an := fixture(t, 20)
+	exact, err := New(an, geom.UniformBox(1, -10, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := New(an, geom.UniformBox(1, -10, 10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(5)
+	if dn, de := noisy.FromState(x0), exact.FromState(x0); dn >= de {
+		t.Errorf("noisy deadline %d should be tighter than exact %d", dn, de)
+	}
+}
+
+func TestNegativeRadiusRejected(t *testing.T) {
+	_, an := fixture(t, 5)
+	if _, err := New(an, geom.UniformBox(1, -1, 1), -0.1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestMaxDeadlineIsHorizon(t *testing.T) {
+	_, an := fixture(t, 7)
+	est, _ := New(an, geom.UniformBox(1, -100, 100), 0)
+	if est.MaxDeadline() != 7 {
+		t.Errorf("MaxDeadline = %d", est.MaxDeadline())
+	}
+	// Far from the bound, the deadline clamps at the horizon.
+	if d := est.FromState(mat.VecOf(0)); d != 7 {
+		t.Errorf("clamped deadline = %d, want 7", d)
+	}
+}
+
+func TestFromLoggerUsesTrustedEstimate(t *testing.T) {
+	sys, an := fixture(t, 20)
+	est, _ := New(an, geom.UniformBox(1, -10, 10), 0)
+	log := logger.New(sys, 20)
+	// Steps 0..9 with estimate value = step index (driven by u = 1).
+	for i := 0; i < 10; i++ {
+		log.Observe(mat.VecOf(float64(i)), mat.VecOf(1))
+	}
+	// Current t = 9, window 3 → trusted estimate is x̂_5 = 5.
+	d, ok := est.FromLogger(log, 3)
+	if !ok {
+		t.Fatal("FromLogger not ok")
+	}
+	if want := est.FromState(mat.VecOf(5)); d != want {
+		t.Errorf("FromLogger = %d, want %d (deadline from x̂_5)", d, want)
+	}
+}
+
+func TestFromLoggerEmptyFallsBack(t *testing.T) {
+	sys, an := fixture(t, 12)
+	est, _ := New(an, geom.UniformBox(1, -10, 10), 0)
+	log := logger.New(sys, 12)
+	d, ok := est.FromLogger(log, 3)
+	if ok {
+		t.Error("empty logger should report !ok")
+	}
+	if d != est.MaxDeadline() {
+		t.Errorf("fallback deadline = %d, want max %d", d, est.MaxDeadline())
+	}
+}
+
+func TestSafeAccessor(t *testing.T) {
+	_, an := fixture(t, 5)
+	safe := geom.UniformBox(1, -3, 3)
+	est, _ := New(an, safe, 0)
+	if est.Safe().Interval(0).Hi != 3 {
+		t.Error("Safe accessor wrong")
+	}
+}
+
+// Property: deadlines shrink monotonically as the trusted state approaches
+// the unsafe boundary — the adaptation signal of the whole system.
+func TestDeadlineMonotoneProperty(t *testing.T) {
+	_, an := fixture(t, 40)
+	est, _ := New(an, geom.UniformBox(1, -10, 10), 0.1)
+	prev := est.FromState(mat.VecOf(0))
+	for x := 0.5; x < 10; x += 0.5 {
+		d := est.FromState(mat.VecOf(x))
+		if d > prev {
+			t.Fatalf("deadline grew from %d to %d as x moved to %v", prev, d, x)
+		}
+		prev = d
+	}
+}

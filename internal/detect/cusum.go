@@ -1,0 +1,81 @@
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// CUSUM is the classic cumulative-sum residual detector, included as the
+// reference non-windowed baseline the paper's related work (Urbina et al.,
+// Giraldo et al.) analyses. Per dimension i it maintains
+//
+//	S_i ← max(0, S_i + z_i − drift_i)
+//
+// and raises an alarm when any S_i exceeds its threshold. Unlike the window
+// detector its detection delay is unbounded and state-dependent, which is
+// exactly the property that makes it unable to honor a detection deadline —
+// the ablation benchmarks quantify this.
+type CUSUM struct {
+	threshold mat.Vec
+	drift     mat.Vec
+	s         mat.Vec
+	resetOn   bool
+}
+
+// NewCUSUM returns a CUSUM detector. threshold and drift are per-dimension;
+// resetOnAlarm controls whether the statistic is cleared after an alarm
+// (standard practice, keeps alarms from latching forever).
+func NewCUSUM(threshold, drift mat.Vec, resetOnAlarm bool) *CUSUM {
+	if len(threshold) != len(drift) {
+		panic(fmt.Sprintf("detect: CUSUM threshold/drift dimension mismatch %d vs %d",
+			len(threshold), len(drift)))
+	}
+	for i := range threshold {
+		if threshold[i] <= 0 {
+			panic(fmt.Sprintf("detect: CUSUM threshold %v in dimension %d must be positive", threshold[i], i))
+		}
+		if drift[i] < 0 {
+			panic(fmt.Sprintf("detect: CUSUM drift %v in dimension %d must be non-negative", drift[i], i))
+		}
+	}
+	return &CUSUM{
+		threshold: threshold.Clone(),
+		drift:     drift.Clone(),
+		s:         mat.NewVec(len(threshold)),
+		resetOn:   resetOnAlarm,
+	}
+}
+
+// Update folds one residual vector into the statistic and reports whether an
+// alarm fires.
+func (c *CUSUM) Update(residual mat.Vec) bool {
+	if len(residual) != len(c.s) {
+		panic(fmt.Sprintf("detect: CUSUM residual dimension %d, want %d", len(residual), len(c.s)))
+	}
+	alarm := false
+	for i := range c.s {
+		v := c.s[i] + residual[i] - c.drift[i]
+		if v < 0 {
+			v = 0
+		}
+		c.s[i] = v
+		if v > c.threshold[i] {
+			alarm = true
+		}
+	}
+	if alarm && c.resetOn {
+		c.Reset()
+	}
+	return alarm
+}
+
+// Statistic returns a copy of the current per-dimension statistic.
+func (c *CUSUM) Statistic() mat.Vec { return c.s.Clone() }
+
+// Reset zeroes the statistic.
+func (c *CUSUM) Reset() {
+	for i := range c.s {
+		c.s[i] = 0
+	}
+}

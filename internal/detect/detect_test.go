@@ -1,0 +1,387 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logger"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// identity plant x' = x: residual_t = |est_t − est_{t−1}|.
+func newLog(t *testing.T, wm int) *logger.Logger {
+	t.Helper()
+	sys, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(0)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logger.New(sys, wm)
+}
+
+// feed appends observations so the logged residuals equal rs (the first
+// logged step always has residual 0; rs applies to subsequent steps).
+func feed(l *logger.Logger, rs ...float64) {
+	cur := 0.0
+	if l.Current() < 0 {
+		l.Observe(mat.VecOf(0), mat.VecOf(0))
+	} else {
+		e, _ := l.Entry(l.Current())
+		cur = e.Estimate[0]
+	}
+	for _, r := range rs {
+		cur += r
+		l.Observe(mat.VecOf(cur), mat.VecOf(0))
+	}
+}
+
+func TestWindowAverage(t *testing.T) {
+	w := NewWindow(mat.VecOf(1))
+	avg := w.Average([]mat.Vec{{1}, {2}, {3}})
+	if math.Abs(avg[0]-2) > 1e-12 {
+		t.Errorf("Average = %v, want 2", avg[0])
+	}
+}
+
+func TestWindowExceedsPerDimension(t *testing.T) {
+	w := NewWindow(mat.VecOf(1, 0.1))
+	// Dim 0 below threshold, dim 1 above.
+	if !w.Exceeds([]mat.Vec{{0.5, 0.2}}) {
+		t.Error("should alarm on dim 1")
+	}
+	if w.Exceeds([]mat.Vec{{0.5, 0.05}}) {
+		t.Error("should not alarm below both thresholds")
+	}
+	// Exactly at threshold: no alarm (strict inequality).
+	if w.Exceeds([]mat.Vec{{1, 0.1}}) {
+		t.Error("boundary value should not alarm")
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewWindow(mat.Vec{}) },
+		func() { NewWindow(mat.VecOf(-0.1)) },
+		func() { NewWindow(mat.VecOf(1)).Average(nil) },
+		func() { NewWindow(mat.VecOf(1)).Exceeds([]mat.Vec{{1, 2}}) },
+		func() { NewWindow(mat.VecOf(1)).CheckAt(nil, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCheckAtWindowClamping(t *testing.T) {
+	l := newLog(t, 10)
+	feed(l, 5, 5) // residuals: step0=0, step1=5, step2=5
+	w := NewWindow(mat.VecOf(1))
+	// Window 10 at step 2 clamps to [0,2]: avg = 10/3 > 1 => alarm.
+	alarm, ok := w.CheckAt(l, 2, 10)
+	if !ok || !alarm {
+		t.Errorf("CheckAt clamped = %v ok=%v", alarm, ok)
+	}
+}
+
+func TestCheckAtMissingData(t *testing.T) {
+	l := newLog(t, 2)
+	feed(l, 1, 1, 1, 1, 1, 1, 1, 1) // long run: early entries released
+	w := NewWindow(mat.VecOf(10))
+	if _, ok := w.CheckAt(l, 0, 0); ok {
+		t.Error("released step should report !ok")
+	}
+	if _, ok := w.CheckAt(l, l.Current()+1, 0); ok {
+		t.Error("future step should report !ok")
+	}
+}
+
+func TestAdaptiveBasicAlarm(t *testing.T) {
+	l := newLog(t, 10)
+	a := NewAdaptive(mat.VecOf(0.5), 10)
+	feed(l) // step 0, residual 0
+	res := a.Step(l, 5)
+	if res.Alarm || res.Window != 5 {
+		t.Errorf("clean step: %+v", res)
+	}
+	feed(l, 3) // step 1, residual 3
+	res = a.Step(l, 0)
+	// Window 0: avg = residual at step 1 = 3 > 0.5.
+	if !res.Alarm {
+		t.Errorf("attacked step: %+v", res)
+	}
+}
+
+func TestAdaptiveWindowClampsToDeadline(t *testing.T) {
+	l := newLog(t, 8)
+	a := NewAdaptive(mat.VecOf(1), 8)
+	feed(l)
+	if res := a.Step(l, 100); res.Window != 8 {
+		t.Errorf("window = %d, want clamped 8", res.Window)
+	}
+	feed(l, 0)
+	if res := a.Step(l, -3); res.Window != 0 {
+		t.Errorf("window = %d, want clamped 0", res.Window)
+	}
+}
+
+func TestAdaptiveShrinkTriggersComplementary(t *testing.T) {
+	// A burst of large residuals sits inside a large window where dilution
+	// keeps the average below τ. When the window shrinks, the complementary
+	// pass re-checks the escaped region with the smaller window and fires.
+	l := newLog(t, 20)
+	a := NewAdaptive(mat.VecOf(0.9), 20)
+
+	// Steps 0..5 clean.
+	feed(l, 0, 0, 0, 0, 0)
+	a.Step(l, 20) // w_p = 20
+	// Steps 6,7: residual 4 each (attack burst), then steps 8..12 clean.
+	feed(l, 4, 4, -0, 0, 0, 0, 0)
+	res := a.Step(l, 20) // large window: avg = 8/13 < 0.9 -> no alarm
+	if res.Alarmed() {
+		t.Fatalf("diluted window should not alarm: %+v", res)
+	}
+	// Deadline collapses to 2: window shrinks 20 -> 2. The burst at steps
+	// 6-7 escaped the new window [11,13]; complementary detection must
+	// catch it: e.g. window [5,7] has avg 8/3 > 0.9.
+	feed(l, 0)
+	res = a.Step(l, 2)
+	if !res.Complementary {
+		t.Fatalf("complementary detection missed escaped burst: %+v", res)
+	}
+	if res.ComplementaryStep < 5 || res.ComplementaryStep > 9 {
+		t.Errorf("complementary step = %d, want near the burst", res.ComplementaryStep)
+	}
+}
+
+func TestAdaptiveShrinkWithoutComplementaryWouldMiss(t *testing.T) {
+	// Control experiment for the test above: the primary check alone (same
+	// shrink, no complementary pass) does not alarm — proving the
+	// complementary pass is load-bearing.
+	l := newLog(t, 20)
+	feed(l, 0, 0, 0, 0, 0, 4, 4, 0, 0, 0, 0, 0, 0)
+	w := NewWindow(mat.VecOf(0.9))
+	alarm, ok := w.CheckAt(l, l.Current(), 2)
+	if !ok {
+		t.Fatal("window data missing")
+	}
+	if alarm {
+		t.Error("primary check alone should not alarm (burst escaped)")
+	}
+}
+
+func TestAdaptiveGrowNoComplementary(t *testing.T) {
+	l := newLog(t, 20)
+	a := NewAdaptive(mat.VecOf(0.5), 20)
+	feed(l, 4, 4) // hot residuals
+	a.Step(l, 1)
+	feed(l, 0)
+	res := a.Step(l, 10) // grow 1 -> 10
+	if res.Complementary {
+		t.Errorf("growing window must not run complementary detection: %+v", res)
+	}
+}
+
+func TestAdaptiveFirstStepNoComplementary(t *testing.T) {
+	l := newLog(t, 10)
+	a := NewAdaptive(mat.VecOf(0.5), 10)
+	feed(l, 4, 4, 4)
+	// First ever Step with small window — prevW is unprimed; must not treat
+	// it as a shrink from 0.
+	res := a.Step(l, 1)
+	if res.Complementary {
+		t.Errorf("unprimed detector ran complementary pass: %+v", res)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	l := newLog(t, 10)
+	a := NewAdaptive(mat.VecOf(0.5), 10)
+	feed(l)
+	a.Step(l, 10)
+	a.Reset()
+	if a.CurrentWindow() != 0 {
+		t.Error("Reset did not clear window")
+	}
+	feed(l, 4)
+	res := a.Step(l, 1)
+	if res.Complementary {
+		t.Error("post-reset step ran complementary pass")
+	}
+}
+
+func TestAdaptiveStepBeforeObservationPanics(t *testing.T) {
+	l := newLog(t, 10)
+	a := NewAdaptive(mat.VecOf(1), 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Step(l, 5)
+}
+
+func TestAdaptiveBadMaxWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdaptive(mat.VecOf(1), 0)
+}
+
+func TestFixedDetector(t *testing.T) {
+	l := newLog(t, 10)
+	f := NewFixed(mat.VecOf(1), 3)
+	feed(l, 2, 2, 2, 2)
+	res := f.Step(l)
+	if !res.Alarm || res.Window != 3 {
+		t.Errorf("fixed detector: %+v", res)
+	}
+	if f.WindowSize() != 3 {
+		t.Error("WindowSize")
+	}
+	f.Reset() // no-op, must not panic
+}
+
+func TestFixedDilutionDelaysDetection(t *testing.T) {
+	// The fixed large window needs several attacked samples before the
+	// average crosses τ — the delay/usability trade-off of Sec. 4.1.
+	sysLog := func() *logger.Logger { l := newLog(t, 30); feed(l, 0, 0, 0, 0, 0, 0, 0, 0, 0); return l }
+
+	small := NewFixed(mat.VecOf(0.9), 0)
+	big := NewFixed(mat.VecOf(0.9), 9)
+
+	stepsToAlarm := func(f *Fixed) int {
+		l := sysLog()
+		for k := 1; k <= 20; k++ {
+			feed(l, 4) // sustained attack residual
+			if f.Step(l).Alarm {
+				return k
+			}
+		}
+		return 21
+	}
+	ds, db := stepsToAlarm(small), stepsToAlarm(big)
+	if ds >= db {
+		t.Errorf("small window delay %d should beat big window delay %d", ds, db)
+	}
+	if ds != 1 {
+		t.Errorf("window-0 detector should fire on the first attacked step, took %d", ds)
+	}
+}
+
+func TestFixedStepBeforeObservationPanics(t *testing.T) {
+	l := newLog(t, 10)
+	f := NewFixed(mat.VecOf(1), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Step(l)
+}
+
+func TestFixedNegativeWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFixed(mat.VecOf(1), -1)
+}
+
+func TestResultAlarmed(t *testing.T) {
+	if (Result{}).Alarmed() {
+		t.Error("empty result alarmed")
+	}
+	if !(Result{Alarm: true}).Alarmed() || !(Result{Complementary: true}).Alarmed() {
+		t.Error("Alarmed misses set flags")
+	}
+}
+
+func TestCUSUMDetectsSustainedShift(t *testing.T) {
+	c := NewCUSUM(mat.VecOf(2), mat.VecOf(0.5), false)
+	alarmAt := -1
+	for i := 0; i < 10; i++ {
+		if c.Update(mat.VecOf(1.0)) && alarmAt < 0 {
+			alarmAt = i
+		}
+	}
+	// S grows by 0.5 per step; crosses 2 strictly after step 4.
+	if alarmAt != 4 {
+		t.Errorf("CUSUM alarm at %d, want 4", alarmAt)
+	}
+}
+
+func TestCUSUMDriftSuppressesNoise(t *testing.T) {
+	c := NewCUSUM(mat.VecOf(2), mat.VecOf(0.5), false)
+	for i := 0; i < 1000; i++ {
+		if c.Update(mat.VecOf(0.4)) { // below drift: statistic pinned at 0
+			t.Fatal("CUSUM alarmed on sub-drift residuals")
+		}
+	}
+	if c.Statistic()[0] != 0 {
+		t.Errorf("statistic = %v, want 0", c.Statistic()[0])
+	}
+}
+
+func TestCUSUMResetOnAlarm(t *testing.T) {
+	c := NewCUSUM(mat.VecOf(1), mat.VecOf(0), true)
+	c.Update(mat.VecOf(2)) // alarm, then reset
+	if c.Statistic()[0] != 0 {
+		t.Errorf("statistic after alarm = %v, want 0", c.Statistic()[0])
+	}
+}
+
+func TestCUSUMValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewCUSUM(mat.VecOf(1), mat.VecOf(0, 0), false) },
+		func() { NewCUSUM(mat.VecOf(0), mat.VecOf(0), false) },
+		func() { NewCUSUM(mat.VecOf(1), mat.VecOf(-1), false) },
+		func() { NewCUSUM(mat.VecOf(1), mat.VecOf(0), false).Update(mat.VecOf(1, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExceedingAttribution(t *testing.T) {
+	w := NewWindow(mat.VecOf(1, 0.1, 5))
+	dims := w.Exceeding([]mat.Vec{{2, 0.05, 1}})
+	if len(dims) != 1 || dims[0] != 0 {
+		t.Errorf("dims = %v, want [0]", dims)
+	}
+	dims = w.Exceeding([]mat.Vec{{2, 0.2, 9}})
+	if len(dims) != 3 {
+		t.Errorf("dims = %v, want all three", dims)
+	}
+	if dims := w.Exceeding([]mat.Vec{{0, 0, 0}}); dims != nil {
+		t.Errorf("clean dims = %v, want nil", dims)
+	}
+}
+
+func TestResultCarriesDims(t *testing.T) {
+	l := newLog(t, 10)
+	a := NewAdaptive(mat.VecOf(0.5), 10)
+	feed(l, 3)
+	res := a.Step(l, 0)
+	if !res.Alarm || len(res.Dims) != 1 || res.Dims[0] != 0 {
+		t.Errorf("adaptive dims = %+v", res)
+	}
+	f := NewFixed(mat.VecOf(0.5), 0)
+	resF := f.Step(l)
+	if !resF.Alarm || len(resF.Dims) != 1 {
+		t.Errorf("fixed dims = %+v", resF)
+	}
+}

@@ -1,0 +1,73 @@
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// EWMA is the exponentially-weighted moving-average residual detector —
+// with CUSUM, the other stateful chart the physics-based detection survey
+// the paper cites (Giraldo et al.) analyses. Per dimension it maintains
+//
+//	s_i ← (1−λ) s_i + λ z_i
+//
+// and alarms when any s_i exceeds its threshold. Its effective memory
+// 1/λ plays the role of a window size, but — like CUSUM — it is fixed at
+// design time and cannot follow a varying detection deadline.
+type EWMA struct {
+	lambda    float64
+	threshold mat.Vec
+	s         mat.Vec
+	resetOn   bool
+}
+
+// NewEWMA returns an EWMA detector with smoothing factor λ ∈ (0, 1] and
+// per-dimension alarm thresholds.
+func NewEWMA(lambda float64, threshold mat.Vec, resetOnAlarm bool) *EWMA {
+	if lambda <= 0 || lambda > 1 {
+		panic(fmt.Sprintf("detect: EWMA lambda %v outside (0, 1]", lambda))
+	}
+	if len(threshold) == 0 {
+		panic("detect: empty EWMA threshold")
+	}
+	for i, v := range threshold {
+		if v <= 0 {
+			panic(fmt.Sprintf("detect: EWMA threshold %v in dimension %d must be positive", v, i))
+		}
+	}
+	return &EWMA{
+		lambda:    lambda,
+		threshold: threshold.Clone(),
+		s:         mat.NewVec(len(threshold)),
+		resetOn:   resetOnAlarm,
+	}
+}
+
+// Update folds one residual into the statistic and reports an alarm.
+func (e *EWMA) Update(residual mat.Vec) bool {
+	if len(residual) != len(e.s) {
+		panic(fmt.Sprintf("detect: EWMA residual dimension %d, want %d", len(residual), len(e.s)))
+	}
+	alarm := false
+	for i := range e.s {
+		e.s[i] = (1-e.lambda)*e.s[i] + e.lambda*residual[i]
+		if e.s[i] > e.threshold[i] {
+			alarm = true
+		}
+	}
+	if alarm && e.resetOn {
+		e.Reset()
+	}
+	return alarm
+}
+
+// Statistic returns a copy of the smoothed per-dimension statistic.
+func (e *EWMA) Statistic() mat.Vec { return e.s.Clone() }
+
+// Reset zeroes the statistic.
+func (e *EWMA) Reset() {
+	for i := range e.s {
+		e.s[i] = 0
+	}
+}

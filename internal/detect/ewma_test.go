@@ -1,0 +1,71 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestEWMAConvergesToSustainedLevel(t *testing.T) {
+	e := NewEWMA(0.2, mat.VecOf(0.9), false)
+	alarmAt := -1
+	for i := 0; i < 50; i++ {
+		if e.Update(mat.VecOf(1)) && alarmAt < 0 {
+			alarmAt = i
+		}
+	}
+	// s approaches 1; crosses 0.9 when 1−0.8^{k+1} > 0.9, i.e. k+1 > 10.3.
+	if alarmAt != 10 {
+		t.Errorf("alarm at %d, want 10", alarmAt)
+	}
+	if math.Abs(e.Statistic()[0]-1) > 1e-3 {
+		t.Errorf("statistic = %v, want ~1", e.Statistic()[0])
+	}
+}
+
+func TestEWMASmoothsTransients(t *testing.T) {
+	// A single spike of 3 with λ = 0.1 only moves the statistic to 0.3:
+	// below a 0.5 threshold, unlike a window-0 comparison.
+	e := NewEWMA(0.1, mat.VecOf(0.5), false)
+	if e.Update(mat.VecOf(3)) {
+		t.Error("single spike should be smoothed away")
+	}
+	if math.Abs(e.Statistic()[0]-0.3) > 1e-12 {
+		t.Errorf("statistic = %v, want 0.3", e.Statistic()[0])
+	}
+}
+
+func TestEWMALambdaOneIsInstantaneous(t *testing.T) {
+	e := NewEWMA(1, mat.VecOf(0.5), false)
+	if !e.Update(mat.VecOf(0.6)) {
+		t.Error("λ=1 should behave like a window-0 detector")
+	}
+}
+
+func TestEWMAResetOnAlarm(t *testing.T) {
+	e := NewEWMA(1, mat.VecOf(0.5), true)
+	e.Update(mat.VecOf(1))
+	if e.Statistic()[0] != 0 {
+		t.Errorf("statistic after alarm = %v, want 0", e.Statistic()[0])
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewEWMA(0, mat.VecOf(1), false) },
+		func() { NewEWMA(1.1, mat.VecOf(1), false) },
+		func() { NewEWMA(0.5, mat.Vec{}, false) },
+		func() { NewEWMA(0.5, mat.VecOf(0), false) },
+		func() { NewEWMA(0.5, mat.VecOf(1), false).Update(mat.VecOf(1, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

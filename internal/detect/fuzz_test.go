@@ -1,0 +1,196 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/logger"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+// These tests fuzz the adaptive window-adjustment protocol (Sec. 4.2) with
+// random deadline schedules and adversarially-placed anomalies, checking
+// the protocol's load-bearing guarantee: "there will be no data that can
+// escape from the current shorter detection window without checking".
+//
+// Construction: one anomalous residual of magnitude M tuned to be visible
+// only to windows of size <= wSmall (diluted below τ by anything larger).
+// An oracle derived from the protocol's specification decides whether the
+// schedule ever checks the anomaly with a small-enough window:
+//
+//   - primary check at step t with window w covers steps [t−w, t];
+//   - on a shrink from w_p to w_c at step t, the complementary pass covers
+//     steps [t−w_p−1, t−1] with window w_c.
+//
+// Whenever the oracle says "covered at visible size", the detector MUST
+// have alarmed. (The converse is not asserted: a window of size w > wSmall
+// ending exactly at the burst can still alarm marginally.)
+
+const (
+	fuzzWM     = 16
+	fuzzTau    = 1.0
+	fuzzSmall  = 3 // burst visible only to windows of size <= fuzzSmall
+	fuzzSteps  = 120
+	fuzzMagTau = 1.5 // M = τ (fuzzSmall + fuzzMagTau)
+)
+
+// fuzzRun drives one schedule; it reports whether any alarm fired and
+// whether the oracle says the burst must have been caught.
+func fuzzRun(t *testing.T, seed uint64, skipComplementary bool) (fired, mustCatch bool) {
+	t.Helper()
+	sys, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(0)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.NewSource(seed)
+	log := logger.New(sys, fuzzWM)
+	a := NewAdaptive(mat.VecOf(fuzzTau), fuzzWM)
+	a.SkipComplementary = skipComplementary
+
+	burstStep := 20 + src.Intn(40)
+	m := fuzzTau * (fuzzSmall + fuzzMagTau)
+
+	cur := 0.0
+	window := fuzzWM
+	prevW := -1
+	for tt := 0; tt < fuzzSteps; tt++ {
+		delta := 0.0
+		if tt == burstStep {
+			delta = m
+		}
+		cur += delta
+		log.Observe(mat.VecOf(cur), mat.VecOf(0))
+
+		// Random-walk deadline schedule; free to collapse any time.
+		window += src.Intn(7) - 3
+		if window < 0 {
+			window = 0
+		}
+		if window > fuzzWM {
+			window = fuzzWM
+		}
+
+		// Oracle: does this step's checking cover the burst at visible size?
+		if window <= fuzzSmall && tt-window <= burstStep && burstStep <= tt {
+			mustCatch = true // primary check sees it undiluted enough
+		}
+		if !skipComplementary && prevW >= 0 && window < prevW && window <= fuzzSmall &&
+			tt-prevW-1 <= burstStep && burstStep <= tt-1 {
+			mustCatch = true // complementary pass re-checks the escape region
+		}
+
+		res := a.Step(log, window)
+		if res.Alarmed() {
+			fired = true
+		}
+		prevW = window
+	}
+	return fired, mustCatch
+}
+
+func TestFuzzNoEscapeWithComplementary(t *testing.T) {
+	coveredTrials := 0
+	for seed := uint64(0); seed < 400; seed++ {
+		fired, mustCatch := fuzzRun(t, seed, false)
+		if !mustCatch {
+			continue
+		}
+		coveredTrials++
+		if !fired {
+			t.Errorf("seed %d: oracle-covered burst escaped detection", seed)
+		}
+	}
+	if coveredTrials < 50 {
+		t.Fatalf("only %d trials exercised coverage; fuzz schedule too tame", coveredTrials)
+	}
+}
+
+func TestFuzzSkipVariantHonorsItsOwnOracle(t *testing.T) {
+	// Even without the complementary pass, a primary check at visible size
+	// must fire — the ablation removes re-checks, not the basic rule.
+	covered := 0
+	for seed := uint64(0); seed < 400; seed++ {
+		fired, mustCatch := fuzzRun(t, seed, true)
+		if !mustCatch {
+			continue
+		}
+		covered++
+		if !fired {
+			t.Errorf("seed %d: primary-covered burst escaped the skip variant", seed)
+		}
+	}
+	if covered < 20 {
+		t.Fatalf("only %d primary-covered trials; schedule too tame", covered)
+	}
+}
+
+func TestFuzzComplementaryDominatesSkipVariant(t *testing.T) {
+	// The skip variant must never alarm on a schedule where the full
+	// protocol stays silent (the complementary pass only ADDS checks), and
+	// there must exist schedules where only the full protocol fires.
+	onlyComplementary := 0
+	for seed := uint64(0); seed < 400; seed++ {
+		full, _ := fuzzRun(t, seed, false)
+		skip, _ := fuzzRun(t, seed, true)
+		if skip && !full {
+			t.Errorf("seed %d: skip variant alarmed but full protocol did not", seed)
+		}
+		if full && !skip {
+			onlyComplementary++
+		}
+	}
+	if onlyComplementary == 0 {
+		t.Error("fuzz corpus never exhibited a complementary-only detection; ablation has no teeth")
+	}
+}
+
+func TestFuzzCleanRunsNeverAlarm(t *testing.T) {
+	// Zero residuals under arbitrary window schedules must never alarm —
+	// neither the primary nor the complementary pass can fire on silence.
+	sys, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(0)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 100; seed++ {
+		src := noise.NewSource(seed)
+		log := logger.New(sys, 12)
+		a := NewAdaptive(mat.VecOf(0.1), 12)
+		for tt := 0; tt < 80; tt++ {
+			log.Observe(mat.VecOf(5), mat.VecOf(0)) // constant: residual 0
+			if res := a.Step(log, src.Intn(13)); res.Alarmed() {
+				t.Fatalf("seed %d step %d: alarm on zero residuals: %+v", seed, tt, res)
+			}
+		}
+	}
+}
+
+func TestFuzzWindowNeverExceedsBounds(t *testing.T) {
+	// The used window must always be clamp(deadline, 0, w_m) regardless of
+	// the schedule.
+	sys, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(0)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wm = 9
+	for seed := uint64(0); seed < 50; seed++ {
+		src := noise.NewSource(seed)
+		log := logger.New(sys, wm)
+		a := NewAdaptive(mat.VecOf(1), wm)
+		for tt := 0; tt < 60; tt++ {
+			log.Observe(mat.VecOf(0), mat.VecOf(0))
+			deadline := src.Intn(25) - 5 // includes out-of-range values
+			res := a.Step(log, deadline)
+			want := deadline
+			if want < 0 {
+				want = 0
+			}
+			if want > wm {
+				want = wm
+			}
+			if res.Window != want {
+				t.Fatalf("seed %d: window %d for deadline %d, want %d", seed, res.Window, deadline, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package estim
+
+import (
+	"testing"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+func BenchmarkObserverStep(b *testing.B) {
+	sys := lti.MustNew(
+		mat.FromRows([][]float64{{1, 0.05}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 0.05)),
+		mat.FromRows([][]float64{{1, 0}}),
+		0.05,
+	)
+	obs, err := NewObserver(sys, mat.Identity(2).Scale(1e-4), mat.Diag(1e-2), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := mat.VecOf(1)
+	u := mat.VecOf(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.Step(y, u)
+	}
+}
+
+func BenchmarkDARE(b *testing.B) {
+	sys := lti.MustNew(
+		mat.FromRows([][]float64{{1, 0.05}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 0.05)),
+		mat.FromRows([][]float64{{1, 0}}),
+		0.05,
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DARE(sys.A, sys.C, mat.Identity(2).Scale(1e-4), mat.Diag(1e-2), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package estim provides the state-estimation substrate for partially
+// observed plants. The paper assumes full observability for ease of
+// presentation (Sec. 2: "all n dimensions can be estimated from sensor
+// measurements") — this package supplies the estimator that assumption
+// stands on when the sensors deliver y = C x instead of x itself: a
+// steady-state Kalman filter (equivalently, an optimally-gained Luenberger
+// observer)
+//
+//	x̂_{t+1} = A x̂_t + B u_t + L (y_t − C x̂_t)
+//
+// whose gain L solves the discrete algebraic Riccati equation by
+// fixed-point iteration. The observer's output feeds the Data Logger
+// exactly like a direct state measurement would, so the detection pipeline
+// is unchanged.
+package estim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// ErrNoConvergence is returned when the Riccati iteration fails to settle
+// within the iteration budget (typically an undetectable (A, C) pair).
+var ErrNoConvergence = errors.New("estim: Riccati iteration did not converge")
+
+// DARE solves P = A P Aᵀ + Q − A P Cᵀ (C P Cᵀ + R)⁻¹ C P Aᵀ by fixed-point
+// iteration from P₀ = Q, returning the steady-state prediction covariance.
+// Q (n×n) is the process-noise covariance, R (p×p) the measurement-noise
+// covariance; R must be invertible.
+func DARE(a, c, q, r *mat.Dense, maxIter int, tol float64) (*mat.Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("estim: A must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	if c.Cols() != n {
+		return nil, fmt.Errorf("estim: C cols %d != %d", c.Cols(), n)
+	}
+	p0 := c.Rows()
+	if q.Rows() != n || q.Cols() != n {
+		return nil, fmt.Errorf("estim: Q must be %dx%d", n, n)
+	}
+	if r.Rows() != p0 || r.Cols() != p0 {
+		return nil, fmt.Errorf("estim: R must be %dx%d", p0, p0)
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+
+	p := q.Clone()
+	at := a.T()
+	ct := c.T()
+	for iter := 0; iter < maxIter; iter++ {
+		// S = C P Cᵀ + R; K = A P Cᵀ S⁻¹.
+		s := c.Mul(p).Mul(ct).Add(r)
+		sInv, err := mat.Inverse(s)
+		if err != nil {
+			return nil, fmt.Errorf("estim: innovation covariance singular: %w", err)
+		}
+		apct := a.Mul(p).Mul(ct)
+		next := a.Mul(p).Mul(at).Add(q).Sub(apct.Mul(sInv).Mul(apct.T()))
+		diff := next.Sub(p).NormInf()
+		p = next
+		if diff < tol*(1+p.NormInf()) {
+			return p, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// SteadyStateGain returns the steady-state Kalman (observer) gain
+// L = P Cᵀ (C P Cᵀ + R)⁻¹ for the filtered update form.
+func SteadyStateGain(a, c, q, r *mat.Dense) (*mat.Dense, error) {
+	p, err := DARE(a, c, q, r, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	ct := c.T()
+	s := c.Mul(p).Mul(ct).Add(r)
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return nil, fmt.Errorf("estim: innovation covariance singular: %w", err)
+	}
+	return p.Mul(ct).Mul(sInv), nil
+}
+
+// Observer is a steady-state Kalman filter / Luenberger observer over a
+// discrete LTI system. It is not safe for concurrent use.
+type Observer struct {
+	sys  *lti.System
+	gain *mat.Dense
+	xhat mat.Vec
+}
+
+// NewObserver builds an observer for sys with process-noise covariance q
+// and measurement-noise covariance r, starting from initial estimate x0
+// (nil = zero).
+func NewObserver(sys *lti.System, q, r *mat.Dense, x0 mat.Vec) (*Observer, error) {
+	gain, err := SteadyStateGain(sys.A, sys.C, q, r)
+	if err != nil {
+		return nil, err
+	}
+	xh := mat.NewVec(sys.StateDim())
+	if x0 != nil {
+		if len(x0) != sys.StateDim() {
+			return nil, fmt.Errorf("estim: x0 dimension %d, want %d", len(x0), sys.StateDim())
+		}
+		xh = x0.Clone()
+	}
+	return &Observer{sys: sys, gain: gain, xhat: xh}, nil
+}
+
+// NewObserverWithGain builds an observer with an explicit gain L (n×p),
+// bypassing the Riccati design — useful for hand-placed Luenberger poles.
+func NewObserverWithGain(sys *lti.System, gain *mat.Dense, x0 mat.Vec) (*Observer, error) {
+	if gain.Rows() != sys.StateDim() || gain.Cols() != sys.OutputDim() {
+		return nil, fmt.Errorf("estim: gain shape %dx%d, want %dx%d",
+			gain.Rows(), gain.Cols(), sys.StateDim(), sys.OutputDim())
+	}
+	xh := mat.NewVec(sys.StateDim())
+	if x0 != nil {
+		if len(x0) != sys.StateDim() {
+			return nil, fmt.Errorf("estim: x0 dimension %d, want %d", len(x0), sys.StateDim())
+		}
+		xh = x0.Clone()
+	}
+	return &Observer{sys: sys, gain: gain.Clone(), xhat: xh}, nil
+}
+
+// Gain returns a copy of the observer gain L.
+func (o *Observer) Gain() *mat.Dense { return o.gain.Clone() }
+
+// Estimate returns a copy of the current state estimate x̂.
+func (o *Observer) Estimate() mat.Vec { return o.xhat.Clone() }
+
+// Step folds in the measurement y_t (taken at the current estimate's time)
+// and the input u_t applied over the next period, advancing the estimate:
+//
+//	x̂⁺_t   = x̂_t + L (y_t − C x̂_t)   (measurement update)
+//	x̂_{t+1} = A x̂⁺_t + B u_t         (time update)
+//
+// It returns the corrected (filtered) estimate x̂⁺_t — this is the value to
+// hand to the Data Logger as the step-t state estimate.
+func (o *Observer) Step(y mat.Vec, u mat.Vec) mat.Vec {
+	if len(y) != o.sys.OutputDim() {
+		panic(fmt.Sprintf("estim: measurement dimension %d, want %d", len(y), o.sys.OutputDim()))
+	}
+	innovation := y.Sub(o.sys.Output(o.xhat))
+	corrected := o.xhat.Add(o.gain.MulVec(innovation))
+	if u == nil {
+		u = mat.NewVec(o.sys.InputDim())
+	}
+	o.xhat = o.sys.Step(corrected, u, nil)
+	return corrected
+}
+
+// Reset restores the estimate to x0 (nil = zero).
+func (o *Observer) Reset(x0 mat.Vec) {
+	if x0 == nil {
+		o.xhat = mat.NewVec(o.sys.StateDim())
+		return
+	}
+	if len(x0) != o.sys.StateDim() {
+		panic(fmt.Sprintf("estim: x0 dimension %d, want %d", len(x0), o.sys.StateDim()))
+	}
+	o.xhat = x0.Clone()
+}

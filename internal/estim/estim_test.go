@@ -1,0 +1,215 @@
+package estim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/noise"
+)
+
+// Scalar DARE has a closed form we can check against:
+// p = a²p + q − a²p²/(p + r)  (c = 1).
+func TestDAREScalarClosedForm(t *testing.T) {
+	a, q, r := 0.9, 0.04, 0.25
+	p, err := DARE(mat.Diag(a), mat.Diag(1), mat.Diag(q), mat.Diag(r), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.At(0, 0)
+	// Verify the fixed-point equation directly.
+	rhs := a*a*got + q - a*a*got*got/(got+r)
+	if math.Abs(got-rhs) > 1e-9 {
+		t.Errorf("DARE residual: p=%v rhs=%v", got, rhs)
+	}
+	if got <= 0 {
+		t.Errorf("covariance %v must be positive", got)
+	}
+}
+
+func TestDAREValidation(t *testing.T) {
+	a := mat.Identity(2)
+	c := mat.FromRows([][]float64{{1, 0}})
+	q := mat.Identity(2)
+	r := mat.Diag(1)
+	if _, err := DARE(mat.NewDense(2, 3), c, q, r, 0, 0); err == nil {
+		t.Error("non-square A accepted")
+	}
+	if _, err := DARE(a, mat.NewDense(1, 3), q, r, 0, 0); err == nil {
+		t.Error("mismatched C accepted")
+	}
+	if _, err := DARE(a, c, mat.Identity(3), r, 0, 0); err == nil {
+		t.Error("mismatched Q accepted")
+	}
+	if _, err := DARE(a, c, q, mat.Identity(2), 0, 0); err == nil {
+		t.Error("mismatched R accepted")
+	}
+}
+
+func TestDARENoConvergenceUnstableUnobservable(t *testing.T) {
+	// Unstable mode invisible to C: the covariance diverges.
+	a := mat.FromRows([][]float64{{2, 0}, {0, 0.5}})
+	c := mat.FromRows([][]float64{{0, 1}}) // sees only the stable mode
+	_, err := DARE(a, c, mat.Identity(2).Scale(0.01), mat.Diag(0.1), 500, 1e-12)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestSteadyStateGainStabilizesErrorDynamics(t *testing.T) {
+	// Observer error evolves as e' = (A − L C A?) — for the filtered form
+	// used here, e' = (A − A L C)(...) ; rather than algebra, check the
+	// spectral effect numerically: iterate the error map and require decay.
+	sys := lti.MustNew(
+		mat.FromRows([][]float64{{1, 0.1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 0.1)),
+		mat.FromRows([][]float64{{1, 0}}),
+		0.1,
+	)
+	gain, err := SteadyStateGain(sys.A, sys.C, mat.Identity(2).Scale(1e-3), mat.Diag(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := NewObserverWithGain(sys, gain, mat.VecOf(5, -3)) // wrong initial estimate
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True system starts at zero, zero input, no noise: the observer must
+	// converge to the true (zero) state.
+	x := mat.NewVec(2)
+	var lastErr float64
+	for i := 0; i < 400; i++ {
+		y := sys.Output(x)
+		est := obs.Step(y, mat.VecOf(0))
+		lastErr = est.Sub(x).Norm2()
+	}
+	if lastErr > 1e-3 {
+		t.Errorf("observer error after 400 steps = %v", lastErr)
+	}
+}
+
+func TestObserverTracksDrivenSystemUnderNoise(t *testing.T) {
+	// The double integrator driven by a sine-ish input with process and
+	// measurement noise: the steady-state filter error must stay bounded
+	// and small relative to the raw measurement noise.
+	sys := lti.MustNew(
+		mat.FromRows([][]float64{{1, 0.05}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 0.05)),
+		mat.FromRows([][]float64{{1, 0}}),
+		0.05,
+	)
+	qv, rv := 1e-4, 4e-2
+	obs, err := NewObserver(sys, mat.Identity(2).Scale(qv), mat.Diag(rv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.NewSource(5)
+	x := mat.NewVec(2)
+	sumSq, count := 0.0, 0
+	for i := 0; i < 2000; i++ {
+		u := mat.VecOf(math.Sin(float64(i) / 30))
+		y := sys.Output(x)
+		y[0] += src.Uniform(-0.3, 0.3) // measurement noise, std ~0.17
+		est := obs.Step(y, u)
+		if i > 200 { // skip transient
+			e := est.Sub(x).Norm2()
+			sumSq += e * e
+			count++
+		}
+		w := mat.VecOf(src.Uniform(-0.01, 0.01), src.Uniform(-0.01, 0.01))
+		x = sys.Step(x, u, w)
+	}
+	rmse := math.Sqrt(sumSq / float64(count))
+	if rmse > 0.17 {
+		t.Errorf("filter RMSE %v not better than raw measurement noise", rmse)
+	}
+}
+
+func TestObserverOnTestbedCarOutputModel(t *testing.T) {
+	// The identified car model measures y = 384.34 x; the observer must
+	// recover the internal state from speed readings.
+	m := models.TestbedCar()
+	obs, err := NewObserver(m.Sys, mat.Diag(1e-10), mat.Diag(1e-4), m.X0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.X0.Clone()
+	u := mat.VecOf(2.1)
+	var est mat.Vec
+	for i := 0; i < 100; i++ {
+		y := m.Sys.Output(x)
+		est = obs.Step(y, u)
+		x = m.Sys.Step(x, u, nil)
+	}
+	if est.Sub(x).Norm2() > 1e-3*x.Norm2()+1e-9 {
+		t.Errorf("car observer error %v too large (x=%v est=%v)", est.Sub(x).Norm2(), x, est)
+	}
+}
+
+func TestObserverValidation(t *testing.T) {
+	sys := lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if _, err := NewObserver(sys, mat.Diag(1), mat.Diag(1), mat.VecOf(1, 2)); err == nil {
+		t.Error("wrong x0 dimension accepted")
+	}
+	if _, err := NewObserverWithGain(sys, mat.NewDense(2, 1), nil); err == nil {
+		t.Error("wrong gain shape accepted")
+	}
+	if _, err := NewObserverWithGain(sys, mat.Diag(0.5), mat.VecOf(1, 2)); err == nil {
+		t.Error("wrong x0 dimension accepted (explicit gain)")
+	}
+}
+
+func TestObserverStepPanicsOnBadMeasurement(t *testing.T) {
+	sys := lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 1)
+	obs, err := NewObserverWithGain(sys, mat.Diag(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	obs.Step(mat.VecOf(1, 2), nil)
+}
+
+func TestObserverResetAndAccessors(t *testing.T) {
+	sys := lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 1)
+	obs, err := NewObserverWithGain(sys, mat.Diag(0.5), mat.VecOf(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Estimate()[0] != 3 {
+		t.Error("initial estimate wrong")
+	}
+	obs.Step(mat.VecOf(1), mat.VecOf(0))
+	obs.Reset(nil)
+	if obs.Estimate()[0] != 0 {
+		t.Error("Reset(nil) should zero the estimate")
+	}
+	obs.Reset(mat.VecOf(7))
+	if obs.Estimate()[0] != 7 {
+		t.Error("Reset(x0) wrong")
+	}
+	g := obs.Gain()
+	g.Set(0, 0, 99)
+	if obs.gain.At(0, 0) == 99 {
+		t.Error("Gain() aliased internal state")
+	}
+}
+
+func TestObserverNilInputTreatedAsZero(t *testing.T) {
+	sys := lti.MustNew(mat.Diag(1), mat.ColVec(mat.VecOf(1)), nil, 1)
+	obs, err := NewObserverWithGain(sys, mat.Diag(1), mat.VecOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With gain 1, corrected = y; next = A·y + B·0 = y.
+	obs.Step(mat.VecOf(5), nil)
+	if obs.Estimate()[0] != 5 {
+		t.Errorf("estimate = %v, want 5", obs.Estimate()[0])
+	}
+}

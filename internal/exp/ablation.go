@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// AblationRow compares a design variant against the full system on one
+// plant/attack pair.
+type AblationRow struct {
+	Case      string
+	Variant   string
+	FP        int
+	FN        int
+	DM        int
+	MeanDelay float64
+}
+
+// AblationComplementary quantifies the complementary detection pass
+// (Sec. 4.2.1): the same adaptive campaign with and without it. Without the
+// pass, samples escaping a shrinking window go unchecked, so detection
+// comes later (or never) on attacks hidden inside a previously-large
+// window.
+func AblationComplementary(runs int, seed uint64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range models.All() {
+		for _, attackName := range []string{"bias", "replay"} {
+			for _, disabled := range []bool{false, true} {
+				att, err := sim.BuildAttack(m, attackName)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Campaign(sim.Config{
+					Model:                m,
+					Attack:               att,
+					Strategy:             sim.Adaptive,
+					Seed:                 seed,
+					DisableComplementary: disabled,
+				}, runs)
+				if err != nil {
+					return nil, err
+				}
+				variant := "with complementary"
+				if disabled {
+					variant = "without complementary"
+				}
+				rows = append(rows, AblationRow{
+					Case:      m.Name + "/" + attackName,
+					Variant:   variant,
+					FP:        res.FPExperiments,
+					FN:        res.FNExperiments,
+					DM:        res.DeadlineMisses,
+					MeanDelay: res.MeanDelay,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// AblationMaxWindow sweeps the maximum detection window w_m on the
+// aircraft-pitch plant under the bias attack, showing its effect on FP
+// experiments and deadline misses (Sec. 4.3's design knob). Aircraft pitch
+// operates with reachability deadlines around 15-20 steps, so the cap binds
+// for small w_m (forcing shorter, noisier windows) and is inactive for
+// large w_m.
+func AblationMaxWindow(runs int, seed uint64, windows []int) ([]AblationRow, error) {
+	if len(windows) == 0 {
+		windows = []int{5, 10, 20, 40, 80}
+	}
+	base := models.AircraftPitch()
+	var rows []AblationRow
+	for _, wm := range windows {
+		m := models.AircraftPitch()
+		m.MaxWindow = wm
+		att, err := sim.BuildAttack(m, "bias")
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Campaign(sim.Config{
+			Model:    m,
+			Attack:   att,
+			Strategy: sim.Adaptive,
+			Seed:     seed,
+		}, runs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Case:      fmt.Sprintf("%s/bias", base.Name),
+			Variant:   fmt.Sprintf("w_m = %d", wm),
+			FP:        res.FPExperiments,
+			FN:        res.FNExperiments,
+			DM:        res.DeadlineMisses,
+			MeanDelay: res.MeanDelay,
+		})
+	}
+	return rows, nil
+}
+
+// AblationCUSUM compares the adaptive window detector against the classic
+// stateful-chart baselines (CUSUM and EWMA) on every plant's bias
+// scenario.
+func AblationCUSUM(runs int, seed uint64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range models.All() {
+		for _, strat := range []sim.Strategy{sim.Adaptive, sim.CUSUMBaseline, sim.EWMABaseline} {
+			att, err := sim.BuildAttack(m, "bias")
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Campaign(sim.Config{
+				Model:    m,
+				Attack:   att,
+				Strategy: strat,
+				Seed:     seed,
+			}, runs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Case:      m.Name + "/bias",
+				Variant:   strat.String(),
+				FP:        res.FPExperiments,
+				FN:        res.FNExperiments,
+				DM:        res.DeadlineMisses,
+				MeanDelay: res.MeanDelay,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblation formats ablation rows.
+func RenderAblation(title string, rows []AblationRow, runs int) string {
+	headers := []string{"case", "variant", "#FP", "#FN", "#DM", "delay"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		delay := "-"
+		if r.MeanDelay >= 0 {
+			delay = fmt.Sprintf("%.1f", r.MeanDelay)
+		}
+		out = append(out, []string{
+			r.Case, r.Variant,
+			fmt.Sprintf("%d", r.FP), fmt.Sprintf("%d", r.FN), fmt.Sprintf("%d", r.DM), delay,
+		})
+	}
+	return fmt.Sprintf("%s (out of %d runs per case)\n", title, runs) + RenderTable(headers, out)
+}

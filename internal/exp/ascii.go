@@ -1,0 +1,126 @@
+// Package exp contains the drivers that regenerate every table and figure
+// of the paper's evaluation (Sec. 6) plus the ablation studies listed in
+// DESIGN.md, and plain-text renderers for their output. Each experiment is
+// a pure function of (configuration, seed) so the cmd/awdexp tool and the
+// benchmark harness share the same code paths.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderTable renders rows as a fixed-width text table with a header rule.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)) + "\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of y-values sampled at consecutive x steps.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// RenderChart renders one or more series as a fixed-height ASCII line chart
+// with shared axes — enough to eyeball the shape of a paper figure in a
+// terminal. Markers: each series uses successive glyphs (*, o, +, x, #).
+func RenderChart(title string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || math.IsInf(minY, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for x, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			col := x * (width - 1) / max(maxLen-1, 1)
+			rowF := (v - minY) / (maxY - minY)
+			row := height - 1 - int(math.Round(rowF*float64(height-1)))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%11s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "%11s └%s\n", "", strings.Repeat("─", width))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	b.WriteString("             " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters so the regenerated artifacts can feed external plotting
+// tools. One emitter per experiment type; all stream through encoding/csv.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table2CSV streams Table 2 (or extended-scenario) rows.
+func Table2CSV(rows []Table2Row, w io.Writer) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator, r.Attack, r.Strategy,
+			strconv.Itoa(r.FP), strconv.Itoa(r.DM), strconv.Itoa(r.FN),
+			strconv.FormatFloat(r.MeanDelay, 'g', -1, 64),
+		})
+	}
+	return writeCSV(w, []string{"simulator", "attack", "strategy", "fp", "dm", "fn", "mean_delay"}, out)
+}
+
+// Fig7CSV streams the window-profiling points.
+func Fig7CSV(points []Fig7Point, w io.Writer) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{
+			strconv.Itoa(p.Window), strconv.Itoa(p.FP), strconv.Itoa(p.FN),
+		})
+	}
+	return writeCSV(w, []string{"window", "fp", "fn"}, out)
+}
+
+// ThresholdCSV streams the τ-profiling points.
+func ThresholdCSV(points []ThresholdPoint, w io.Writer) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{
+			strconv.FormatFloat(p.Multiplier, 'g', -1, 64),
+			strconv.Itoa(p.FP), strconv.Itoa(p.FN),
+		})
+	}
+	return writeCSV(w, []string{"tau_multiplier", "fp", "fn"}, out)
+}
+
+// AblationCSV streams ablation rows.
+func AblationCSV(rows []AblationRow, w io.Writer) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case, r.Variant,
+			strconv.Itoa(r.FP), strconv.Itoa(r.FN), strconv.Itoa(r.DM),
+			strconv.FormatFloat(r.MeanDelay, 'g', -1, 64),
+		})
+	}
+	return writeCSV(w, []string{"case", "variant", "fp", "fn", "dm", "mean_delay"}, out)
+}
+
+// RecoveryCSV streams recovery-study rows.
+func RecoveryCSV(rows []RecoveryRow, w io.Writer) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator, r.Strategy,
+			strconv.Itoa(r.Alarmed), strconv.Itoa(r.FinalSafe),
+			strconv.FormatFloat(r.MeanError, 'g', -1, 64),
+		})
+	}
+	return writeCSV(w, []string{"simulator", "strategy", "alarmed", "final_safe", "mean_error"}, out)
+}
+
+// Fig6CSV streams the Fig. 6 panel summaries (one row per panel; the
+// per-step traces are available via awdsim -csv).
+func Fig6CSV(panels []Fig6Panel, w io.Writer) error {
+	out := make([][]string, 0, len(panels))
+	for i := range panels {
+		p := &panels[i]
+		out = append(out, []string{
+			p.Simulator, p.Attack,
+			strconv.Itoa(p.AttackStart), strconv.Itoa(p.Deadline), strconv.Itoa(p.DeadlineStep),
+			strconv.Itoa(p.AdaptiveAlert), strconv.Itoa(p.FixedAlert), strconv.Itoa(p.UnsafeStep),
+		})
+	}
+	return writeCSV(w, []string{
+		"simulator", "attack", "attack_start", "deadline", "deadline_step",
+		"adaptive_alert", "fixed_alert", "unsafe_step",
+	}, out)
+}
+
+// Fig8CSV streams the testbed speed trace.
+func Fig8CSV(r *Fig8Result, w io.Writer) error {
+	out := make([][]string, 0, len(r.SpeedMS))
+	for i, v := range r.SpeedMS {
+		alert := ""
+		switch i {
+		case r.AdaptiveAlert:
+			alert = "adaptive"
+		case r.FixedAlert:
+			alert = "fixed"
+		}
+		out = append(out, []string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(v, 'g', -1, 64),
+			fmt.Sprintf("%v", i >= r.AttackStart),
+			alert,
+		})
+	}
+	return writeCSV(w, []string{"step", "speed_ms", "attack_active", "first_alert"}, out)
+}
+
+// MagnitudeCSV streams the attack-magnitude sweep.
+func MagnitudeCSV(points []MagnitudePoint, w io.Writer) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{
+			strconv.FormatFloat(p.Scale, 'g', -1, 64),
+			strconv.Itoa(p.UnsafeRuns),
+			strconv.Itoa(p.AdaptiveDetected), strconv.Itoa(p.FixedDetected),
+			strconv.Itoa(p.AdaptiveDM), strconv.Itoa(p.FixedDM),
+		})
+	}
+	return writeCSV(w, []string{"scale", "unsafe", "adaptive_detected", "fixed_detected", "adaptive_dm", "fixed_dm"}, out)
+}
+
+// ValidationCSV streams the conservativeness-validation rows.
+func ValidationCSV(rows []DeadlineValidationRow, w io.Writer) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator, strconv.Itoa(r.States), strconv.Itoa(r.Trials),
+			strconv.FormatFloat(r.MeanDeadline, 'g', -1, 64), strconv.Itoa(r.Violations),
+		})
+	}
+	return writeCSV(w, []string{"simulator", "states", "trials", "mean_deadline", "violations"}, out)
+}
+
+// StealthyCSV streams the stealthy-impact rows.
+func StealthyCSV(rows []StealthyRow, w io.Writer) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator,
+			strconv.FormatFloat(r.Alpha, 'g', -1, 64),
+			strconv.Itoa(r.Detected), strconv.Itoa(r.UnsafeRuns),
+			strconv.FormatFloat(r.MaxDeviation, 'g', -1, 64),
+			strconv.FormatFloat(r.StealthCeiling, 'g', -1, 64),
+		})
+	}
+	return writeCSV(w, []string{"simulator", "alpha", "detected", "unsafe", "max_deviation", "stealth_ceiling"}, out)
+}
+
+// OverheadCSV streams the overhead rows (nanoseconds).
+func OverheadCSV(rows []OverheadRow, w io.Writer) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator, strconv.Itoa(r.StateDim),
+			strconv.FormatFloat(r.FullStepNs, 'g', -1, 64),
+			strconv.FormatFloat(r.DeadlineNs, 'g', -1, 64),
+			strconv.FormatFloat(r.PrecomputeNs, 'g', -1, 64),
+			strconv.FormatFloat(r.ControlPeriodNs, 'g', -1, 64),
+		})
+	}
+	return writeCSV(w, []string{"simulator", "n", "full_step_ns", "deadline_ns", "precompute_ns", "period_ns"}, out)
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTable2CSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table2CSV([]Table2Row{
+		{Simulator: "a", Attack: "bias", Strategy: "adaptive", FP: 1, DM: 2, FN: 3, MeanDelay: 4.5},
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][0] != "a" || rows[1][3] != "1" || rows[1][6] != "4.5" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestFig7AndThresholdCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7CSV([]Fig7Point{{Window: 5, FP: 7, FN: 0}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][0] != "5" || rows[1][1] != "7" {
+		t.Errorf("fig7 rows = %v", rows)
+	}
+	buf.Reset()
+	if err := ThresholdCSV([]ThresholdPoint{{Multiplier: 1.5, FP: 2, FN: 1}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if rows[1][0] != "1.5" || rows[1][2] != "1" {
+		t.Errorf("threshold rows = %v", rows)
+	}
+}
+
+func TestAblationAndRecoveryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationCSV([]AblationRow{{Case: "c", Variant: "v", FP: 1, FN: 2, DM: 3, MeanDelay: -1}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][1] != "v" || rows[1][5] != "-1" {
+		t.Errorf("ablation rows = %v", rows)
+	}
+	buf.Reset()
+	if err := RecoveryCSV([]RecoveryRow{{Simulator: "s", Strategy: "adaptive", Alarmed: 9, FinalSafe: 8, MeanError: 0.5}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if rows[1][2] != "9" || rows[1][4] != "0.5" {
+		t.Errorf("recovery rows = %v", rows)
+	}
+}
+
+func TestFig6AndFig8CSV(t *testing.T) {
+	var buf bytes.Buffer
+	panels := []Fig6Panel{{
+		Simulator: "vehicle-turning", Attack: "bias",
+		AttackStart: 160, Deadline: 2, DeadlineStep: 162,
+		AdaptiveAlert: 160, FixedAlert: -1, UnsafeStep: 175,
+	}}
+	if err := Fig6CSV(panels, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][4] != "162" || rows[1][6] != "-1" {
+		t.Errorf("fig6 rows = %v", rows)
+	}
+
+	buf.Reset()
+	r := &Fig8Result{
+		AttackStart: 1, AdaptiveAlert: 1, FixedAlert: 2, UnsafeStep: 2,
+		SpeedMS: []float64{4, 3.5, 2.1},
+	}
+	if err := Fig8CSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if len(rows) != 4 {
+		t.Fatalf("fig8 rows = %d", len(rows))
+	}
+	if rows[2][3] != "adaptive" || rows[3][3] != "fixed" {
+		t.Errorf("alert annotations wrong: %v", rows)
+	}
+	if rows[1][2] != "false" || rows[2][2] != "true" {
+		t.Errorf("attack flags wrong: %v", rows)
+	}
+}
+
+func TestNewExperimentCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MagnitudeCSV([]MagnitudePoint{{Scale: 2, UnsafeRuns: 5, AdaptiveDetected: 5, FixedDetected: 1, FixedDM: 4}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); rows[1][0] != "2" || rows[1][5] != "4" {
+		t.Errorf("magnitude rows = %v", rows)
+	}
+	buf.Reset()
+	if err := ValidationCSV([]DeadlineValidationRow{{Simulator: "s", States: 3, Trials: 2, MeanDeadline: 7.5}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); rows[1][3] != "7.5" || rows[1][4] != "0" {
+		t.Errorf("validation rows = %v", rows)
+	}
+	buf.Reset()
+	if err := StealthyCSV([]StealthyRow{{Simulator: "s", Alpha: 0.5, MaxDeviation: 1.25, StealthCeiling: 2}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); rows[1][1] != "0.5" || rows[1][4] != "1.25" {
+		t.Errorf("stealthy rows = %v", rows)
+	}
+	buf.Reset()
+	if err := OverheadCSV([]OverheadRow{{Simulator: "s", StateDim: 3, FullStepNs: 1000}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); rows[1][2] != "1000" {
+		t.Errorf("overhead rows = %v", rows)
+	}
+}

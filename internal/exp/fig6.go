@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/deadline"
+	"repro/internal/models"
+	"repro/internal/reach"
+	"repro/internal/sim"
+)
+
+// Fig6Panel is one subplot of paper Fig. 6: a plant under one attack,
+// comparing the adaptive detector's first alert against the fixed-window
+// detector's, relative to the attack onset and the detection deadline.
+type Fig6Panel struct {
+	Simulator   string
+	Attack      string
+	AttackStart int
+	// Deadline is the detection deadline estimated by reachability from the
+	// true state at attack onset; DeadlineStep = AttackStart + Deadline is
+	// the "blue dotted vertical line" of the paper's figure.
+	Deadline     int
+	DeadlineStep int
+	// First alert steps (-1 = never fired after onset).
+	AdaptiveAlert int
+	FixedAlert    int
+	// UnsafeStep is when the true state actually left the safe set (-1 =
+	// never).
+	UnsafeStep int
+
+	State []float64 // controlled-dimension true state per step
+	Ref   []float64 // reference per step
+}
+
+// Fig6Config parameterizes the trace comparison of Sec. 6.1.3.
+type Fig6Config struct {
+	Seed uint64
+}
+
+// Fig6 reproduces the paper's Fig. 6: vehicle turning and series RLC under
+// bias, delay, and replay attacks, tracing the actual system state and the
+// first alerts of the adaptive and fixed-window detectors.
+func Fig6(cfg Fig6Config) ([]Fig6Panel, error) {
+	var panels []Fig6Panel
+	for _, m := range []*models.Model{models.VehicleTurning(), models.SeriesRLC()} {
+		for _, attackName := range []string{"bias", "delay", "replay"} {
+			panel, err := TracePanel(m, attackName, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			panels = append(panels, *panel)
+		}
+	}
+	return panels, nil
+}
+
+// TracePanel runs the adaptive and fixed detectors on identical seeded runs
+// of one plant/attack pair and assembles a Fig. 6-style panel. It is
+// exported so other figures (and the examples) can reuse it for any model.
+func TracePanel(m *models.Model, attackName string, seed uint64) (*Fig6Panel, error) {
+	attA, err := sim.BuildAttack(m, attackName)
+	if err != nil {
+		return nil, err
+	}
+	trA, err := sim.Run(sim.Config{Model: m, Attack: attA, Strategy: sim.Adaptive, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	attF, err := sim.BuildAttack(m, attackName)
+	if err != nil {
+		return nil, err
+	}
+	trF, err := sim.Run(sim.Config{Model: m, Attack: attF, Strategy: sim.FixedWindow, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+
+	metA, metF := sim.Analyze(trA), sim.Analyze(trF)
+	onset := trA.AttackStart
+
+	// Deadline at onset, from the true state (the ground-truth reference
+	// line of the figure).
+	an, err := reach.New(m.Sys, m.U, m.Eps, m.MaxWindow)
+	if err != nil {
+		return nil, err
+	}
+	est, err := deadline.New(an, m.Safe, m.EstimatorRadius())
+	if err != nil {
+		return nil, err
+	}
+	td := est.FromState(trA.Records[onset].TrueState)
+
+	panel := &Fig6Panel{
+		Simulator:     m.Name,
+		Attack:        attackName,
+		AttackStart:   onset,
+		Deadline:      td,
+		DeadlineStep:  onset + td,
+		AdaptiveAlert: metA.FirstAlarm,
+		FixedAlert:    metF.FirstAlarm,
+		UnsafeStep:    metA.UnsafeStep,
+		State:         make([]float64, len(trA.Records)),
+		Ref:           make([]float64, len(trA.Records)),
+	}
+	for i, r := range trA.Records {
+		panel.State[i] = r.TrueState[m.CtrlDim]
+		panel.Ref[i] = r.Ref
+	}
+	return panel, nil
+}
+
+// InTime reports whether the adaptive alert landed at or before the
+// deadline step while the fixed alert did not — the paper's headline
+// observation for every Fig. 6 panel.
+func (p *Fig6Panel) InTime() (adaptiveInTime, fixedInTime bool) {
+	adaptiveInTime = p.AdaptiveAlert >= 0 && p.AdaptiveAlert <= p.DeadlineStep
+	fixedInTime = p.FixedAlert >= 0 && p.FixedAlert <= p.DeadlineStep
+	return
+}
+
+// RenderFig6 charts each panel and summarizes alert timing.
+func RenderFig6(panels []Fig6Panel) string {
+	var b strings.Builder
+	for i := range panels {
+		p := &panels[i]
+		b.WriteString(RenderChart(
+			fmt.Sprintf("Fig 6 panel: %s under %s attack (actual state vs reference)", p.Simulator, p.Attack),
+			72, 10,
+			Series{Name: "actual state", Values: p.State},
+			Series{Name: "reference", Values: p.Ref},
+		))
+		ai, fi := p.InTime()
+		fmt.Fprintf(&b, "attack start: step %d   deadline: step %d (t_d = %d)\n",
+			p.AttackStart, p.DeadlineStep, p.Deadline)
+		fmt.Fprintf(&b, "adaptive alert: %s   fixed alert: %s   unsafe entry: %s\n",
+			alertString(p.AdaptiveAlert, ai), alertString(p.FixedAlert, fi), stepString(p.UnsafeStep))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func alertString(step int, inTime bool) string {
+	if step < 0 {
+		return "never (untimely)"
+	}
+	verdict := "untimely"
+	if inTime {
+		verdict = "in time"
+	}
+	return fmt.Sprintf("step %d (%s)", step, verdict)
+}
+
+func stepString(step int) string {
+	if step < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("step %d", step)
+}
+
+// AllTraces extends the Fig. 6 comparison to every simulator and every
+// attack scenario (the appendix the paper says it omits for space: "Fig. 6
+// shows part of the results"). 15 panels: 5 plants x 3 attacks.
+func AllTraces(seed uint64) ([]Fig6Panel, error) {
+	var panels []Fig6Panel
+	for _, m := range models.All() {
+		for _, attackName := range []string{"bias", "delay", "replay"} {
+			panel, err := TracePanel(m, attackName, seed)
+			if err != nil {
+				return nil, err
+			}
+			panels = append(panels, *panel)
+		}
+	}
+	return panels, nil
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// Fig7Point is one x-position of paper Fig. 7: the number of
+// false-positive and false-negative experiments (out of Runs) at a given
+// fixed detection window size.
+type Fig7Point struct {
+	Window int
+	FP     int
+	FN     int
+}
+
+// Fig7Config parameterizes the window-size profiling sweep of Sec. 6.1.2.
+type Fig7Config struct {
+	Runs      int    // experiments per window size (paper: 100)
+	MaxWindow int    // sweep 0..MaxWindow (paper: 100)
+	Step      int    // window-size stride (1 reproduces the paper exactly)
+	Duration  int    // bias attack duration in steps (paper: 15)
+	Seed      uint64 // base seed
+}
+
+// Fig7 profiles the aircraft-pitch simulator under a 15-step bias attack
+// with fixed detection windows swept from 0 to MaxWindow: FP experiments
+// (false-positive rate > 10% before the attack) fall with window size while
+// FN experiments (attack never detected) rise — the trade-off that picks
+// the maximum window w_m (Sec. 4.3).
+func Fig7(cfg Fig7Config) ([]Fig7Point, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	if cfg.MaxWindow <= 0 {
+		cfg.MaxWindow = 100
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 15
+	}
+
+	m := models.AircraftPitch()
+	var points []Fig7Point
+	for w := 0; w <= cfg.MaxWindow; w += cfg.Step {
+		fp, fn := 0, 0
+		for run := 0; run < cfg.Runs; run++ {
+			att := attack.NewBias(attack.Schedule{
+				Start: m.Attack.BiasStart,
+				End:   m.Attack.BiasStart + cfg.Duration,
+			}, m.Attack.Bias)
+			fixedWin := w
+			if fixedWin == 0 {
+				fixedWin = -1 // sim convention: negative = true zero window
+			}
+			tr, err := sim.Run(sim.Config{
+				Model:    m,
+				Attack:   att,
+				Strategy: sim.FixedWindow,
+				FixedWin: fixedWin,
+				Seed:     cfg.Seed + uint64(run)*7919,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7 w=%d run=%d: %w", w, run, err)
+			}
+			met := sim.Analyze(tr)
+			if met.FPRate > sim.FPRateThreshold {
+				fp++
+			}
+			if !met.Detected {
+				fn++
+			}
+		}
+		points = append(points, Fig7Point{Window: w, FP: fp, FN: fn})
+	}
+	return points, nil
+}
+
+// RenderFig7 charts the FP/FN counts against window size and prints the
+// profile table, mirroring the paper's figure.
+func RenderFig7(points []Fig7Point, runs int) string {
+	fp := make([]float64, len(points))
+	fn := make([]float64, len(points))
+	for i, p := range points {
+		fp[i] = float64(p.FP)
+		fn[i] = float64(p.FN)
+	}
+	chart := RenderChart(
+		fmt.Sprintf("Fig 7: FP/FN experiments (of %d) vs fixed window size (aircraft pitch, 15-step bias)", runs),
+		72, 14,
+		Series{Name: "false positive experiments", Values: fp},
+		Series{Name: "false negative experiments", Values: fn},
+	)
+	headers := []string{"window", "#FP", "#FN"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Window), fmt.Sprintf("%d", p.FP), fmt.Sprintf("%d", p.FN),
+		})
+	}
+	return chart + "\n" + RenderTable(headers, rows)
+}
+
+// SuggestMaxWindow applies the Sec. 4.3 cut: the largest window whose FN
+// count stays within the given tolerance (the paper tolerates 3 of 100 to
+// pick w_m = 40).
+func SuggestMaxWindow(points []Fig7Point, fnTolerance int) int {
+	best := 0
+	for _, p := range points {
+		if p.FN <= fnTolerance && p.Window > best {
+			best = p.Window
+		}
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden renderings: the text output formats are part of the tool's
+// contract (results_full.txt, EXPERIMENTS.md quote them), so pin them down
+// exactly for small deterministic inputs.
+
+func TestGoldenRenderTable(t *testing.T) {
+	got := RenderTable(
+		[]string{"name", "n"},
+		[][]string{{"alpha", "1"}, {"bravo", "22"}},
+	)
+	want := "" +
+		"name   n \n" +
+		"---------\n" +
+		"alpha  1 \n" +
+		"bravo  22\n"
+	if got != want {
+		t.Errorf("golden mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestGoldenRenderChart(t *testing.T) {
+	got := RenderChart("ramp", 16, 4, Series{Name: "r", Values: []float64{0, 1, 2, 3}})
+	lines := strings.Split(got, "\n")
+	if lines[0] != "ramp" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Top row carries the max label and the final point; bottom row the min
+	// label and the first point.
+	if !strings.Contains(lines[1], "3") || !strings.HasSuffix(lines[1], "*") {
+		t.Errorf("top row = %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "0") || !strings.Contains(lines[4], "*") {
+		t.Errorf("bottom row = %q", lines[4])
+	}
+	if !strings.Contains(lines[len(lines)-2], "* r") {
+		t.Errorf("legend = %q", lines[len(lines)-2])
+	}
+}
+
+func TestGoldenTable2Row(t *testing.T) {
+	out := RenderTable2([]Table2Row{{
+		Simulator: "demo", Attack: "bias", Strategy: "adaptive",
+		FP: 25, DM: 0, FN: 0, MeanDelay: 1.5,
+	}}, 100)
+	if !strings.Contains(out, "25/100") {
+		t.Errorf("FP count with CI missing: %s", out)
+	}
+	if !strings.Contains(out, "0/100") {
+		t.Errorf("DM count with CI missing: %s", out)
+	}
+	if !strings.Contains(out, "1.5") {
+		t.Errorf("delay missing: %s", out)
+	}
+}
+
+func TestGoldenRenderRecoveryRow(t *testing.T) {
+	out := RenderRecovery([]RecoveryRow{{
+		Simulator: "demo", Strategy: "adaptive", Alarmed: 9, FinalSafe: 8, MeanError: 0.125,
+	}}, 10)
+	for _, frag := range []string{"9/10", "8/10", "0.125"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}

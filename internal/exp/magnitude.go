@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// MagnitudePoint is one attack-strength position of the detectability
+// sweep: the default bias offset scaled by Scale.
+type MagnitudePoint struct {
+	Scale float64
+	// Adaptive / Fixed detection outcomes out of Runs.
+	AdaptiveDetected int
+	FixedDetected    int
+	AdaptiveDM       int
+	FixedDM          int
+	// UnsafeRuns counts runs whose attack actually drove the plant unsafe
+	// (the denominator that makes DM meaningful).
+	UnsafeRuns int
+}
+
+// MagnitudeSweep maps the detectability boundary the Table 2 contrast
+// rides: scaling the vehicle-turning bias from benign to blatant. Small
+// magnitudes harm nothing (and neither detector matters); a middle band
+// drives the plant unsafe while staying below the fixed window's diluted
+// threshold — the adaptive detector's territory; large magnitudes are
+// obvious to everyone.
+func MagnitudeSweep(runs int, seed uint64, scales []float64) ([]MagnitudePoint, error) {
+	if runs <= 0 {
+		runs = 50
+	}
+	if len(scales) == 0 {
+		scales = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4, 8}
+	}
+	base := models.VehicleTurning()
+	var points []MagnitudePoint
+	for _, sc := range scales {
+		if sc <= 0 {
+			return nil, fmt.Errorf("exp: non-positive magnitude scale %v", sc)
+		}
+		p := MagnitudePoint{Scale: sc}
+		for run := 0; run < runs; run++ {
+			runSeed := seed + uint64(run)*7919
+			for _, strat := range []sim.Strategy{sim.Adaptive, sim.FixedWindow} {
+				att := attack.NewBias(
+					attack.Schedule{Start: base.Attack.BiasStart},
+					base.Attack.Bias.Scale(sc),
+				)
+				tr, err := sim.Run(sim.Config{
+					Model:    base,
+					Attack:   att,
+					Strategy: strat,
+					Seed:     runSeed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				met := sim.Analyze(tr)
+				switch strat {
+				case sim.Adaptive:
+					if met.Detected {
+						p.AdaptiveDetected++
+					}
+					if met.DeadlineMissed {
+						p.AdaptiveDM++
+					}
+					if met.UnsafeStep >= 0 {
+						p.UnsafeRuns++
+					}
+				case sim.FixedWindow:
+					if met.Detected {
+						p.FixedDetected++
+					}
+					if met.DeadlineMissed {
+						p.FixedDM++
+					}
+				}
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// RenderMagnitudeSweep formats the sweep.
+func RenderMagnitudeSweep(points []MagnitudePoint, runs int) string {
+	headers := []string{"bias scale", "unsafe runs", "adaptive det", "fixed det", "adaptive DM", "fixed DM"}
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{
+			fmt.Sprintf("%.2f", p.Scale),
+			fmt.Sprintf("%d", p.UnsafeRuns),
+			fmt.Sprintf("%d", p.AdaptiveDetected),
+			fmt.Sprintf("%d", p.FixedDetected),
+			fmt.Sprintf("%d", p.AdaptiveDM),
+			fmt.Sprintf("%d", p.FixedDM),
+		})
+	}
+	return fmt.Sprintf("Attack-magnitude sweep (vehicle turning, bias x scale, %d runs per cell)\n", runs) +
+		RenderTable(headers, out)
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/deadline"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/reach"
+	"repro/internal/sim"
+)
+
+// OverheadRow reports the measured run-time cost of the detection pipeline
+// for one plant — the quantitative form of the paper's requirement that
+// "the overhead of the calculation should be low; otherwise, the
+// calculated deadline may be outdated" (Sec. 1).
+type OverheadRow struct {
+	Simulator string
+	StateDim  int
+	// Nanoseconds per operation.
+	FullStepNs   float64 // assembled system: log + deadline + window check
+	DeadlineNs   float64 // isolated reachability deadline query
+	PrecomputeNs float64 // one-time table construction (amortized away)
+	// ControlPeriodNs is the plant's control period for comparison.
+	ControlPeriodNs float64
+}
+
+// Overhead benchmarks the per-control-period cost of the adaptive pipeline
+// for every plant, using testing.Benchmark so the numbers are measured the
+// same way `go test -bench` measures them.
+func Overhead() ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, m := range models.All() {
+		det, err := sim.Detector(sim.Config{Model: m, Strategy: sim.Adaptive})
+		if err != nil {
+			return nil, err
+		}
+		est := m.X0.Clone()
+		u := mat.NewVec(m.Sys.InputDim())
+		full := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det.Step(est, u)
+			}
+		})
+
+		an, err := reach.New(m.Sys, m.U, m.Eps, m.MaxWindow)
+		if err != nil {
+			return nil, err
+		}
+		dl, err := deadline.New(an, m.Safe, m.EstimatorRadius())
+		if err != nil {
+			return nil, err
+		}
+		dlBench := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = dl.FromState(m.X0)
+			}
+		})
+
+		pre := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reach.New(m.Sys, m.U, m.Eps, m.MaxWindow); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		rows = append(rows, OverheadRow{
+			Simulator:       m.Name,
+			StateDim:        m.Sys.StateDim(),
+			FullStepNs:      float64(full.NsPerOp()),
+			DeadlineNs:      float64(dlBench.NsPerOp()),
+			PrecomputeNs:    float64(pre.NsPerOp()),
+			ControlPeriodNs: m.Sys.Dt * 1e9,
+		})
+	}
+	return rows, nil
+}
+
+// RenderOverhead formats the efficiency table with the utilization each
+// cost implies against the plant's control period.
+func RenderOverhead(rows []OverheadRow) string {
+	headers := []string{"simulator", "n", "full step", "deadline query", "precompute (once)", "period", "step/period"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator,
+			fmt.Sprintf("%d", r.StateDim),
+			fmtNs(r.FullStepNs),
+			fmtNs(r.DeadlineNs),
+			fmtNs(r.PrecomputeNs),
+			fmtNs(r.ControlPeriodNs),
+			fmt.Sprintf("%.5f%%", 100*r.FullStepNs/r.ControlPeriodNs),
+		})
+	}
+	return "Run-time overhead of the adaptive detection pipeline (measured via testing.Benchmark)\n" +
+		RenderTable(headers, out)
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2f µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}

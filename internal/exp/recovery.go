@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// RecoveryRow summarizes a detection-plus-recovery campaign for one
+// (plant, strategy) pair: how often the alarm came early enough for the
+// LQR recovery maneuver (internal/recovery, after [13, 14]) to end the run
+// inside the safe set.
+type RecoveryRow struct {
+	Simulator string
+	Strategy  string
+	Alarmed   int // runs where detection engaged recovery at all
+	FinalSafe int // runs ending inside the safe set
+	MeanError float64
+}
+
+// RecoveryStudy couples each detection strategy to the recovery controller
+// under every plant's bias scenario. It demonstrates the downstream value
+// of timely detection: recovery triggered by the adaptive detector engages
+// in (almost) every run and lands the plant back in the safe set, while
+// recovery gated on the fixed-window detector frequently never engages —
+// the attack stays below the diluted threshold — and the plant stays
+// compromised.
+func RecoveryStudy(runs int, seed uint64) ([]RecoveryRow, error) {
+	var rows []RecoveryRow
+	for _, m := range models.All() {
+		for _, strat := range []sim.Strategy{sim.Adaptive, sim.FixedWindow} {
+			row := RecoveryRow{Simulator: m.Name, Strategy: strat.String()}
+			sumErr := 0.0
+			for i := 0; i < runs; i++ {
+				att, err := sim.BuildAttack(m, "bias")
+				if err != nil {
+					return nil, err
+				}
+				out, err := sim.RunWithRecovery(sim.Config{
+					Model:    m,
+					Attack:   att,
+					Strategy: strat,
+					Seed:     seed + uint64(i)*7919,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if out.AlarmStep >= 0 {
+					row.Alarmed++
+				}
+				if out.FinalSafe {
+					row.FinalSafe++
+				}
+				sumErr += out.FinalError
+			}
+			if runs > 0 {
+				row.MeanError = sumErr / float64(runs)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderRecovery formats the study.
+func RenderRecovery(rows []RecoveryRow, runs int) string {
+	headers := []string{"simulator", "strategy", "alarmed", "final safe", "mean |err|"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Simulator, r.Strategy,
+			fmt.Sprintf("%d/%d", r.Alarmed, runs),
+			fmt.Sprintf("%d/%d", r.FinalSafe, runs),
+			fmt.Sprintf("%.3g", r.MeanError),
+		})
+	}
+	return fmt.Sprintf("Detection-triggered LQR recovery under the bias scenario (%d runs per case)\n", runs) +
+		RenderTable(headers, out)
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/models"
+)
+
+// Table1 renders the simulation settings table (paper Table 1): per
+// simulator the control step size δ, PID gains, input range U, uncertainty
+// bound ε, safe set S, and detection threshold τ.
+func Table1() string {
+	headers := []string{"No.", "Simulator", "δ", "PID", "U", "ε", "S", "τ"}
+	var rows [][]string
+	for _, m := range models.All() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", m.No),
+			m.Name,
+			fmt.Sprintf("%.2f", m.Sys.Dt),
+			fmt.Sprintf("%g,%g,%g", m.PID[0], m.PID[1], m.PID[2]),
+			fmt.Sprintf("[%g, %g]", m.U.Interval(0).Lo, m.U.Interval(0).Hi),
+			fmt.Sprintf("%.3g", m.Eps),
+			safeSetString(m.Safe),
+			tauString(m),
+		})
+	}
+	return RenderTable(headers, rows)
+}
+
+func safeSetString(s geom.Box) string {
+	parts := make([]string, 0, s.Dim())
+	for i := 0; i < s.Dim(); i++ {
+		iv := s.Interval(i)
+		if math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1) {
+			parts = append(parts, "(-inf, inf)")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi))
+	}
+	// Collapse long uniform products (the quadrotor's 12 dims).
+	if len(parts) > 4 {
+		bounded := ""
+		for i := 0; i < s.Dim(); i++ {
+			if s.Interval(i).Bounded() {
+				bounded = fmt.Sprintf("dim %d in [%g, %g], rest unbounded",
+					i, s.Interval(i).Lo, s.Interval(i).Hi)
+				break
+			}
+		}
+		if bounded != "" {
+			return bounded
+		}
+	}
+	return strings.Join(parts, " x ")
+}
+
+func tauString(m *models.Model) string {
+	uniform := true
+	for _, v := range m.Tau[1:] {
+		if v != m.Tau[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform && len(m.Tau) > 1 {
+		return fmt.Sprintf("[%g, ...] x%d", m.Tau[0], len(m.Tau))
+	}
+	parts := make([]string, len(m.Tau))
+	for i, v := range m.Tau {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// ThresholdPoint is one x-position of the τ-profiling sweep: FP and FN
+// experiment counts at a given threshold multiplier.
+type ThresholdPoint struct {
+	Multiplier float64
+	FP         int
+	FN         int
+}
+
+// ThresholdSweep profiles the detection threshold τ — the second
+// hyper-parameter of the basic detector (Sec. 4.1). The paper focuses on
+// the window dimension and notes that "for false negatives, regulating the
+// threshold τ is more desired"; this sweep substantiates that remark: on
+// the aircraft-pitch bias scenario with the window held at w_m, scaling τ
+// down floods the detector with false positives, scaling it up breeds
+// false negatives — the same trade-off as Fig. 7, but along the other
+// axis.
+func ThresholdSweep(runs int, seed uint64, multipliers []float64) ([]ThresholdPoint, error) {
+	if runs <= 0 {
+		runs = 100
+	}
+	if len(multipliers) == 0 {
+		multipliers = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4}
+	}
+	var points []ThresholdPoint
+	for _, mult := range multipliers {
+		if mult <= 0 {
+			return nil, fmt.Errorf("exp: non-positive threshold multiplier %v", mult)
+		}
+		m := models.AircraftPitch()
+		m.Tau = m.Tau.Scale(mult)
+		fp, fn := 0, 0
+		for run := 0; run < runs; run++ {
+			att := attack.NewBias(attack.Schedule{
+				Start: m.Attack.BiasStart,
+				End:   m.Attack.BiasStart + 15,
+			}, m.Attack.Bias)
+			tr, err := sim.Run(sim.Config{
+				Model:    m,
+				Attack:   att,
+				Strategy: sim.FixedWindow, // window held at w_m; τ is the knob
+				Seed:     seed + uint64(run)*7919,
+			})
+			if err != nil {
+				return nil, err
+			}
+			met := sim.Analyze(tr)
+			if met.FPRate > sim.FPRateThreshold {
+				fp++
+			}
+			if !met.Detected {
+				fn++
+			}
+		}
+		points = append(points, ThresholdPoint{Multiplier: mult, FP: fp, FN: fn})
+	}
+	return points, nil
+}
+
+// RenderThresholdSweep formats the τ profile.
+func RenderThresholdSweep(points []ThresholdPoint, runs int) string {
+	fp := make([]float64, len(points))
+	fn := make([]float64, len(points))
+	for i, p := range points {
+		fp[i] = float64(p.FP)
+		fn[i] = float64(p.FN)
+	}
+	chart := RenderChart(
+		fmt.Sprintf("Threshold sweep: FP/FN experiments (of %d) vs τ multiplier (aircraft pitch, w = w_m)", runs),
+		72, 12,
+		Series{Name: "false positive experiments", Values: fp},
+		Series{Name: "false negative experiments", Values: fn},
+	)
+	headers := []string{"τ multiplier", "#FP", "#FN"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Multiplier), fmt.Sprintf("%d", p.FP), fmt.Sprintf("%d", p.FN),
+		})
+	}
+	return chart + "\n" + RenderTable(headers, rows)
+}

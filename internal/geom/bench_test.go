@@ -1,0 +1,42 @@
+package geom
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func BenchmarkBoxSupport12(b *testing.B) {
+	box := UniformBox(12, -1, 1)
+	l := mat.Constant(12, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = box.Support(l)
+	}
+}
+
+func BenchmarkZonotopeSupport(b *testing.B) {
+	z := ZonotopeFromBox(UniformBox(12, -1, 1))
+	for i := 0; i < 4; i++ {
+		z = z.MinkowskiSum(ZonotopeFromBox(UniformBox(12, -0.1, 0.1)))
+	}
+	l := mat.Constant(12, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Support(l)
+	}
+}
+
+func BenchmarkZonotopeReduce(b *testing.B) {
+	z := ZonotopeFromBox(UniformBox(12, -1, 1))
+	for i := 0; i < 9; i++ {
+		z = z.MinkowskiSum(ZonotopeFromBox(UniformBox(12, -0.1, 0.1)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Reduce(24)
+	}
+}

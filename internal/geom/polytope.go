@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Halfspace is the constraint {x : Normal·x <= Offset}.
+type Halfspace struct {
+	Normal mat.Vec
+	Offset float64
+}
+
+// NewHalfspace returns a halfspace, panicking on a zero normal.
+func NewHalfspace(normal mat.Vec, offset float64) Halfspace {
+	if normal.Norm2() == 0 {
+		panic("geom: zero halfspace normal")
+	}
+	return Halfspace{Normal: normal.Clone(), Offset: offset}
+}
+
+// Contains reports whether x satisfies the constraint.
+func (h Halfspace) Contains(x mat.Vec) bool { return h.Normal.Dot(x) <= h.Offset }
+
+// Polytope is an intersection of halfspaces — the general safe-set shape
+// the support-function method (Sec. 3.4) handles directly: the reachable
+// set stays inside the polytope iff its support in every face-normal
+// direction stays below that face's offset. Box safe sets are the special
+// case with axis-aligned normals.
+type Polytope struct {
+	faces []Halfspace
+}
+
+// NewPolytope builds a polytope from halfspaces. All normals must share
+// dimension.
+func NewPolytope(faces ...Halfspace) Polytope {
+	if len(faces) == 0 {
+		panic("geom: empty polytope")
+	}
+	n := len(faces[0].Normal)
+	cp := make([]Halfspace, len(faces))
+	for i, f := range faces {
+		if len(f.Normal) != n {
+			panic(fmt.Sprintf("geom: face %d dimension %d, want %d", i, len(f.Normal), n))
+		}
+		cp[i] = Halfspace{Normal: f.Normal.Clone(), Offset: f.Offset}
+	}
+	return Polytope{faces: cp}
+}
+
+// PolytopeFromBox converts a box into its halfspace representation,
+// skipping unbounded sides.
+func PolytopeFromBox(b Box) Polytope {
+	var faces []Halfspace
+	n := b.Dim()
+	for i := 0; i < n; i++ {
+		iv := b.Interval(i)
+		if !isInf(iv.Hi) {
+			faces = append(faces, Halfspace{Normal: mat.Basis(n, i), Offset: iv.Hi})
+		}
+		if !isInf(iv.Lo) {
+			faces = append(faces, Halfspace{Normal: mat.Basis(n, i).Scale(-1), Offset: -iv.Lo})
+		}
+	}
+	if len(faces) == 0 {
+		panic("geom: box has no bounded side")
+	}
+	return Polytope{faces: faces}
+}
+
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }
+
+// Dim returns the ambient dimension.
+func (p Polytope) Dim() int { return len(p.faces[0].Normal) }
+
+// NumFaces returns the number of halfspace constraints.
+func (p Polytope) NumFaces() int { return len(p.faces) }
+
+// Face returns the i-th halfspace.
+func (p Polytope) Face(i int) Halfspace { return p.faces[i] }
+
+// Contains reports whether x satisfies every constraint.
+func (p Polytope) Contains(x mat.Vec) bool {
+	for _, f := range p.faces {
+		if !f.Contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsSupported reports whether a convex set, given by its support
+// function, lies entirely inside the polytope: ρ(normal) <= offset for
+// every face. This is the conservative-safety test of Definition 3.1
+// evaluated without any box intermediate.
+func (p Polytope) ContainsSupported(sup func(mat.Vec) float64) bool {
+	for _, f := range p.faces {
+		if sup(f.Normal) > f.Offset {
+			return false
+		}
+	}
+	return true
+}

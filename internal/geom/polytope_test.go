@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestHalfspaceContains(t *testing.T) {
+	h := NewHalfspace(mat.VecOf(1, 0), 2)
+	if !h.Contains(mat.VecOf(2, 100)) || h.Contains(mat.VecOf(2.1, 0)) {
+		t.Error("halfspace membership wrong")
+	}
+}
+
+func TestNewHalfspaceZeroNormalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHalfspace(mat.VecOf(0, 0), 1)
+}
+
+func TestPolytopeContains(t *testing.T) {
+	// Triangle x >= 0, y >= 0, x + y <= 1.
+	p := NewPolytope(
+		NewHalfspace(mat.VecOf(-1, 0), 0),
+		NewHalfspace(mat.VecOf(0, -1), 0),
+		NewHalfspace(mat.VecOf(1, 1), 1),
+	)
+	if !p.Contains(mat.VecOf(0.3, 0.3)) {
+		t.Error("interior point rejected")
+	}
+	if p.Contains(mat.VecOf(0.7, 0.7)) || p.Contains(mat.VecOf(-0.1, 0.5)) {
+		t.Error("exterior point accepted")
+	}
+	if p.Dim() != 2 || p.NumFaces() != 3 {
+		t.Errorf("dim/faces = %d/%d", p.Dim(), p.NumFaces())
+	}
+}
+
+func TestPolytopeValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewPolytope() },
+		func() {
+			NewPolytope(NewHalfspace(mat.VecOf(1), 0), NewHalfspace(mat.VecOf(1, 0), 0))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPolytopeFromBox(t *testing.T) {
+	b := NewBox(NewInterval(-1, 2), Whole(), NewInterval(0, 5))
+	p := PolytopeFromBox(b)
+	if p.NumFaces() != 4 { // dim 1 unbounded contributes no faces
+		t.Fatalf("faces = %d, want 4", p.NumFaces())
+	}
+	// Membership must agree with the box on a grid.
+	for _, x := range []mat.Vec{
+		{0, 1e9, 1}, {-1, 0, 0}, {2, -5, 5}, {2.1, 0, 1}, {0, 0, -0.1},
+	} {
+		if b.Contains(x) != p.Contains(x) {
+			t.Errorf("box/polytope disagree at %v", x)
+		}
+	}
+}
+
+func TestPolytopeFromFullyUnboundedBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PolytopeFromBox(NewBox(Whole(), Whole()))
+}
+
+func TestContainsSupported(t *testing.T) {
+	// Ball of radius 1 at origin against |x|+... a diamond face x+y <= b.
+	p := NewPolytope(NewHalfspace(mat.VecOf(1, 1), 2))
+	ball := OriginBall(2, 1)
+	// Support along (1,1) is √2 < 2: contained.
+	if !p.ContainsSupported(ball.Support) {
+		t.Error("ball should be inside the halfspace")
+	}
+	tight := NewPolytope(NewHalfspace(mat.VecOf(1, 1), 1))
+	// Support √2 > 1: not contained.
+	if tight.ContainsSupported(ball.Support) {
+		t.Error("ball should violate the tight halfspace")
+	}
+}
+
+func TestContainsSupportedDiagonalTighterThanBox(t *testing.T) {
+	// The motivating case for polytopic safe sets: a ball of radius 1 and
+	// the diagonal constraint x+y <= 1.5. Its bounding box ([-1,1]²) has a
+	// corner at (1,1) violating the constraint, but the exact support test
+	// knows the ball itself satisfies... actually √2 ≈ 1.414 < 1.5: safe.
+	p := NewPolytope(NewHalfspace(mat.VecOf(1, 1), 1.5))
+	ball := OriginBall(2, 1)
+	if !p.ContainsSupported(ball.Support) {
+		t.Error("exact support test should pass")
+	}
+	// The box over-approximation is strictly more conservative: its support
+	// along (1,1) is 2 > 1.5.
+	bb := BoundingBox(2, ball.Support)
+	if p.ContainsSupported(bb.Support) {
+		t.Error("box over-approximation should fail the diagonal face")
+	}
+	if math.Abs(bb.Support(mat.VecOf(1, 1))-2) > 1e-12 {
+		t.Errorf("box diagonal support = %v", bb.Support(mat.VecOf(1, 1)))
+	}
+}
+
+func TestPolytopeFacesAreCopied(t *testing.T) {
+	normal := mat.VecOf(1, 0)
+	p := NewPolytope(Halfspace{Normal: normal, Offset: 1})
+	normal[0] = -1
+	if !p.Contains(mat.VecOf(0.5, 0)) {
+		t.Error("polytope aliased caller's normal")
+	}
+}

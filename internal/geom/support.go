@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Ball is a Euclidean (2-norm) ball with a center and radius (Def. 3.2,
+// scaled and translated). The paper over-approximates the per-step
+// uncertainty v_t by an origin-centered ball of radius ε (Sec. 3.2.1).
+type Ball struct {
+	Center mat.Vec
+	Radius float64
+}
+
+// NewBall returns a ball, panicking on negative radius.
+func NewBall(center mat.Vec, radius float64) Ball {
+	if radius < 0 {
+		panic(fmt.Sprintf("geom: negative ball radius %v", radius))
+	}
+	return Ball{Center: center.Clone(), Radius: radius}
+}
+
+// OriginBall returns an origin-centered ball of the given radius in n dims.
+func OriginBall(n int, radius float64) Ball {
+	return NewBall(mat.NewVec(n), radius)
+}
+
+// Dim returns the ball's dimension.
+func (b Ball) Dim() int { return len(b.Center) }
+
+// Contains reports whether x lies inside the ball.
+func (b Ball) Contains(x mat.Vec) bool {
+	return x.Sub(b.Center).Norm2() <= b.Radius
+}
+
+// Support evaluates the support function ρ(l) = sup_{x∈B} lᵀx of the ball:
+// lᵀc + r‖l‖₂.
+func (b Ball) Support(l mat.Vec) float64 {
+	return l.Dot(b.Center) + b.Radius*l.Norm2()
+}
+
+// Support evaluates the support function of the box:
+// ρ(l) = Σ_i max(l_i·lo_i, l_i·hi_i). For unbounded dimensions with a
+// nonzero l component the result is +Inf, matching sup over the set.
+func (b Box) Support(l mat.Vec) float64 {
+	if len(l) != b.Dim() {
+		panic(fmt.Sprintf("geom: Support dimension mismatch %d vs %d", len(l), b.Dim()))
+	}
+	s := 0.0
+	for i, iv := range b.ivs {
+		switch {
+		case l[i] > 0:
+			s += l[i] * iv.Hi
+		case l[i] < 0:
+			s += l[i] * iv.Lo
+		}
+	}
+	return s
+}
+
+// SupportOfLinearImage evaluates ρ_{M·S}(l) = ρ_S(Mᵀl) for a set S with
+// support function sup. This is the identity the paper uses to push A^i and
+// A^iB through the ball/box terms of Eq. (3).
+func SupportOfLinearImage(m *mat.Dense, sup func(mat.Vec) float64, l mat.Vec) float64 {
+	return sup(m.VecMul(l))
+}
+
+// SupportSum is the Minkowski-sum identity ρ_{X⊕Y}(l) = ρ_X(l) + ρ_Y(l).
+func SupportSum(l mat.Vec, sups ...func(mat.Vec) float64) float64 {
+	s := 0.0
+	for _, f := range sups {
+		s += f(l)
+	}
+	return s
+}
+
+// BoundingBox converts any set given by its support function into the
+// tightest enclosing box, by probing ±e_i in every dimension.
+func BoundingBox(n int, sup func(mat.Vec) float64) Box {
+	ivs := make([]Interval, n)
+	for i := 0; i < n; i++ {
+		e := mat.Basis(n, i)
+		hi := sup(e)
+		lo := -sup(e.Scale(-1))
+		if lo > hi { // numerical round-off guard for degenerate sets
+			lo, hi = hi, lo
+		}
+		ivs[i] = Interval{Lo: lo, Hi: hi}
+	}
+	return Box{ivs: ivs}
+}
+
+// UnitBallNorm returns the k-norm of x, used to test unit-ball membership
+// ‖x‖_k ≤ 1 (Definition 3.2). k may be math.Inf(1).
+func UnitBallNorm(x mat.Vec, k float64) float64 {
+	if math.IsInf(k, 1) {
+		return x.NormInf()
+	}
+	return x.Norm(k)
+}

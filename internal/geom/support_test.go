@@ -1,0 +1,177 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestBallContains(t *testing.T) {
+	b := NewBall(mat.VecOf(1, 0), 2)
+	if !b.Contains(mat.VecOf(1, 2)) || !b.Contains(mat.VecOf(3, 0)) {
+		t.Error("boundary points should be contained")
+	}
+	if b.Contains(mat.VecOf(3.001, 0)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestBallNegativeRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBall(mat.VecOf(0), -1)
+}
+
+func TestBallSupport(t *testing.T) {
+	b := OriginBall(2, 3)
+	// sup over ball of radius 3 in direction e1 is 3.
+	if got := b.Support(mat.Basis(2, 0)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Support = %v, want 3", got)
+	}
+	// Direction (1,1): 3*sqrt(2).
+	if got := b.Support(mat.VecOf(1, 1)); math.Abs(got-3*math.Sqrt2) > 1e-12 {
+		t.Errorf("Support = %v, want %v", got, 3*math.Sqrt2)
+	}
+	// Shifted ball adds lᵀc.
+	bc := NewBall(mat.VecOf(5, 0), 3)
+	if got := bc.Support(mat.Basis(2, 0)); math.Abs(got-8) > 1e-12 {
+		t.Errorf("shifted Support = %v, want 8", got)
+	}
+}
+
+func TestBoxSupport(t *testing.T) {
+	b := BoxFromBounds([]float64{-1, 2}, []float64{3, 4})
+	if got := b.Support(mat.VecOf(1, 0)); got != 3 {
+		t.Errorf("Support(+e1) = %v, want 3", got)
+	}
+	if got := b.Support(mat.VecOf(-1, 0)); got != 1 {
+		t.Errorf("Support(-e1) = %v, want 1 (=-lo)", got)
+	}
+	if got := b.Support(mat.VecOf(1, 1)); got != 7 {
+		t.Errorf("Support(1,1) = %v, want 7", got)
+	}
+	if got := b.Support(mat.VecOf(0, 0)); got != 0 {
+		t.Errorf("Support(0) = %v, want 0", got)
+	}
+}
+
+func TestBoxSupportUnbounded(t *testing.T) {
+	b := NewBox(Whole(), NewInterval(-1, 1))
+	if got := b.Support(mat.VecOf(1, 0)); !math.IsInf(got, 1) {
+		t.Errorf("Support along unbounded dim = %v, want +Inf", got)
+	}
+	// Zero weight on the unbounded dim keeps it finite.
+	if got := b.Support(mat.VecOf(0, 1)); got != 1 {
+		t.Errorf("Support = %v, want 1", got)
+	}
+}
+
+func TestSupportOfLinearImage(t *testing.T) {
+	// M scales e1 by 2; support of M·Ball(r=1) along e1 is 2.
+	m := mat.Diag(2, 1)
+	ball := OriginBall(2, 1)
+	got := SupportOfLinearImage(m, ball.Support, mat.Basis(2, 0))
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("linear image support = %v, want 2", got)
+	}
+}
+
+func TestSupportSum(t *testing.T) {
+	// Minkowski sum of two balls radius 1 and 2 = ball radius 3.
+	b1, b2 := OriginBall(2, 1), OriginBall(2, 2)
+	l := mat.VecOf(0, 1)
+	got := SupportSum(l, b1.Support, b2.Support)
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("SupportSum = %v, want 3", got)
+	}
+}
+
+func TestBoundingBoxOfBall(t *testing.T) {
+	ball := NewBall(mat.VecOf(1, -1), 2)
+	bb := BoundingBox(2, ball.Support)
+	want := BoxFromBounds([]float64{-1, -3}, []float64{3, 1})
+	for i := 0; i < 2; i++ {
+		if math.Abs(bb.Interval(i).Lo-want.Interval(i).Lo) > 1e-12 ||
+			math.Abs(bb.Interval(i).Hi-want.Interval(i).Hi) > 1e-12 {
+			t.Errorf("BoundingBox dim %d = %v, want %v", i, bb.Interval(i), want.Interval(i))
+		}
+	}
+}
+
+func TestBoundingBoxOfBoxIsIdentity(t *testing.T) {
+	b := BoxFromBounds([]float64{-2, 0.5}, []float64{1, 3})
+	bb := BoundingBox(2, b.Support)
+	for i := 0; i < 2; i++ {
+		if math.Abs(bb.Interval(i).Lo-b.Interval(i).Lo) > 1e-12 ||
+			math.Abs(bb.Interval(i).Hi-b.Interval(i).Hi) > 1e-12 {
+			t.Errorf("BoundingBox(box) dim %d = %v", i, bb.Interval(i))
+		}
+	}
+}
+
+func TestUnitBallNorm(t *testing.T) {
+	x := mat.VecOf(0.6, 0.8)
+	if got := UnitBallNorm(x, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("2-norm = %v, want 1", got)
+	}
+	if got := UnitBallNorm(x, math.Inf(1)); got != 0.8 {
+		t.Errorf("inf-norm = %v, want 0.8", got)
+	}
+}
+
+// Property: support function is sublinear: ρ(l1+l2) <= ρ(l1)+ρ(l2).
+func TestSupportSublinearProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	ball := NewBall(mat.VecOf(0.3, -0.7, 1.1), 2.5)
+	box := BoxFromBounds([]float64{-1, 0, -3}, []float64{2, 4, -1})
+	for trial := 0; trial < 200; trial++ {
+		l1 := mat.VecOf(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		l2 := mat.VecOf(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		sum := l1.Add(l2)
+		const slack = 1e-9
+		if ball.Support(sum) > ball.Support(l1)+ball.Support(l2)+slack {
+			t.Fatalf("trial %d: ball support not sublinear", trial)
+		}
+		if box.Support(sum) > box.Support(l1)+box.Support(l2)+slack {
+			t.Fatalf("trial %d: box support not sublinear", trial)
+		}
+	}
+}
+
+// Property: for every point x in the set, lᵀx <= ρ(l).
+func TestSupportDominatesMembersProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	box := BoxFromBounds([]float64{-1, 2}, []float64{0.5, 3})
+	for trial := 0; trial < 200; trial++ {
+		// Random point inside the box.
+		x := mat.VecOf(
+			box.Interval(0).Lo+r.Float64()*box.Interval(0).Width(),
+			box.Interval(1).Lo+r.Float64()*box.Interval(1).Width(),
+		)
+		l := mat.VecOf(r.NormFloat64(), r.NormFloat64())
+		if l.Dot(x) > box.Support(l)+1e-9 {
+			t.Fatalf("trial %d: support does not dominate member", trial)
+		}
+	}
+}
+
+// Property: BoundingBox of a support function always contains sampled set
+// points (here: points of a ball).
+func TestBoundingBoxEnclosesSetProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	ball := NewBall(mat.VecOf(1, 2), 1.5)
+	bb := BoundingBox(2, ball.Support)
+	for trial := 0; trial < 200; trial++ {
+		theta := r.Float64() * 2 * math.Pi
+		rad := r.Float64() * ball.Radius
+		p := mat.VecOf(ball.Center[0]+rad*math.Cos(theta), ball.Center[1]+rad*math.Sin(theta))
+		if !bb.Contains(p) {
+			t.Fatalf("trial %d: bounding box misses ball point %v", trial, p)
+		}
+	}
+}

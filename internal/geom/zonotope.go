@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Zonotope is a centrally symmetric convex set
+//
+//	Z = { c + Σ_i β_i g_i : |β_i| <= 1 }
+//
+// given by a center and a list of generators — the workhorse set
+// representation of the reachability literature the paper builds on
+// (Le Guernic [5]). Linear maps and Minkowski sums are exact and cheap,
+// which is what makes zonotopes attractive for propagating reachable sets;
+// the box representation used by the deadline estimator is the special
+// case with axis-aligned generators.
+type Zonotope struct {
+	center     mat.Vec
+	generators []mat.Vec
+}
+
+// NewZonotope builds a zonotope from a center and generators (generators
+// may be empty: a point). All vectors are copied.
+func NewZonotope(center mat.Vec, generators ...mat.Vec) Zonotope {
+	n := len(center)
+	if n == 0 {
+		panic("geom: empty zonotope center")
+	}
+	gs := make([]mat.Vec, len(generators))
+	for i, g := range generators {
+		if len(g) != n {
+			panic(fmt.Sprintf("geom: generator %d dimension %d, want %d", i, len(g), n))
+		}
+		gs[i] = g.Clone()
+	}
+	return Zonotope{center: center.Clone(), generators: gs}
+}
+
+// ZonotopeFromBox converts a bounded box into a zonotope with one
+// axis-aligned generator per dimension of nonzero width.
+func ZonotopeFromBox(b Box) Zonotope {
+	if !b.Bounded() {
+		panic("geom: cannot build a zonotope from an unbounded box")
+	}
+	n := b.Dim()
+	center := b.Center()
+	var gs []mat.Vec
+	for i := 0; i < n; i++ {
+		hw := b.Interval(i).Width() / 2
+		if hw > 0 {
+			g := mat.NewVec(n)
+			g[i] = hw
+			gs = append(gs, g)
+		}
+	}
+	return Zonotope{center: center, generators: gs}
+}
+
+// Dim returns the ambient dimension.
+func (z Zonotope) Dim() int { return len(z.center) }
+
+// Order returns the number of generators.
+func (z Zonotope) Order() int { return len(z.generators) }
+
+// Center returns a copy of the center.
+func (z Zonotope) Center() mat.Vec { return z.center.Clone() }
+
+// Generator returns a copy of the i-th generator.
+func (z Zonotope) Generator(i int) mat.Vec { return z.generators[i].Clone() }
+
+// Support evaluates ρ_Z(l) = lᵀc + Σ_i |lᵀg_i|.
+func (z Zonotope) Support(l mat.Vec) float64 {
+	s := l.Dot(z.center)
+	for _, g := range z.generators {
+		s += math.Abs(l.Dot(g))
+	}
+	return s
+}
+
+// LinearMap returns M·Z = { M c + Σ β_i (M g_i) } exactly.
+func (z Zonotope) LinearMap(m *mat.Dense) Zonotope {
+	gs := make([]mat.Vec, len(z.generators))
+	for i, g := range z.generators {
+		gs[i] = m.MulVec(g)
+	}
+	return Zonotope{center: m.MulVec(z.center), generators: gs}
+}
+
+// MinkowskiSum returns Z ⊕ W exactly (concatenated generators).
+func (z Zonotope) MinkowskiSum(w Zonotope) Zonotope {
+	if z.Dim() != w.Dim() {
+		panic(fmt.Sprintf("geom: Minkowski sum dimension mismatch %d vs %d", z.Dim(), w.Dim()))
+	}
+	gs := make([]mat.Vec, 0, len(z.generators)+len(w.generators))
+	for _, g := range z.generators {
+		gs = append(gs, g.Clone())
+	}
+	for _, g := range w.generators {
+		gs = append(gs, g.Clone())
+	}
+	return Zonotope{center: z.center.Add(w.center), generators: gs}
+}
+
+// Translate returns Z + v.
+func (z Zonotope) Translate(v mat.Vec) Zonotope {
+	out := NewZonotope(z.center.Add(v), z.generators...)
+	return out
+}
+
+// BoundingBox returns the tightest axis-aligned box containing Z:
+// c_i ± Σ_j |g_j[i]|.
+func (z Zonotope) BoundingBox() Box {
+	n := z.Dim()
+	radius := mat.NewVec(n)
+	for _, g := range z.generators {
+		for i, v := range g {
+			radius[i] += math.Abs(v)
+		}
+	}
+	return CenteredBox(z.center, radius)
+}
+
+// Reduce returns a zonotope with at most maxGenerators generators that
+// over-approximates Z: the largest generators (by 1-norm) are kept and the
+// rest are absorbed into an axis-aligned box (the standard Girard-style
+// order reduction). maxGenerators below the dimension is clamped up so the
+// box absorption always fits.
+func (z Zonotope) Reduce(maxGenerators int) Zonotope {
+	n := z.Dim()
+	if maxGenerators < n {
+		maxGenerators = n
+	}
+	if len(z.generators) <= maxGenerators {
+		return NewZonotope(z.center, z.generators...)
+	}
+	// Sort generator indices by descending 1-norm.
+	idx := make([]int, len(z.generators))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return z.generators[idx[a]].Norm1() > z.generators[idx[b]].Norm1()
+	})
+	keep := maxGenerators - n
+	gs := make([]mat.Vec, 0, maxGenerators)
+	for _, i := range idx[:keep] {
+		gs = append(gs, z.generators[i].Clone())
+	}
+	// Absorb the rest into per-axis interval generators.
+	radius := mat.NewVec(n)
+	for _, i := range idx[keep:] {
+		for d, v := range z.generators[i] {
+			radius[d] += math.Abs(v)
+		}
+	}
+	for d := 0; d < n; d++ {
+		if radius[d] > 0 {
+			g := mat.NewVec(n)
+			g[d] = radius[d]
+			gs = append(gs, g)
+		}
+	}
+	return Zonotope{center: z.center.Clone(), generators: gs}
+}
+
+// ContainsZonotopeSupport conservatively checks containment of the other
+// zonotope via support functions along ±axis directions and the other's
+// generator directions; it can return false negatives for rotated sets but
+// never false positives along the probed directions. Primarily a test
+// helper for reduction soundness.
+func (z Zonotope) ContainsZonotopeSupport(w Zonotope) bool {
+	n := z.Dim()
+	dirs := make([]mat.Vec, 0, n+len(w.generators))
+	for i := 0; i < n; i++ {
+		dirs = append(dirs, mat.Basis(n, i))
+	}
+	for _, g := range w.generators {
+		if g.Norm2() > 0 {
+			dirs = append(dirs, g)
+		}
+	}
+	const slack = 1e-9
+	for _, d := range dirs {
+		if w.Support(d) > z.Support(d)+slack {
+			return false
+		}
+		neg := d.Scale(-1)
+		if w.Support(neg) > z.Support(neg)+slack {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestZonotopePointSupport(t *testing.T) {
+	z := NewZonotope(mat.VecOf(2, -1))
+	if z.Order() != 0 || z.Dim() != 2 {
+		t.Fatalf("order/dim = %d/%d", z.Order(), z.Dim())
+	}
+	if got := z.Support(mat.VecOf(1, 1)); got != 1 {
+		t.Errorf("point support = %v, want 1", got)
+	}
+}
+
+func TestZonotopeFromBoxSupportMatchesBox(t *testing.T) {
+	b := BoxFromBounds([]float64{-1, 2}, []float64{3, 4})
+	z := ZonotopeFromBox(b)
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		l := mat.VecOf(r.NormFloat64(), r.NormFloat64())
+		if math.Abs(z.Support(l)-b.Support(l)) > 1e-12 {
+			t.Fatalf("support mismatch along %v: %v vs %v", l, z.Support(l), b.Support(l))
+		}
+	}
+}
+
+func TestZonotopeFromBoxSkipsDegenerateDims(t *testing.T) {
+	b := BoxFromBounds([]float64{1, -2}, []float64{1, 2}) // dim 0 is a point
+	z := ZonotopeFromBox(b)
+	if z.Order() != 1 {
+		t.Errorf("order = %d, want 1", z.Order())
+	}
+}
+
+func TestZonotopeFromUnboundedBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZonotopeFromBox(NewBox(Whole()))
+}
+
+func TestZonotopeLinearMapExact(t *testing.T) {
+	// Rotation by 45° of the unit box: support along x becomes √2.
+	z := ZonotopeFromBox(UniformBox(2, -1, 1))
+	th := math.Pi / 4
+	rot := mat.FromRows([][]float64{
+		{math.Cos(th), -math.Sin(th)},
+		{math.Sin(th), math.Cos(th)},
+	})
+	m := z.LinearMap(rot)
+	if got := m.Support(mat.VecOf(1, 0)); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("rotated support = %v, want √2", got)
+	}
+}
+
+func TestZonotopeMinkowskiSumSupportAdds(t *testing.T) {
+	a := ZonotopeFromBox(UniformBox(2, -1, 1))
+	b := ZonotopeFromBox(UniformBox(2, -0.5, 0.5))
+	s := a.MinkowskiSum(b)
+	l := mat.VecOf(0.3, -0.7)
+	if math.Abs(s.Support(l)-(a.Support(l)+b.Support(l))) > 1e-12 {
+		t.Error("Minkowski sum support must add")
+	}
+	if s.Order() != a.Order()+b.Order() {
+		t.Errorf("order = %d", s.Order())
+	}
+}
+
+func TestZonotopeMinkowskiDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZonotope(mat.VecOf(0)).MinkowskiSum(NewZonotope(mat.VecOf(0, 0)))
+}
+
+func TestZonotopeTranslate(t *testing.T) {
+	z := ZonotopeFromBox(UniformBox(1, -1, 1)).Translate(mat.VecOf(5))
+	if got := z.Support(mat.VecOf(1)); got != 6 {
+		t.Errorf("translated support = %v, want 6", got)
+	}
+}
+
+func TestZonotopeBoundingBox(t *testing.T) {
+	// Generators (1,1) and (1,−1): bounding box is ±2 × ±2... no: per axis
+	// |1|+|1| = 2 in x, |1|+|−1| = 2 in y.
+	z := NewZonotope(mat.VecOf(0, 0), mat.VecOf(1, 1), mat.VecOf(1, -1))
+	bb := z.BoundingBox()
+	if bb.Interval(0).Hi != 2 || bb.Interval(1).Hi != 2 || bb.Interval(0).Lo != -2 {
+		t.Errorf("bounding box = %v", bb)
+	}
+	// The box must dominate the zonotope's support in every direction.
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		l := mat.VecOf(r.NormFloat64(), r.NormFloat64())
+		if z.Support(l) > bb.Support(l)+1e-12 {
+			t.Fatalf("bounding box fails to dominate along %v", l)
+		}
+	}
+}
+
+func TestZonotopeReduceSoundAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	gens := make([]mat.Vec, 20)
+	for i := range gens {
+		gens[i] = mat.VecOf(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+	}
+	z := NewZonotope(mat.VecOf(1, -2, 0.5), gens...)
+	red := z.Reduce(8)
+	if red.Order() > 8 {
+		t.Fatalf("reduced order = %d, want <= 8", red.Order())
+	}
+	// Soundness: the reduced zonotope over-approximates the original in
+	// every probed direction.
+	for trial := 0; trial < 200; trial++ {
+		l := mat.VecOf(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		if z.Support(l) > red.Support(l)+1e-9 {
+			t.Fatalf("reduction lost mass along %v: %v > %v", l, z.Support(l), red.Support(l))
+		}
+	}
+	// No-op when already small.
+	same := red.Reduce(100)
+	if same.Order() != red.Order() {
+		t.Error("no-op reduction changed the order")
+	}
+}
+
+func TestZonotopeReduceClampsBelowDimension(t *testing.T) {
+	z := NewZonotope(mat.NewVec(3),
+		mat.VecOf(1, 0, 0), mat.VecOf(0, 1, 0), mat.VecOf(0, 0, 1), mat.VecOf(1, 1, 1))
+	red := z.Reduce(1) // clamped to n = 3
+	if red.Order() > 3 {
+		t.Errorf("order = %d, want <= 3", red.Order())
+	}
+}
+
+func TestContainsZonotopeSupport(t *testing.T) {
+	inner := ZonotopeFromBox(UniformBox(2, -1, 1))
+	outer := ZonotopeFromBox(UniformBox(2, -2, 2))
+	if !outer.ContainsZonotopeSupport(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsZonotopeSupport(outer) {
+		t.Error("inner should not contain outer")
+	}
+}
+
+func TestZonotopeCopiesInputs(t *testing.T) {
+	c := mat.VecOf(1)
+	g := mat.VecOf(2)
+	z := NewZonotope(c, g)
+	c[0], g[0] = 99, 99
+	if z.Center()[0] != 1 || z.Generator(0)[0] != 2 {
+		t.Error("zonotope aliased caller slices")
+	}
+}
+
+func TestZonotopeValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewZonotope(mat.Vec{}) },
+		func() { NewZonotope(mat.VecOf(0, 0), mat.VecOf(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

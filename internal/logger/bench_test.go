@@ -1,0 +1,36 @@
+package logger
+
+import (
+	"testing"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+func BenchmarkObserve(b *testing.B) {
+	sys := lti.MustNew(mat.Diag(0.9, 0.8, 0.7), mat.ColVec(mat.VecOf(1, 0, 0)), nil, 0.02)
+	l := New(sys, 40)
+	est := mat.VecOf(1, 2, 3)
+	u := mat.VecOf(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Observe(est, u)
+	}
+}
+
+func BenchmarkResidualsWindow40(b *testing.B) {
+	sys := lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 0.02)
+	l := New(sys, 40)
+	for i := 0; i < 100; i++ {
+		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+	}
+	t := l.Current()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := l.Residuals(t-40, t); !ok {
+			b.Fatal("window missing")
+		}
+	}
+}

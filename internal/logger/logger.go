@@ -1,0 +1,186 @@
+// Package logger implements the paper's Data Logger (Sec. 5): a
+// sliding-window protocol that, at every control step, computes the residual
+// z_t = |x̂_t − x̃_t| against the one-step model prediction
+// x̃_t = A x̂_{t−1} + B u_{t−1}, then buffers, holds, and releases data:
+//
+//   - Buffer: samples inside the current detection window w_c — possibly
+//     compromised, still being checked by the detector.
+//   - Hold: samples older than the current window but within the sliding
+//     window w_m — trusted, needed as reachability initial states.
+//   - Release: samples older than t − w_m − 1 — dropped to bound storage.
+//
+// The sliding-window size is fixed at the maximum detection window w_m
+// (Sec. 4.3) so both the Adaptive Detector and the Deadline Estimator always
+// find the samples they need, however the detection window moves.
+package logger
+
+import (
+	"fmt"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// Entry is one logged control step.
+type Entry struct {
+	Step     int
+	Estimate mat.Vec // state estimate x̂_t as delivered by the sensors
+	Residual mat.Vec // |x̂_t − x̃_t|, element-wise
+}
+
+// Status classifies an entry relative to the current detection window.
+type Status int
+
+// Statuses in the order the protocol ages data: buffered while under
+// detection, held while trusted history, released once past w_m.
+const (
+	Buffered Status = iota // inside the detection window, under scrutiny
+	Held                   // outside the detection window, trusted
+	Released               // outside the sliding window, dropped
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Buffered:
+		return "buffered"
+	case Held:
+		return "held"
+	case Released:
+		return "released"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Logger records estimates and residuals over the sliding window.
+type Logger struct {
+	sys      *lti.System
+	maxWin   int // w_m
+	entries  []Entry
+	nextStep int
+	prevEst  mat.Vec
+}
+
+// New returns a logger for the given plant model with sliding window w_m.
+func New(sys *lti.System, maxWin int) *Logger {
+	if maxWin < 1 {
+		panic(fmt.Sprintf("logger: maximum window %d must be >= 1", maxWin))
+	}
+	return &Logger{sys: sys, maxWin: maxWin}
+}
+
+// MaxWindow returns w_m.
+func (l *Logger) MaxWindow() int { return l.maxWin }
+
+// Len returns the number of retained entries.
+func (l *Logger) Len() int { return len(l.entries) }
+
+// Observe logs the state estimate received at the next control step together
+// with the control input that drove the transition into it — i.e. at step t
+// pass x̂_t and u_{t−1}, so the residual is
+// |x̂_t − (A x̂_{t−1} + B u_{t−1})| exactly as Sec. 5 defines it. A nil
+// transitionU is treated as zero input. For the first step there is no
+// prediction, so the residual is zero.
+func (l *Logger) Observe(estimate, transitionU mat.Vec) Entry {
+	if len(estimate) != l.sys.StateDim() {
+		panic(fmt.Sprintf("logger: estimate dimension %d, want %d", len(estimate), l.sys.StateDim()))
+	}
+	residual := mat.NewVec(l.sys.StateDim())
+	if l.prevEst != nil {
+		u := transitionU
+		if u == nil {
+			u = mat.NewVec(l.sys.InputDim())
+		}
+		predicted := l.sys.Predict(l.prevEst, u)
+		residual = estimate.Sub(predicted).Abs()
+	}
+	e := Entry{Step: l.nextStep, Estimate: estimate.Clone(), Residual: residual}
+	l.entries = append(l.entries, e)
+	l.prevEst = estimate.Clone()
+	l.nextStep++
+
+	// Release: keep exactly the sliding window [t − w_m − 1, t].
+	if excess := len(l.entries) - (l.maxWin + 2); excess > 0 {
+		l.entries = l.entries[excess:]
+	}
+	return e
+}
+
+// Current returns the latest logged step index, or -1 if nothing is logged.
+func (l *Logger) Current() int { return l.nextStep - 1 }
+
+// Entry returns the logged entry for an absolute step, if still retained.
+func (l *Logger) Entry(step int) (Entry, bool) {
+	if len(l.entries) == 0 {
+		return Entry{}, false
+	}
+	first := l.entries[0].Step
+	idx := step - first
+	if idx < 0 || idx >= len(l.entries) {
+		return Entry{}, false
+	}
+	return l.entries[idx], true
+}
+
+// Residuals returns the residual vectors for the inclusive step range
+// [from, to]. It returns false if any step in the range is no longer (or not
+// yet) retained.
+func (l *Logger) Residuals(from, to int) ([]mat.Vec, bool) {
+	if from > to {
+		return nil, false
+	}
+	out := make([]mat.Vec, 0, to-from+1)
+	for s := from; s <= to; s++ {
+		e, ok := l.Entry(s)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, e.Residual)
+	}
+	return out, true
+}
+
+// TrustedEstimate returns the latest trustworthy state estimate for a
+// detection window of size w ending at the current step: x̂_{t−w−1}
+// (Sec. 3.3.1). ok is false when that step has been released or not yet
+// observed. For w such that t−w−1 < 0, the first logged estimate is returned
+// (run prefix is trusted by assumption).
+func (l *Logger) TrustedEstimate(w int) (mat.Vec, bool) {
+	if w < 0 {
+		panic(fmt.Sprintf("logger: negative window %d", w))
+	}
+	t := l.Current()
+	if t < 0 {
+		return nil, false
+	}
+	step := t - w - 1
+	if step < 0 {
+		step = 0
+	}
+	e, ok := l.Entry(step)
+	if !ok {
+		return nil, false
+	}
+	return e.Estimate, true
+}
+
+// StatusOf classifies step s under the current detection window w.
+func (l *Logger) StatusOf(s, w int) Status {
+	t := l.Current()
+	switch {
+	case s < t-l.maxWin-1:
+		return Released
+	case s >= t-w:
+		return Buffered
+	default:
+		return Held
+	}
+}
+
+// Reset clears all state for a fresh run.
+func (l *Logger) Reset() {
+	l.entries = l.entries[:0]
+	l.nextStep = 0
+	l.prevEst = nil
+}

@@ -1,0 +1,138 @@
+package logger
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// Property-based tests of the sliding-window protocol invariants under
+// arbitrary observation streams (testing/quick drives the inputs).
+
+func quickSys() *lti.System {
+	return lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 1)
+}
+
+// Invariant: after any observation sequence, exactly the steps
+// [max(0, t−w_m−1), t] are retained.
+func TestQuickRetentionWindowInvariant(t *testing.T) {
+	f := func(values []float64, wmRaw uint8) bool {
+		if len(values) == 0 {
+			return true
+		}
+		wm := int(wmRaw%20) + 1
+		l := New(quickSys(), wm)
+		for _, v := range values {
+			l.Observe(mat.VecOf(clampQuick(v)), mat.VecOf(0))
+		}
+		tNow := len(values) - 1
+		first := tNow - wm - 1
+		if first < 0 {
+			first = 0
+		}
+		// Everything in [first, tNow] present; everything before absent.
+		for s := first; s <= tNow; s++ {
+			if _, ok := l.Entry(s); !ok {
+				return false
+			}
+		}
+		if first > 0 {
+			if _, ok := l.Entry(first - 1); ok {
+				return false
+			}
+		}
+		return l.Current() == tNow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: residuals are always element-wise non-negative and finite for
+// finite inputs.
+func TestQuickResidualNonNegativeInvariant(t *testing.T) {
+	f := func(values []float64) bool {
+		l := New(quickSys(), 8)
+		for _, v := range values {
+			e := l.Observe(mat.VecOf(clampQuick(v)), mat.VecOf(0))
+			for _, r := range e.Residual {
+				if !(r >= 0) { // catches negatives and NaN
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: TrustedEstimate(w) always returns the estimate logged at step
+// max(0, t−w−1) while that step is retained.
+func TestQuickTrustedEstimateIndexInvariant(t *testing.T) {
+	f := func(count uint8, wRaw uint8) bool {
+		n := int(count%40) + 1
+		wm := 15
+		w := int(wRaw) % (wm + 1)
+		l := New(quickSys(), wm)
+		for i := 0; i < n; i++ {
+			l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+		}
+		want := n - 1 - w - 1
+		if want < 0 {
+			want = 0
+		}
+		est, ok := l.TrustedEstimate(w)
+		if want < n-wm-2 {
+			// Released; protocol cannot supply it.
+			return !ok
+		}
+		return ok && est[0] == float64(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: Residuals(from, to) returns exactly to−from+1 entries whenever
+// the whole range is retained, and fails otherwise — never a partial slice.
+func TestQuickResidualsAllOrNothingInvariant(t *testing.T) {
+	f := func(count, fromRaw, lenRaw uint8) bool {
+		n := int(count%30) + 1
+		l := New(quickSys(), 10)
+		for i := 0; i < n; i++ {
+			l.Observe(mat.VecOf(0), mat.VecOf(0))
+		}
+		from := int(fromRaw % 35)
+		to := from + int(lenRaw%10)
+		rs, ok := l.Residuals(from, to)
+		oldest := n - 1 - 10 - 1
+		if oldest < 0 {
+			oldest = 0
+		}
+		inRange := from >= oldest && to <= n-1
+		if inRange != ok {
+			return false
+		}
+		return !ok || len(rs) == to-from+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampQuick(v float64) float64 {
+	switch {
+	case v != v: // NaN
+		return 0
+	case v > 1e6:
+		return 1e6
+	case v < -1e6:
+		return -1e6
+	default:
+		return v
+	}
+}

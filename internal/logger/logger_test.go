@@ -1,0 +1,244 @@
+package logger
+
+import (
+	"testing"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// plant x_{t+1} = x_t + u_t, scalar.
+func testSys(t *testing.T) *lti.System {
+	t.Helper()
+	s, err := lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFirstObservationZeroResidual(t *testing.T) {
+	l := New(testSys(t), 5)
+	e := l.Observe(mat.VecOf(3), mat.VecOf(0))
+	if e.Step != 0 {
+		t.Errorf("first step = %d", e.Step)
+	}
+	if e.Residual[0] != 0 {
+		t.Errorf("first residual = %v, want 0", e.Residual)
+	}
+}
+
+func TestResidualMatchesPrediction(t *testing.T) {
+	l := New(testSys(t), 5)
+	l.Observe(mat.VecOf(1), nil)
+	// Transition applied u=2: prediction = 1 + 2 = 3; estimate 3.5.
+	e := l.Observe(mat.VecOf(3.5), mat.VecOf(2))
+	if e.Residual[0] != 0.5 {
+		t.Errorf("residual = %v, want 0.5", e.Residual[0])
+	}
+	// Residual is absolute: an estimate below prediction gives the same.
+	l2 := New(testSys(t), 5)
+	l2.Observe(mat.VecOf(1), nil)
+	e2 := l2.Observe(mat.VecOf(2.5), mat.VecOf(2))
+	if e2.Residual[0] != 0.5 {
+		t.Errorf("abs residual = %v, want 0.5", e2.Residual[0])
+	}
+}
+
+func TestNilInputTreatedAsZero(t *testing.T) {
+	l := New(testSys(t), 5)
+	l.Observe(mat.VecOf(1), nil)
+	// nil transition input: prediction = 1 + 0 = 1.
+	e := l.Observe(mat.VecOf(1.25), nil)
+	if e.Residual[0] != 0.25 {
+		t.Errorf("residual = %v, want 0.25", e.Residual[0])
+	}
+}
+
+func TestReleaseKeepsSlidingWindow(t *testing.T) {
+	wm := 4
+	l := New(testSys(t), wm)
+	for i := 0; i < 20; i++ {
+		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+	}
+	// Retained steps must be exactly [t - wm - 1, t] = [14, 19].
+	if l.Len() != wm+2 {
+		t.Fatalf("retained %d entries, want %d", l.Len(), wm+2)
+	}
+	if _, ok := l.Entry(13); ok {
+		t.Error("step 13 should have been released")
+	}
+	if _, ok := l.Entry(14); !ok {
+		t.Error("step 14 should be retained")
+	}
+	if _, ok := l.Entry(19); !ok {
+		t.Error("current step should be retained")
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	l := New(testSys(t), 10)
+	for i := 0; i < 5; i++ {
+		l.Observe(mat.VecOf(float64(i*i)), mat.VecOf(0))
+	}
+	e, ok := l.Entry(3)
+	if !ok || e.Estimate[0] != 9 {
+		t.Errorf("Entry(3) = %+v ok=%v", e, ok)
+	}
+	if _, ok := l.Entry(5); ok {
+		t.Error("future step lookup should fail")
+	}
+	if _, ok := l.Entry(-1); ok {
+		t.Error("negative step lookup should fail")
+	}
+}
+
+func TestResidualsRange(t *testing.T) {
+	l := New(testSys(t), 10)
+	for i := 0; i < 6; i++ {
+		l.Observe(mat.VecOf(float64(i)*2), mat.VecOf(0)) // prediction is prev; residual 2 after first
+	}
+	rs, ok := l.Residuals(1, 5)
+	if !ok || len(rs) != 5 {
+		t.Fatalf("Residuals = %v entries, ok=%v", len(rs), ok)
+	}
+	for i, r := range rs {
+		if r[0] != 2 {
+			t.Errorf("residual %d = %v, want 2", i, r[0])
+		}
+	}
+	if _, ok := l.Residuals(4, 2); ok {
+		t.Error("inverted range should fail")
+	}
+	if _, ok := l.Residuals(0, 9); ok {
+		t.Error("range beyond current should fail")
+	}
+}
+
+func TestTrustedEstimate(t *testing.T) {
+	l := New(testSys(t), 10)
+	for i := 0; i < 8; i++ {
+		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+	}
+	// t = 7, window 3 => trusted step is 7-3-1 = 3.
+	est, ok := l.TrustedEstimate(3)
+	if !ok || est[0] != 3 {
+		t.Errorf("TrustedEstimate(3) = %v ok=%v, want step-3 estimate", est, ok)
+	}
+	// Window so large it predates the run: clamps to the first entry.
+	est, ok = l.TrustedEstimate(100)
+	if !ok || est[0] != 0 {
+		t.Errorf("clamped TrustedEstimate = %v ok=%v", est, ok)
+	}
+}
+
+func TestTrustedEstimateReleased(t *testing.T) {
+	l := New(testSys(t), 3)
+	for i := 0; i < 20; i++ {
+		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+	}
+	// Step t-w-1 with w = wm is the oldest retained entry: must succeed.
+	if _, ok := l.TrustedEstimate(3); !ok {
+		t.Error("TrustedEstimate at exactly the sliding-window edge failed")
+	}
+}
+
+func TestTrustedEstimateEmpty(t *testing.T) {
+	l := New(testSys(t), 3)
+	if _, ok := l.TrustedEstimate(1); ok {
+		t.Error("TrustedEstimate on empty logger should fail")
+	}
+}
+
+func TestTrustedEstimateNegativeWindowPanics(t *testing.T) {
+	l := New(testSys(t), 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.TrustedEstimate(-1)
+}
+
+func TestStatusOf(t *testing.T) {
+	wm := 5
+	l := New(testSys(t), wm)
+	for i := 0; i <= 20; i++ {
+		l.Observe(mat.VecOf(0), mat.VecOf(0))
+	}
+	// t = 20, detection window w = 3.
+	w := 3
+	if s := l.StatusOf(20, w); s != Buffered {
+		t.Errorf("current step status = %v", s)
+	}
+	if s := l.StatusOf(17, w); s != Buffered {
+		t.Errorf("t-w status = %v, want buffered", s)
+	}
+	if s := l.StatusOf(16, w); s != Held {
+		t.Errorf("t-w-1 status = %v, want held", s)
+	}
+	if s := l.StatusOf(14, w); s != Held {
+		t.Errorf("t-wm-1 status = %v, want held", s)
+	}
+	if s := l.StatusOf(13, w); s != Released {
+		t.Errorf("pre-window status = %v, want released", s)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Buffered.String() != "buffered" || Held.String() != "held" || Released.String() != "released" {
+		t.Error("status names wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status rendering wrong")
+	}
+}
+
+func TestObserveDoesNotAliasArguments(t *testing.T) {
+	l := New(testSys(t), 5)
+	est := mat.VecOf(1)
+	l.Observe(est, nil)
+	est[0] = 99
+	e, _ := l.Entry(0)
+	if e.Estimate[0] != 1 {
+		t.Error("logger aliased estimate")
+	}
+	// The prediction for the next step must use the original estimate 1.
+	next := l.Observe(mat.VecOf(3), mat.VecOf(2))
+	if next.Residual[0] != 0 {
+		t.Errorf("prediction used aliased estimate; residual = %v", next.Residual[0])
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(testSys(t), 5)
+	l.Observe(mat.VecOf(1), mat.VecOf(1))
+	l.Observe(mat.VecOf(2), mat.VecOf(1))
+	l.Reset()
+	if l.Current() != -1 || l.Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+	e := l.Observe(mat.VecOf(5), mat.VecOf(0))
+	if e.Step != 0 || e.Residual[0] != 0 {
+		t.Errorf("post-reset first entry = %+v", e)
+	}
+}
+
+func TestBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(testSys(t), 0)
+}
+
+func TestObserveDimensionPanics(t *testing.T) {
+	l := New(testSys(t), 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Observe(mat.VecOf(1, 2), mat.VecOf(0))
+}

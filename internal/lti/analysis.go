@@ -1,0 +1,176 @@
+package lti
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Structural analysis helpers. The detection pipeline's guarantees lean on
+// standard system-theoretic properties: the deadline estimator needs the
+// input matrix to actually excite the unsafe directions, the observer
+// (internal/estim) needs observability, and the recovery LQR
+// (internal/recovery) needs stabilizability. These checks let model
+// definitions and tests assert those properties instead of assuming them.
+
+// ControllabilityMatrix returns [B, AB, A²B, …, A^{n−1}B] (n × n·m).
+func (s *System) ControllabilityMatrix() *mat.Dense {
+	n, m := s.StateDim(), s.InputDim()
+	out := mat.NewDense(n, n*m)
+	block := s.B.Clone()
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				out.Set(i, k*m+j, block.At(i, j))
+			}
+		}
+		block = s.A.Mul(block)
+	}
+	return out
+}
+
+// ObservabilityMatrix returns [C; CA; CA²; …; CA^{n−1}] (n·p × n).
+func (s *System) ObservabilityMatrix() *mat.Dense {
+	n, p := s.StateDim(), s.OutputDim()
+	out := mat.NewDense(n*p, n)
+	block := s.C.Clone()
+	for k := 0; k < n; k++ {
+		for i := 0; i < p; i++ {
+			for j := 0; j < n; j++ {
+				out.Set(k*p+i, j, block.At(i, j))
+			}
+		}
+		block = block.Mul(s.A)
+	}
+	return out
+}
+
+// Rank estimates the numerical rank of m via Gaussian elimination with
+// partial pivoting, treating pivots below tol·‖m‖_inf as zero. tol <= 0
+// defaults to 1e-10.
+func Rank(m *mat.Dense, tol float64) int {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	rows, cols := m.Rows(), m.Cols()
+	work := m.Clone()
+	threshold := tol * (1 + work.NormInf())
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		// Find the largest pivot in this column at or below row `rank`.
+		p, best := -1, threshold
+		for r := rank; r < rows; r++ {
+			v := work.At(r, col)
+			if v < 0 {
+				v = -v
+			}
+			if v > best {
+				best, p = v, r
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		// Swap rows p and rank.
+		if p != rank {
+			for j := 0; j < cols; j++ {
+				a, b := work.At(rank, j), work.At(p, j)
+				work.Set(rank, j, b)
+				work.Set(p, j, a)
+			}
+		}
+		// Eliminate below.
+		d := work.At(rank, col)
+		for r := rank + 1; r < rows; r++ {
+			f := work.At(r, col) / d
+			if f == 0 {
+				continue
+			}
+			for j := col; j < cols; j++ {
+				work.Set(r, j, work.At(r, j)-f*work.At(rank, j))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// IsControllable reports whether (A, B) is controllable (Kalman rank test).
+func (s *System) IsControllable() bool {
+	return Rank(s.ControllabilityMatrix(), 0) == s.StateDim()
+}
+
+// IsObservable reports whether (A, C) is observable (Kalman rank test).
+func (s *System) IsObservable() bool {
+	return Rank(s.ObservabilityMatrix(), 0) == s.StateDim()
+}
+
+// SpectralRadiusUpperBound returns a cheap upper bound on the spectral
+// radius of A via min(‖A^k‖_inf^{1/k}) over a few powers — enough to certify
+// stability (ρ < 1) for the evaluation plants without an eigensolver.
+func (s *System) SpectralRadiusUpperBound() float64 {
+	best := s.A.NormInf()
+	p := s.A.Clone()
+	k := 1
+	for i := 0; i < 6; i++ { // powers 2, 4, 8, 16, 32, 64
+		p = p.Mul(p)
+		k *= 2
+		root := nthRoot(p.NormInf(), k)
+		if root < best {
+			best = root
+		}
+	}
+	return best
+}
+
+func nthRoot(v float64, n int) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Pow(v, 1/float64(n))
+}
+
+// ControllabilityGramian returns the finite-horizon Gramian
+// W = Σ_{k=0}^{T−1} A^k B Bᵀ (A^k)ᵀ: the energy map from input sequences to
+// states. Its smallest eigenvalue quantifies how hard the least-excitable
+// direction is to reach — the quantitative version of IsControllable.
+func (s *System) ControllabilityGramian(horizon int) *mat.Dense {
+	if horizon < 1 {
+		panic("lti: Gramian horizon must be >= 1")
+	}
+	n := s.StateDim()
+	w := mat.NewDense(n, n)
+	ab := s.B.Clone()
+	for k := 0; k < horizon; k++ {
+		w = w.Add(ab.Mul(ab.T()))
+		ab = s.A.Mul(ab)
+	}
+	return w
+}
+
+// ObservabilityGramian returns Σ_{k=0}^{T−1} (A^k)ᵀ Cᵀ C A^k, the dual map
+// from initial states to output energy.
+func (s *System) ObservabilityGramian(horizon int) *mat.Dense {
+	if horizon < 1 {
+		panic("lti: Gramian horizon must be >= 1")
+	}
+	n := s.StateDim()
+	w := mat.NewDense(n, n)
+	ca := s.C.Clone()
+	for k := 0; k < horizon; k++ {
+		w = w.Add(ca.T().Mul(ca))
+		ca = ca.Mul(s.A)
+	}
+	return w
+}
+
+// GramianConditioning returns the smallest and largest eigenvalues of a
+// (symmetric PSD) Gramian — the quantitative controllability/observability
+// margins.
+func GramianConditioning(w *mat.Dense) (min, max float64, err error) {
+	eig, _, err := mat.JacobiEigen(w, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return eig.Min(), eig.Max(), nil
+}

@@ -1,0 +1,162 @@
+package lti
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestControllabilityMatrixShapeAndContent(t *testing.T) {
+	// A = [[1,1],[0,1]], B = [0;1]: ctrb = [B, AB] = [[0,1],[1,1]].
+	sys := MustNew(
+		mat.FromRows([][]float64{{1, 1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 1)), nil, 1)
+	c := sys.ControllabilityMatrix()
+	want := mat.FromRows([][]float64{{0, 1}, {1, 1}})
+	if !c.Equal(want, 1e-12) {
+		t.Errorf("ctrb = %v", c)
+	}
+}
+
+func TestObservabilityMatrixShapeAndContent(t *testing.T) {
+	// C = [1 0], A = [[1,1],[0,1]]: obsv = [C; CA] = [[1,0],[1,1]].
+	sys := MustNew(
+		mat.FromRows([][]float64{{1, 1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 1)),
+		mat.FromRows([][]float64{{1, 0}}), 1)
+	o := sys.ObservabilityMatrix()
+	want := mat.FromRows([][]float64{{1, 0}, {1, 1}})
+	if !o.Equal(want, 1e-12) {
+		t.Errorf("obsv = %v", o)
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		m    *mat.Dense
+		want int
+	}{
+		{mat.Identity(3), 3},
+		{mat.NewDense(3, 3), 0},
+		{mat.FromRows([][]float64{{1, 2}, {2, 4}}), 1},
+		{mat.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}), 2},
+		{mat.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}}), 2},
+		{mat.FromRows([][]float64{{0, 1}, {1, 0}}), 2}, // needs pivoting
+	}
+	for i, c := range cases {
+		if got := Rank(c.m, 0); got != c.want {
+			t.Errorf("case %d: rank = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestControllabilityObservabilityVerdicts(t *testing.T) {
+	// Double integrator with force input: controllable; position output:
+	// observable.
+	sys := MustNew(
+		mat.FromRows([][]float64{{1, 0.1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 0.1)),
+		mat.FromRows([][]float64{{1, 0}}), 0.1)
+	if !sys.IsControllable() || !sys.IsObservable() {
+		t.Error("double integrator should be controllable and observable")
+	}
+
+	// Decoupled second mode with no input path: uncontrollable.
+	unctrl := MustNew(
+		mat.FromRows([][]float64{{0.5, 0}, {0, 0.7}}),
+		mat.ColVec(mat.VecOf(1, 0)), nil, 1)
+	if unctrl.IsControllable() {
+		t.Error("decoupled mode without input should be uncontrollable")
+	}
+
+	// Velocity-only output of the double integrator: position unobservable.
+	unobs := MustNew(
+		mat.FromRows([][]float64{{1, 0.1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0, 0.1)),
+		mat.FromRows([][]float64{{0, 1}}), 0.1)
+	if unobs.IsObservable() {
+		t.Error("velocity-only output should leave position unobservable")
+	}
+}
+
+func TestSpectralRadiusUpperBound(t *testing.T) {
+	stable := MustNew(mat.Diag(0.5, -0.8), mat.NewDense(2, 1).Add(mat.NewDense(2, 1)), nil, 1)
+	if b := stable.SpectralRadiusUpperBound(); b >= 1 || b < 0.8-1e-9 {
+		t.Errorf("stable bound = %v, want in [0.8, 1)", b)
+	}
+	unstable := MustNew(mat.Diag(1.2), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if b := unstable.SpectralRadiusUpperBound(); b < 1.2-1e-9 {
+		t.Errorf("unstable bound = %v, must be >= 1.2", b)
+	}
+	// The shear matrix has eigenvalue 1 but ‖A‖ > 1: the power bound must
+	// tighten toward 1.
+	shear := MustNew(mat.FromRows([][]float64{{1, 1}, {0, 1}}), mat.ColVec(mat.VecOf(0, 1)), nil, 1)
+	if b := shear.SpectralRadiusUpperBound(); b > 1.3 {
+		t.Errorf("shear bound = %v, want close to 1", b)
+	}
+}
+
+func TestControllabilityGramianScalar(t *testing.T) {
+	// x' = 0.5x + u over 3 steps: W = 1 + 0.25 + 0.0625 = 1.3125.
+	sys := MustNew(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)), nil, 1)
+	w := sys.ControllabilityGramian(3)
+	if got := w.At(0, 0); got != 1.3125 {
+		t.Errorf("Gramian = %v, want 1.3125", got)
+	}
+}
+
+func TestObservabilityGramianScalar(t *testing.T) {
+	// y = 2x, A = 0.5, 2 steps: W = 4 + 4·0.25 = 5.
+	sys := MustNew(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)),
+		mat.FromRows([][]float64{{2}}), 1)
+	w := sys.ObservabilityGramian(2)
+	if got := w.At(0, 0); got != 5 {
+		t.Errorf("Gramian = %v, want 5", got)
+	}
+}
+
+func TestGramianConditioningDetectsWeakDirection(t *testing.T) {
+	// Input reaches only dim 0 directly; dim 1 fills in weakly through the
+	// coupling, so the Gramian's minimum eigenvalue is much smaller than
+	// its maximum.
+	sys := MustNew(
+		mat.FromRows([][]float64{{0.9, 0}, {0.05, 0.9}}),
+		mat.ColVec(mat.VecOf(1, 0)), nil, 0.1)
+	w := sys.ControllabilityGramian(20)
+	lo, hi, err := GramianConditioning(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= 0 {
+		t.Errorf("min eigenvalue %v should be positive (controllable)", lo)
+	}
+	if hi/lo < 10 {
+		t.Errorf("conditioning %v too benign for a weakly coupled mode", hi/lo)
+	}
+	// The fully decoupled variant is uncontrollable: min eigenvalue ~0.
+	dec := MustNew(mat.Diag(0.9, 0.9), mat.ColVec(mat.VecOf(1, 0)), nil, 0.1)
+	lo2, _, err := GramianConditioning(dec.ControllabilityGramian(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo2 > 1e-9 {
+		t.Errorf("uncontrollable Gramian min eigenvalue = %v, want ~0", lo2)
+	}
+}
+
+func TestGramianHorizonPanics(t *testing.T) {
+	sys := MustNew(mat.Diag(1), mat.ColVec(mat.VecOf(1)), nil, 1)
+	for i, fn := range []func(){
+		func() { sys.ControllabilityGramian(0) },
+		func() { sys.ObservabilityGramian(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

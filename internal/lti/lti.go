@@ -1,0 +1,165 @@
+// Package lti models discrete linear time-invariant physical systems,
+// the plant class of the paper (Eq. (1)):
+//
+//	x_{t+1} = A x_t + B u_t + v_t
+//
+// with v_t a bounded per-step uncertainty. Continuous-time models are
+// converted with Discretize, which uses the exact zero-order-hold solution
+// computed via an augmented matrix exponential.
+package lti
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// System is a discrete-time LTI system x_{t+1} = A x_t + B u_t (+ v_t),
+// y_t = C x_t. Dt records the control step size δ in seconds for
+// presentation purposes; the dynamics themselves are purely step-indexed.
+type System struct {
+	A  *mat.Dense // n x n state matrix
+	B  *mat.Dense // n x m input matrix
+	C  *mat.Dense // p x n output matrix (identity when fully observable)
+	Dt float64    // control step size in seconds
+}
+
+// New validates shapes and returns a discrete LTI system. A nil c defaults
+// to the identity (fully observable state, as the paper assumes).
+func New(a, b, c *mat.Dense, dt float64) (*System, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("lti: A must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	if b.Rows() != a.Rows() {
+		return nil, fmt.Errorf("lti: B rows %d != state dimension %d", b.Rows(), a.Rows())
+	}
+	if c == nil {
+		c = mat.Identity(a.Rows())
+	}
+	if c.Cols() != a.Rows() {
+		return nil, fmt.Errorf("lti: C cols %d != state dimension %d", c.Cols(), a.Rows())
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("lti: non-positive step size %v", dt)
+	}
+	return &System{A: a, B: b, C: c, Dt: dt}, nil
+}
+
+// MustNew is New but panics on error; for package-level model tables.
+func MustNew(a, b, c *mat.Dense, dt float64) *System {
+	s, err := New(a, b, c, dt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// StateDim returns n, the state dimension.
+func (s *System) StateDim() int { return s.A.Rows() }
+
+// InputDim returns m, the input dimension.
+func (s *System) InputDim() int { return s.B.Cols() }
+
+// OutputDim returns p, the output dimension.
+func (s *System) OutputDim() int { return s.C.Rows() }
+
+// Step advances the state one control period: A x + B u + v.
+// v may be nil for the nominal (disturbance-free) prediction; this is
+// exactly the predicted state x̃_t = A x̂_{t-1} + B u_{t-1} of Sec. 4.1.
+func (s *System) Step(x mat.Vec, u mat.Vec, v mat.Vec) mat.Vec {
+	if len(x) != s.StateDim() {
+		panic(fmt.Sprintf("lti: state dimension %d, want %d", len(x), s.StateDim()))
+	}
+	if len(u) != s.InputDim() {
+		panic(fmt.Sprintf("lti: input dimension %d, want %d", len(u), s.InputDim()))
+	}
+	next := s.A.MulVec(x)
+	next.AddInPlace(s.B.MulVec(u))
+	if v != nil {
+		if len(v) != s.StateDim() {
+			panic(fmt.Sprintf("lti: disturbance dimension %d, want %d", len(v), s.StateDim()))
+		}
+		next.AddInPlace(v)
+	}
+	return next
+}
+
+// Output returns y = C x.
+func (s *System) Output(x mat.Vec) mat.Vec { return s.C.MulVec(x) }
+
+// Predict is an alias for the nominal one-step prediction used by the Data
+// Logger when forming residuals.
+func (s *System) Predict(x mat.Vec, u mat.Vec) mat.Vec { return s.Step(x, u, nil) }
+
+// Discretize converts a continuous-time system ẋ = Ac x + Bc u into the
+// exact zero-order-hold discrete system over step dt, using the standard
+// augmented-exponential identity:
+//
+//	exp([Ac Bc; 0 0]·dt) = [Ad Bd; 0 I]
+//
+// This avoids inverting Ac and is exact for LTI dynamics under piecewise-
+// constant inputs, which matches the paper's control-step model.
+func Discretize(ac, bc *mat.Dense, c *mat.Dense, dt float64) (*System, error) {
+	if ac.Rows() != ac.Cols() {
+		return nil, fmt.Errorf("lti: Ac must be square, got %dx%d", ac.Rows(), ac.Cols())
+	}
+	if bc.Rows() != ac.Rows() {
+		return nil, fmt.Errorf("lti: Bc rows %d != state dimension %d", bc.Rows(), ac.Rows())
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("lti: non-positive step size %v", dt)
+	}
+	n, m := ac.Rows(), bc.Cols()
+	aug := mat.NewDense(n+m, n+m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			aug.Set(i, j, ac.At(i, j)*dt)
+		}
+		for j := 0; j < m; j++ {
+			aug.Set(i, n+j, bc.At(i, j)*dt)
+		}
+	}
+	e := mat.Expm(aug)
+	ad := mat.NewDense(n, n)
+	bd := mat.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ad.Set(i, j, e.At(i, j))
+		}
+		for j := 0; j < m; j++ {
+			bd.Set(i, j, e.At(i, n+j))
+		}
+	}
+	return New(ad, bd, c, dt)
+}
+
+// MustDiscretize is Discretize but panics on error.
+func MustDiscretize(ac, bc *mat.Dense, c *mat.Dense, dt float64) *System {
+	s, err := Discretize(ac, bc, c, dt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Simulate rolls the system forward from x0 applying inputs us[t] and
+// disturbances vs[t] (vs may be nil, or contain nil entries). It returns the
+// state trajectory of length len(us)+1 including x0. This is the open-loop
+// building block; closed-loop simulation lives in internal/sim.
+func (s *System) Simulate(x0 mat.Vec, us []mat.Vec, vs []mat.Vec) []mat.Vec {
+	if vs != nil && len(vs) != len(us) {
+		panic(fmt.Sprintf("lti: %d disturbances for %d inputs", len(vs), len(us)))
+	}
+	traj := make([]mat.Vec, len(us)+1)
+	traj[0] = x0.Clone()
+	x := x0
+	for t, u := range us {
+		var v mat.Vec
+		if vs != nil {
+			v = vs[t]
+		}
+		x = s.Step(x, u, v)
+		traj[t+1] = x
+	}
+	return traj
+}

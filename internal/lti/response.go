@@ -1,0 +1,93 @@
+package lti
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Response helpers used by model documentation and tests: the DC gain
+// (steady-state output per unit constant input) and step-response
+// characteristics that sanity-check the Table 1 closed loops.
+
+// DCGain returns C (I − A)⁻¹ B, the steady-state output produced by a unit
+// constant input. It fails when (I − A) is singular (integrating plants
+// have no finite DC gain).
+func (s *System) DCGain() (*mat.Dense, error) {
+	n := s.StateDim()
+	ima := mat.Identity(n).Sub(s.A)
+	inv, err := mat.Inverse(ima)
+	if err != nil {
+		return nil, fmt.Errorf("lti: plant has an integrating mode (I−A singular): %w", err)
+	}
+	return s.C.Mul(inv).Mul(s.B), nil
+}
+
+// StepInfo summarizes the response of one output channel to a unit step on
+// one input channel over the given horizon.
+type StepInfo struct {
+	Final     float64 // value at the end of the horizon
+	Peak      float64 // maximum absolute excursion
+	PeakStep  int     // step of the peak
+	Overshoot float64 // (Peak − |Final|)/|Final|, 0 when Final ≈ 0
+	// SettleStep is the first step after which the response stays within
+	// 2% of Final; −1 if it never settles within the horizon.
+	SettleStep int
+}
+
+// StepResponse simulates a unit step on input channel `in`, observing
+// output channel `out`, for `horizon` steps from the origin.
+func (s *System) StepResponse(in, out, horizon int) (StepInfo, error) {
+	if in < 0 || in >= s.InputDim() {
+		return StepInfo{}, fmt.Errorf("lti: input channel %d out of range", in)
+	}
+	if out < 0 || out >= s.OutputDim() {
+		return StepInfo{}, fmt.Errorf("lti: output channel %d out of range", out)
+	}
+	if horizon < 1 {
+		return StepInfo{}, fmt.Errorf("lti: horizon %d must be >= 1", horizon)
+	}
+	u := mat.NewVec(s.InputDim())
+	u[in] = 1
+	x := mat.NewVec(s.StateDim())
+	ys := make([]float64, horizon)
+	for t := 0; t < horizon; t++ {
+		x = s.Step(x, u, nil)
+		ys[t] = s.Output(x)[out]
+	}
+
+	info := StepInfo{Final: ys[horizon-1], SettleStep: -1}
+	for t, y := range ys {
+		a := abs(y)
+		if a > info.Peak {
+			info.Peak = a
+			info.PeakStep = t
+		}
+	}
+	if f := abs(info.Final); f > 1e-12 {
+		info.Overshoot = (info.Peak - f) / f
+		if info.Overshoot < 0 {
+			info.Overshoot = 0
+		}
+		band := 0.02 * f
+		for t := horizon - 1; t >= 0; t-- {
+			if abs(ys[t]-info.Final) > band {
+				if t+1 < horizon {
+					info.SettleStep = t + 1
+				}
+				break
+			}
+			if t == 0 {
+				info.SettleStep = 0
+			}
+		}
+	}
+	return info, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+package lti
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestDCGainScalar(t *testing.T) {
+	// x' = 0.5x + u: DC gain = 1/(1−0.5) = 2.
+	sys := MustNew(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)), nil, 1)
+	g, err := sys.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.At(0, 0)-2) > 1e-12 {
+		t.Errorf("DC gain = %v, want 2", g.At(0, 0))
+	}
+}
+
+func TestDCGainWithOutputMatrix(t *testing.T) {
+	// The testbed car: y = 384.34 x, gain = C·B/(1−A).
+	sys := MustNew(mat.Diag(0.8435), mat.ColVec(mat.VecOf(7.7919e-4)),
+		mat.FromRows([][]float64{{384.3402}}), 0.05)
+	g, err := sys.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 384.3402 * 7.7919e-4 / (1 - 0.8435)
+	if math.Abs(g.At(0, 0)-want) > 1e-9 {
+		t.Errorf("car DC gain = %v, want %v", g.At(0, 0), want)
+	}
+}
+
+func TestDCGainIntegratorFails(t *testing.T) {
+	sys := MustNew(mat.Diag(1), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if _, err := sys.DCGain(); err == nil {
+		t.Error("integrator DC gain should fail")
+	}
+}
+
+func TestStepResponseFirstOrder(t *testing.T) {
+	// x' = 0.5x + u: monotone rise to 2, no overshoot.
+	sys := MustNew(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)), nil, 1)
+	info, err := sys.StepResponse(0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(info.Final-2) > 1e-9 {
+		t.Errorf("final = %v, want 2", info.Final)
+	}
+	if info.Overshoot > 1e-9 {
+		t.Errorf("overshoot = %v, want 0", info.Overshoot)
+	}
+	if info.SettleStep < 0 || info.SettleStep > 10 {
+		t.Errorf("settle step = %d", info.SettleStep)
+	}
+}
+
+func TestStepResponseOscillatoryOvershoots(t *testing.T) {
+	// Lightly damped rotation-ish system overshoots its final value.
+	sys := MustNew(
+		mat.FromRows([][]float64{{0.99, 0.1}, {-0.1, 0.99}}),
+		mat.ColVec(mat.VecOf(0, 0.1)), mat.FromRows([][]float64{{1, 0}}), 0.1)
+	info, err := sys.StepResponse(0, 0, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Overshoot <= 0.1 {
+		t.Errorf("expected pronounced overshoot, got %v", info.Overshoot)
+	}
+	if info.PeakStep <= 0 {
+		t.Errorf("peak step = %d", info.PeakStep)
+	}
+}
+
+func TestStepResponseValidation(t *testing.T) {
+	sys := MustNew(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if _, err := sys.StepResponse(1, 0, 10); err == nil {
+		t.Error("bad input channel accepted")
+	}
+	if _, err := sys.StepResponse(0, 1, 10); err == nil {
+		t.Error("bad output channel accepted")
+	}
+	if _, err := sys.StepResponse(0, 0, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) *Dense {
+	r := rand.New(rand.NewSource(1))
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	return m
+}
+
+func BenchmarkMulVec12(b *testing.B) {
+	m := benchMatrix(12)
+	v := make(Vec, 12)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.MulVec(v)
+	}
+}
+
+func BenchmarkMul12(b *testing.B) {
+	m := benchMatrix(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Mul(m)
+	}
+}
+
+func BenchmarkExpm12(b *testing.B) {
+	m := benchMatrix(12).Scale(0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Expm(m)
+	}
+}
+
+func BenchmarkLUSolve12(b *testing.B) {
+	m := benchMatrix(12)
+	for i := 0; i < 12; i++ {
+		m.Set(i, i, m.At(i, i)+20) // well conditioned
+	}
+	v := make(Vec, 12)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowers40(b *testing.B) {
+	m := benchMatrix(12).Scale(0.08)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Powers(40)
+	}
+}

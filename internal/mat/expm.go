@@ -1,0 +1,41 @@
+package mat
+
+import "math"
+
+// Expm returns the matrix exponential e^m computed by scaling-and-squaring
+// with a degree-13 Padé-style truncated Taylor core.
+//
+// The continuous-time plant matrices in this repository are small (n <= 13
+// counting the input-augmented block) and well scaled, so a Taylor core with
+// scaling s chosen such that ||m/2^s||_inf <= 0.5 converges to machine
+// precision in at most ~20 terms. This is the workhorse behind
+// lti.Discretize.
+func Expm(m *Dense) *Dense {
+	m.mustSquare()
+	n := m.rows
+
+	norm := m.NormInf()
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	scaled := m.Scale(1 / math.Pow(2, float64(s)))
+
+	// Truncated Taylor series: sum_{k=0..K} scaled^k / k!.
+	result := Identity(n)
+	term := Identity(n)
+	const maxTerms = 40
+	for k := 1; k <= maxTerms; k++ {
+		term = term.Mul(scaled).Scale(1 / float64(k))
+		result = result.Add(term)
+		if term.NormInf() < 1e-18*result.NormInf() {
+			break
+		}
+	}
+
+	// Undo the scaling: e^m = (e^(m/2^s))^(2^s).
+	for i := 0; i < s; i++ {
+		result = result.Mul(result)
+	}
+	return result
+}

@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpmZeroIsIdentity(t *testing.T) {
+	if got := Expm(NewDense(3, 3)); !got.Equal(Identity(3), 1e-15) {
+		t.Errorf("Expm(0) = %v", got)
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	m := Diag(1, -2, 0.5)
+	got := Expm(m)
+	want := Diag(math.E, math.Exp(-2), math.Exp(0.5))
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Expm(diag) = %v, want %v", got, want)
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// For nilpotent N with N²=0, e^N = I + N exactly.
+	n := FromRows([][]float64{{0, 3}, {0, 0}})
+	got := Expm(n)
+	want := FromRows([][]float64{{1, 3}, {0, 1}})
+	if !got.Equal(want, 1e-14) {
+		t.Errorf("Expm(nilpotent) = %v", got)
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// e^{θJ} with J = [[0,-1],[1,0]] is a rotation by θ.
+	theta := 0.7
+	j := FromRows([][]float64{{0, -theta}, {theta, 0}})
+	got := Expm(j)
+	want := FromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Expm(rotation) = %v, want %v", got, want)
+	}
+}
+
+func TestExpmScalarLargeNorm(t *testing.T) {
+	// Exercises the scaling-and-squaring path (norm >> 0.5).
+	m := Diag(5)
+	got := Expm(m)
+	if math.Abs(got.At(0, 0)-math.Exp(5))/math.Exp(5) > 1e-12 {
+		t.Errorf("Expm(5) = %v, want e^5=%v", got.At(0, 0), math.Exp(5))
+	}
+}
+
+// Property: e^{A} e^{-A} = I for random small matrices.
+func TestExpmInverseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		a := randomDense(r, 3).Scale(0.5)
+		prod := Expm(a).Mul(Expm(a.Scale(-1)))
+		if !prod.Equal(Identity(3), 1e-9) {
+			t.Fatalf("trial %d: e^A e^-A != I: %v", trial, prod)
+		}
+	}
+}
+
+// Property: for commuting matrices (scalar multiples), e^{A+B} = e^A e^B.
+func TestExpmAdditiveCommutingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		a := randomDense(r, 3).Scale(0.3)
+		b := a.Scale(r.Float64() * 2)
+		lhs := Expm(a.Add(b))
+		rhs := Expm(a).Mul(Expm(b))
+		if !lhs.Equal(rhs, 1e-8*math.Max(1, lhs.NormInf())) {
+			t.Fatalf("trial %d: e^(A+B) != e^A e^B for commuting A,B", trial)
+		}
+	}
+}
+
+// Cross-check against the series definition on a random matrix.
+func TestExpmMatchesSeries(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomDense(r, 4).Scale(0.2)
+	series := Identity(4)
+	term := Identity(4)
+	for k := 1; k < 30; k++ {
+		term = term.Mul(a).Scale(1 / float64(k))
+		series = series.Add(term)
+	}
+	if got := Expm(a); !got.Equal(series, 1e-12) {
+		t.Errorf("Expm differs from direct series")
+	}
+}

@@ -1,0 +1,127 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by Solve and Inverse when the coefficient matrix is
+// numerically singular (a pivot below the tolerance was encountered).
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds a packed LU factorization with partial pivoting of a square
+// matrix: PA = LU. It supports repeated right-hand-side solves.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  int
+}
+
+// Factorize computes the LU decomposition of a. It returns ErrSingular if a
+// pivot smaller than ~1e-300 in magnitude is encountered.
+func Factorize(a *Dense) (*LU, error) {
+	a.mustSquare()
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	for i := range pivot {
+		pivot[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivoting: pick the largest magnitude entry in this column.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max < 1e-300 {
+			return nil, fmt.Errorf("%w: pivot %d", ErrSingular, col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu.data[col*n+j], lu.data[p*n+j] = lu.data[p*n+j], lu.data[col*n+j]
+			}
+			pivot[col], pivot[p] = pivot[p], pivot[col]
+			sign = -sign
+		}
+		d := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / d
+			lu.Set(r, col, f)
+			for j := col + 1; j < n; j++ {
+				lu.Set(r, j, lu.At(r, j)-f*lu.At(col, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// SolveVec solves A x = b for the factorized A.
+func (f *LU) SolveVec(b Vec) Vec {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveVec dimension mismatch %d vs %d", len(b), n))
+	}
+	x := make(Vec, n)
+	// Apply permutation.
+	for i, p := range f.pivot {
+		x[i] = b[p]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A x = b and returns x. It factorizes A on every call; use
+// Factorize + SolveVec for repeated solves against the same matrix.
+func Solve(a *Dense, b Vec) (Vec, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// Inverse returns A^{-1}, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	inv := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		col := f.SolveVec(Basis(n, j))
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,127 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, VecOf(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 -> x=4/5, y=7/5
+	if !x.Equal(VecOf(0.8, 1.4), 1e-12) {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, VecOf(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(VecOf(3, 2), 1e-12) {
+		t.Errorf("Solve with pivot = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := Solve(a, VecOf(1, 2))
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-2)) > 1e-12 {
+		t.Errorf("Det = %v, want -2", d)
+	}
+}
+
+func TestDetWithPivotSignFlip(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-1)) > 1e-12 {
+		t.Errorf("Det = %v, want -1", d)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Mul(inv); !got.Equal(Identity(2), 1e-12) {
+		t.Errorf("A*A^-1 = %v", got)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	if _, err := Inverse(NewDense(2, 2)); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: A * Solve(A, b) == b for random well-conditioned matrices.
+func TestSolveResidualProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(5)
+		// Diagonally dominant => well conditioned.
+		a := randomDense(r, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make(Vec, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := a.MulVec(x); !got.Equal(b, 1e-9) {
+			t.Fatalf("trial %d: residual too large: Ax=%v b=%v", trial, got, b)
+		}
+	}
+}
+
+// Property: repeated SolveVec with one factorization matches fresh solves.
+func TestFactorizeReuseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randomDense(r, 4)
+	for i := 0; i < 4; i++ {
+		a.Set(i, i, a.At(i, i)+10)
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		b := VecOf(r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		x1 := f.SolveVec(b)
+		x2, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !x1.Equal(x2, 1e-12) {
+			t.Fatalf("trial %d: reuse mismatch", trial)
+		}
+	}
+}

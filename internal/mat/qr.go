@@ -1,0 +1,178 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R of an m×n matrix with
+// m >= n: Q is m×m orthogonal (stored implicitly as reflectors), R is n×n
+// upper triangular. It supports least-squares solves, which back the
+// recovery controller's feedforward and any over-determined identification
+// problem.
+type QR struct {
+	rows, cols int
+	qr         *Dense // reflectors below the diagonal, R on and above
+	rdiag      []float64
+}
+
+// FactorQR computes the Householder QR factorization. It returns an error
+// for m < n or a rank-deficient column (zero reflector norm).
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("mat: QR needs rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below (and including) row k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			return nil, fmt.Errorf("mat: QR rank-deficient at column %d", k)
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -norm
+	}
+	return &QR{rows: m, cols: n, qr: qr, rdiag: rdiag}, nil
+}
+
+// SolveVec returns the least-squares solution x minimizing ‖A x − b‖₂.
+func (f *QR) SolveVec(b Vec) Vec {
+	if len(b) != f.rows {
+		panic(fmt.Sprintf("mat: QR solve dimension %d, want %d", len(b), f.rows))
+	}
+	y := b.Clone()
+	// Apply Qᵀ to b.
+	for k := 0; k < f.cols; k++ {
+		s := 0.0
+		for i := k; i < f.rows; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.rows; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R x = (Qᵀ b)[:n].
+	x := make(Vec, f.cols)
+	for i := f.cols - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.cols; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x
+}
+
+// LeastSquares solves min ‖A x − b‖₂ via QR.
+func LeastSquares(a *Dense, b Vec) (Vec, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// JacobiEigen computes the eigenvalues and eigenvectors of a symmetric
+// matrix by the cyclic Jacobi method. It returns the eigenvalues (in the
+// order the diagonal settles) and the matrix of column eigenvectors V with
+// A = V diag(λ) Vᵀ. The input must be symmetric within symTol (0 defaults
+// to 1e-9 relative).
+func JacobiEigen(a *Dense, symTol float64) (Vec, *Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("mat: JacobiEigen needs a square matrix")
+	}
+	if symTol <= 0 {
+		symTol = 1e-9
+	}
+	scale := 1 + a.NormInf()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*scale {
+				return nil, nil, fmt.Errorf("mat: JacobiEigen input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	w := a.Clone()
+	// Symmetrize exactly to kill round-off drift.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (w.At(i, j) + w.At(j, i)) / 2
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-24*scale*scale {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q of w, and columns of v.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	eig := make(Vec, n)
+	for i := 0; i < n; i++ {
+		eig[i] = w.At(i, i)
+	}
+	return eig, v, nil
+}

@@ -1,0 +1,157 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Square invertible: least squares = exact solve.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := LeastSquares(a, VecOf(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(VecOf(0.8, 1.4), 1e-12) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit a line y = c0 + c1 t through (0,1), (1,3), (2,5): exact c = (1,2).
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}})
+	x, err := LeastSquares(a, VecOf(1, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(VecOf(1, 2), 1e-12) {
+		t.Errorf("fit = %v, want (1, 2)", x)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The optimal residual is orthogonal to the column space: Aᵀ(Ax−b) = 0.
+	r := rand.New(rand.NewSource(31))
+	a := NewDense(6, 3)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	b := make(Vec, 6)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := a.MulVec(x).Sub(b)
+	ortho := a.T().MulVec(resid)
+	if ortho.NormInf() > 1e-10 {
+		t.Errorf("Aᵀr = %v, want ~0", ortho)
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := FactorQR(NewDense(2, 3)); err == nil {
+		t.Error("wide matrix accepted")
+	}
+	if _, err := FactorQR(NewDense(3, 2)); err == nil {
+		t.Error("zero (rank-deficient) matrix accepted")
+	}
+}
+
+func TestQRSolveDimensionPanics(t *testing.T) {
+	f, err := FactorQR(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.SolveVec(VecOf(1, 2, 3))
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	eig, v, err := JacobiEigen(Diag(3, 1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := eig[0] + eig[1] + eig[2]
+	if math.Abs(sum-6) > 1e-12 {
+		t.Errorf("trace = %v, want 6", sum)
+	}
+	if !v.Mul(v.T()).Equal(Identity(3), 1e-10) {
+		t.Error("eigenvectors not orthonormal")
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	eig, _, err := JacobiEigen(FromRows([][]float64{{2, 1}, {1, 2}}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Min(eig[0], eig[1]), math.Max(eig[0], eig[1])
+	if math.Abs(lo-1) > 1e-10 || math.Abs(hi-3) > 1e-10 {
+		t.Errorf("eigenvalues = %v, want {1, 3}", eig)
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	// A = V diag(λ) Vᵀ for random symmetric matrices.
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(5)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, vecs, err := JacobiEigen(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := vecs.Mul(Diag(eig...)).Mul(vecs.T())
+		if !recon.Equal(a, 1e-8) {
+			t.Fatalf("trial %d: reconstruction failed", trial)
+		}
+	}
+}
+
+func TestJacobiEigenRejectsAsymmetric(t *testing.T) {
+	if _, _, err := JacobiEigen(FromRows([][]float64{{1, 2}, {3, 4}}), 0); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, _, err := JacobiEigen(NewDense(2, 3), 0); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestJacobiEigenPSDCovariance(t *testing.T) {
+	// Gram matrices are PSD: all eigenvalues must be >= 0 (within noise).
+	r := rand.New(rand.NewSource(33))
+	g := NewDense(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			g.Set(i, j, r.NormFloat64())
+		}
+	}
+	gram := g.Mul(g.T())
+	eig, _, err := JacobiEigen(gram, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range eig {
+		if l < -1e-9 {
+			t.Errorf("PSD matrix has eigenvalue %v", l)
+		}
+	}
+}

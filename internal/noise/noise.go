@@ -1,0 +1,144 @@
+// Package noise generates the bounded stochastic signals of the evaluation:
+// per-step process uncertainty v_t with ‖v_t‖₂ ≤ ε (Sec. 3.2.1) and bounded
+// measurement noise. All generators are deterministic functions of a seed so
+// the 100-experiment campaigns of Sec. 6 are exactly reproducible.
+package noise
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Source is a small deterministic PRNG (splitmix64 core) that avoids any
+// dependence on global state. The zero value is a valid source with seed 0.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a source seeded deterministically.
+func NewSource(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next raw 64-bit value (splitmix64).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics for n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("noise: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Normal returns a standard normal deviate via Box-Muller.
+func (s *Source) Normal() float64 {
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Bounded generators. Each is a func(step) -> vector so simulation code can
+// treat noise injection uniformly.
+
+// Gen produces one bounded noise vector per control step.
+type Gen interface {
+	// Sample returns the noise vector for control step t.
+	Sample(t int) mat.Vec
+	// Bound returns a radius r such that every sample satisfies ‖v‖₂ ≤ r.
+	Bound() float64
+}
+
+// ballGen samples uniformly from a Euclidean ball of radius eps — exactly
+// the over-approximation set B_ε the deadline estimator assumes.
+type ballGen struct {
+	src *Source
+	n   int
+	eps float64
+}
+
+// NewBall returns a generator of n-dimensional noise uniform in the
+// ε-radius Euclidean ball.
+func NewBall(seed uint64, n int, eps float64) Gen {
+	if eps < 0 {
+		panic("noise: negative ball radius")
+	}
+	return &ballGen{src: NewSource(seed), n: n, eps: eps}
+}
+
+func (g *ballGen) Bound() float64 { return g.eps }
+
+func (g *ballGen) Sample(int) mat.Vec {
+	if g.eps == 0 {
+		return mat.NewVec(g.n)
+	}
+	// Sample a direction from a spherical Gaussian, then a radius with the
+	// density proportional to r^{n-1} so points are uniform in the ball.
+	v := make(mat.Vec, g.n)
+	for i := range v {
+		v[i] = g.src.Normal()
+	}
+	norm := v.Norm2()
+	if norm == 0 {
+		return mat.NewVec(g.n)
+	}
+	r := g.eps * math.Pow(g.src.Float64(), 1/float64(g.n))
+	return v.Scale(r / norm)
+}
+
+// zeroGen emits zero vectors; used for noise-free ablations.
+type zeroGen struct{ n int }
+
+// Zero returns a generator that always emits the zero vector.
+func Zero(n int) Gen { return zeroGen{n: n} }
+
+func (g zeroGen) Sample(int) mat.Vec { return mat.NewVec(g.n) }
+func (g zeroGen) Bound() float64     { return 0 }
+
+// scaledGen samples each dimension uniformly in [-amp_i, amp_i]; used for
+// sensor (measurement) noise where per-channel amplitudes differ.
+type scaledGen struct {
+	src *Source
+	amp mat.Vec
+}
+
+// NewUniformBox returns a generator uniform over the centered box with the
+// given per-dimension amplitudes.
+func NewUniformBox(seed uint64, amp mat.Vec) Gen {
+	for _, a := range amp {
+		if a < 0 {
+			panic("noise: negative amplitude")
+		}
+	}
+	return &scaledGen{src: NewSource(seed), amp: amp.Clone()}
+}
+
+func (g *scaledGen) Bound() float64 { return g.amp.Norm2() }
+
+func (g *scaledGen) Sample(int) mat.Vec {
+	v := make(mat.Vec, len(g.amp))
+	for i, a := range g.amp {
+		if a > 0 {
+			v[i] = g.src.Uniform(-a, a)
+		}
+	}
+	return v
+}

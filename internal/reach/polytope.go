@@ -1,0 +1,137 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+)
+
+// This file generalizes the deadline search from box safe sets to
+// polytopic ones by evaluating the support function of the reachable set
+// (Eq. 3) directly along each face normal l:
+//
+//	ρ_R(l, t) = lᵀA^t x₀ + Σ_{j<t} (A^jᵀl)ᵀBc + Σ_{j<t} ‖Qᵀ Bᵀ A^jᵀ l‖₁
+//	          + Σ_{j<t} ε‖A^jᵀ l‖₂ (+ r‖A^tᵀ l‖₂ for an initial ball)
+//
+// The per-direction sums are accumulated incrementally via v_{j+1} = Aᵀv_j,
+// so a full horizon sweep over F faces costs O(F · horizon · n²) — the same
+// order as the box search with F = 2n axis directions.
+
+// SupportSweep walks ρ_R(l, ·) along one direction across the horizon.
+type SupportSweep struct {
+	a     *Analysis
+	x0    mat.Vec
+	r     float64
+	l     mat.Vec
+	v     mat.Vec // (Aᵀ)^t l
+	drift float64 // Σ (A^jᵀl)ᵀ B c
+	s1    float64 // Σ ‖Qᵀ Bᵀ A^jᵀ l‖₁
+	s2    float64 // Σ ε ‖A^jᵀ l‖₂
+	step  int
+
+	bc    mat.Vec
+	gamma mat.Vec
+}
+
+// SupportSweep returns a sweep for direction l positioned at step 0.
+func (a *Analysis) SupportSweep(x0 mat.Vec, initRadius float64, l mat.Vec) *SupportSweep {
+	n := a.sys.StateDim()
+	if len(x0) != n {
+		panic(fmt.Sprintf("reach: x0 dimension %d, want %d", len(x0), n))
+	}
+	if len(l) != n {
+		panic(fmt.Sprintf("reach: direction dimension %d, want %d", len(l), n))
+	}
+	if initRadius < 0 {
+		panic("reach: negative initial radius")
+	}
+	return &SupportSweep{
+		a:     a,
+		x0:    x0.Clone(),
+		r:     initRadius,
+		l:     l.Clone(),
+		v:     l.Clone(),
+		bc:    a.sys.B.MulVec(a.inputs.Center()),
+		gamma: a.inputs.HalfWidths(),
+	}
+}
+
+// Step returns the current step index.
+func (s *SupportSweep) Step() int { return s.step }
+
+// Value returns ρ_R(l) at the current step.
+func (s *SupportSweep) Value() float64 {
+	return s.v.Dot(s.x0) + s.drift + s.s1 + s.s2 + s.r*s.v.Norm2()
+}
+
+// Advance moves one step forward; false once the horizon is exhausted.
+func (s *SupportSweep) Advance() bool {
+	if s.step >= s.a.horizon {
+		return false
+	}
+	// Fold the step-j terms (j = current step) into the sums, then advance
+	// v to (Aᵀ)^{j+1} l.
+	s.drift += s.v.Dot(s.bc)
+	btv := s.a.sys.B.VecMul(s.v) // Bᵀ v
+	acc := 0.0
+	for k, g := range s.gamma {
+		if btv[k] < 0 {
+			acc -= btv[k] * g
+		} else {
+			acc += btv[k] * g
+		}
+	}
+	s.s1 += acc
+	s.s2 += s.a.eps * s.v.Norm2()
+	s.v = s.a.sys.A.VecMul(s.v) // Aᵀ v
+	s.step++
+	return true
+}
+
+// SupportAt evaluates ρ_R(l) of the reachable set t steps from x0 (with an
+// optional initial ball of radius initRadius). t must be within the
+// horizon.
+func (a *Analysis) SupportAt(x0 mat.Vec, initRadius float64, l mat.Vec, t int) float64 {
+	if t < 0 || t > a.horizon {
+		panic(fmt.Sprintf("reach: step %d outside horizon [0, %d]", t, a.horizon))
+	}
+	s := a.SupportSweep(x0, initRadius, l)
+	for s.Step() < t {
+		s.Advance()
+	}
+	return s.Value()
+}
+
+// FirstUnsafePolytope searches steps 1..Horizon for the first step at which
+// the reachable set's support exceeds any face of the polytopic safe set
+// (Definition 3.1 for general convex safe regions). It returns that step
+// and true, or Horizon and false when conservatively safe throughout.
+func (a *Analysis) FirstUnsafePolytope(x0 mat.Vec, initRadius float64, safe geom.Polytope) (int, bool) {
+	if safe.Dim() != a.sys.StateDim() {
+		panic(fmt.Sprintf("reach: polytope dimension %d, want %d", safe.Dim(), a.sys.StateDim()))
+	}
+	sweeps := make([]*SupportSweep, safe.NumFaces())
+	for i := range sweeps {
+		sweeps[i] = a.SupportSweep(x0, initRadius, safe.Face(i).Normal)
+	}
+	for t := 1; t <= a.horizon; t++ {
+		for i, s := range sweeps {
+			s.Advance()
+			if s.Value() > safe.Face(i).Offset {
+				return t, true
+			}
+		}
+	}
+	return a.horizon, false
+}
+
+// DeadlinePolytope is the polytopic-safe-set deadline: the last step before
+// the reachable set can cross any face, clamped to the horizon.
+func (a *Analysis) DeadlinePolytope(x0 mat.Vec, initRadius float64, safe geom.Polytope) int {
+	t, found := a.FirstUnsafePolytope(x0, initRadius, safe)
+	if !found {
+		return a.horizon
+	}
+	return t - 1
+}

@@ -1,0 +1,176 @@
+package reach
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+func twoDimSystem(t *testing.T) *lti.System {
+	t.Helper()
+	sys, err := lti.New(
+		mat.FromRows([][]float64{{0.97, 0.08}, {-0.06, 0.95}}),
+		mat.FromRows([][]float64{{0.05, 0}, {0, 0.04}}),
+		nil, 0.02,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSupportAtMatchesBoxOnAxisDirections(t *testing.T) {
+	sys := twoDimSystem(t)
+	u := geom.BoxFromBounds([]float64{-1, 0}, []float64{2, 3})
+	an, err := New(sys, u, 0.03, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.4, -0.2)
+	const r = 0.05
+	for tt := 0; tt <= 15; tt++ {
+		box := an.ReachBoxFromBall(x0, r, tt)
+		for dim := 0; dim < 2; dim++ {
+			up := an.SupportAt(x0, r, mat.Basis(2, dim), tt)
+			lo := -an.SupportAt(x0, r, mat.Basis(2, dim).Scale(-1), tt)
+			if math.Abs(up-box.Interval(dim).Hi) > 1e-9 || math.Abs(lo-box.Interval(dim).Lo) > 1e-9 {
+				t.Errorf("t=%d dim=%d: support [%v,%v] vs box %v", tt, dim, lo, up, box.Interval(dim))
+			}
+		}
+	}
+}
+
+func TestSupportSweepMatchesSupportAt(t *testing.T) {
+	sys := twoDimSystem(t)
+	an, err := New(sys, geom.UniformBox(2, -1, 1), 0.02, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(1, 1)
+	l := mat.VecOf(0.6, -0.8)
+	s := an.SupportSweep(x0, 0.01, l)
+	for {
+		want := an.SupportAt(x0, 0.01, l, s.Step())
+		if math.Abs(s.Value()-want) > 1e-9 {
+			t.Fatalf("step %d: sweep %v vs direct %v", s.Step(), s.Value(), want)
+		}
+		if !s.Advance() {
+			break
+		}
+	}
+}
+
+// Soundness along arbitrary directions: lᵀx_t <= ρ_R(l, t) for every
+// simulated admissible trajectory.
+func TestSupportSoundnessProperty(t *testing.T) {
+	sys := twoDimSystem(t)
+	u := geom.UniformBox(2, -1, 1)
+	const eps = 0.02
+	an, err := New(sys, u, eps, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.3, -0.5)
+	src := noise.NewSource(77)
+	ball := noise.NewBall(78, 2, eps)
+	dirs := []mat.Vec{{1, 1}, {1, -1}, {-2, 0.5}, {0.3, 0.9}}
+	for trial := 0; trial < 30; trial++ {
+		x := x0.Clone()
+		for tt := 1; tt <= 20; tt++ {
+			uv := mat.VecOf(src.Uniform(-1, 1), src.Uniform(-1, 1))
+			x = sys.Step(x, uv, ball.Sample(tt))
+			for _, l := range dirs {
+				if l.Dot(x) > an.SupportAt(x0, 0, l, tt)+1e-9 {
+					t.Fatalf("trial %d step %d: support violated along %v", trial, tt, l)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstUnsafePolytopeMatchesBoxForBoxSafeSets(t *testing.T) {
+	sys := twoDimSystem(t)
+	an, err := New(sys, geom.UniformBox(2, -1, 1), 0.02, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safeBox := geom.UniformBox(2, -2, 2)
+	safePoly := geom.PolytopeFromBox(safeBox)
+	for _, x0 := range []mat.Vec{{0, 0}, {1.5, 0}, {1.2, -1.2}, {1.95, 1.95}} {
+		tb, fb := an.FirstUnsafe(x0, 0.01, safeBox)
+		tp, fp := an.FirstUnsafePolytope(x0, 0.01, safePoly)
+		if tb != tp || fb != fp {
+			t.Errorf("x0=%v: box (%d,%v) vs polytope (%d,%v)", x0, tb, fb, tp, fp)
+		}
+	}
+}
+
+func TestPolytopeDeadlineTighterForDiagonalFaces(t *testing.T) {
+	// A diagonal face x+y <= b cannot be represented by a box safe set; the
+	// nearest box either over- or under-constrains. Check that the polytopic
+	// deadline search reacts to the diagonal distance rather than the
+	// per-axis distance: a state near the diagonal face but far from any
+	// axis bound must get a small deadline.
+	sys, err := lti.New(
+		mat.FromRows([][]float64{{1, 0.05}, {0, 1}}),
+		mat.Diag(0.1, 0.1),
+		nil, 0.02,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(sys, geom.UniformBox(2, -1, 1), 0.01, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1, 1), 3))
+	near := mat.VecOf(1.45, 1.45) // x+y = 2.9, close to the face
+	far := mat.VecOf(-1, -1)
+	dn := an.DeadlinePolytope(near, 0, diag)
+	df := an.DeadlinePolytope(far, 0, diag)
+	if dn >= df {
+		t.Errorf("near-face deadline %d should be tighter than far %d", dn, df)
+	}
+	if dn > 10 {
+		t.Errorf("near-face deadline %d suspiciously large", dn)
+	}
+}
+
+func TestDeadlinePolytopeClampsToHorizon(t *testing.T) {
+	sys := twoDimSystem(t)
+	an, err := New(sys, geom.UniformBox(2, -0.01, 0.01), 0.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy := geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1, 0), 1e6))
+	if d := an.DeadlinePolytope(mat.VecOf(0, 0), 0, roomy); d != 10 {
+		t.Errorf("deadline = %d, want horizon 10", d)
+	}
+}
+
+func TestSupportSweepValidation(t *testing.T) {
+	sys := twoDimSystem(t)
+	an, _ := New(sys, geom.UniformBox(2, -1, 1), 0, 5)
+	for i, fn := range []func(){
+		func() { an.SupportSweep(mat.VecOf(1), 0, mat.VecOf(1, 0)) },
+		func() { an.SupportSweep(mat.VecOf(1, 0), 0, mat.VecOf(1)) },
+		func() { an.SupportSweep(mat.VecOf(1, 0), -1, mat.VecOf(1, 0)) },
+		func() { an.SupportAt(mat.VecOf(1, 0), 0, mat.VecOf(1, 0), 6) },
+		func() {
+			an.FirstUnsafePolytope(mat.VecOf(1, 0), 0, geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1), 0)))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,110 @@
+package reach
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+// Quick-generated soundness: for randomly generated stable 2-D plants,
+// input boxes, and initial states, simulated admissible trajectories must
+// stay inside the Eq. (4)/(5) over-approximation at every step. This is the
+// repository's most important invariant — a violation would make the
+// "conservatively safe" guarantee (Definition 3.1) false.
+func TestQuickReachSoundnessRandomSystems(t *testing.T) {
+	trial := 0
+	f := func(aRaw [4]int8, bRaw [2]uint8, uRaw [2]uint8, x0Raw [2]int8, epsRaw uint8) bool {
+		trial++
+		// Build a contraction-scaled A (entries in [−1.27, 1.27] scaled by
+		// 0.6 keeps most draws stable; stability is not actually required
+		// for soundness, only boundedness over the horizon).
+		a := mat.FromRows([][]float64{
+			{float64(aRaw[0]) / 100 * 0.6, float64(aRaw[1]) / 100 * 0.6},
+			{float64(aRaw[2]) / 100 * 0.6, float64(aRaw[3]) / 100 * 0.6},
+		})
+		bm := mat.ColVec(mat.VecOf(float64(bRaw[0])/200, float64(bRaw[1])/200))
+		sys, err := lti.New(a, bm, nil, 0.02)
+		if err != nil {
+			return false
+		}
+		uLo := -float64(uRaw[0]) / 50
+		uHi := float64(uRaw[1]) / 50
+		if uHi < uLo {
+			uLo, uHi = uHi, uLo
+		}
+		u := geom.BoxFromBounds([]float64{uLo}, []float64{uHi})
+		eps := float64(epsRaw) / 2000
+		const horizon = 12
+		an, err := New(sys, u, eps, horizon)
+		if err != nil {
+			return false
+		}
+		x0 := mat.VecOf(float64(x0Raw[0])/20, float64(x0Raw[1])/20)
+
+		src := noise.NewSource(uint64(trial))
+		ball := noise.NewBall(uint64(trial)+1000, 2, eps)
+		x := x0.Clone()
+		for tt := 1; tt <= horizon; tt++ {
+			uv := mat.VecOf(src.Uniform(uLo, uHi+1e-300))
+			x = sys.Step(x, uv, ball.Sample(tt))
+			if !an.ReachBox(x0, tt).Inflate(1e-9).Contains(x) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Quick-generated agreement: the zonotope backend (ε = 0) and the
+// support-function tables must produce identical per-axis bounds on random
+// systems.
+func TestQuickZonotopeBoxAgreementRandomSystems(t *testing.T) {
+	f := func(aRaw [4]int8, x0Raw [2]int8) bool {
+		a := mat.FromRows([][]float64{
+			{float64(aRaw[0]) / 100, float64(aRaw[1]) / 100},
+			{float64(aRaw[2]) / 100, float64(aRaw[3]) / 100},
+		})
+		bm := mat.Diag(0.1, 0.05)
+		sys, err := lti.New(a, bm, nil, 0.02)
+		if err != nil {
+			return false
+		}
+		u := geom.UniformBox(2, -1, 1)
+		const horizon = 8
+		an, err := New(sys, u, 0, horizon)
+		if err != nil {
+			return false
+		}
+		x0 := mat.VecOf(float64(x0Raw[0])/10, float64(x0Raw[1])/10)
+		zs, err := NewZonotopeStepper(sys, u, 0, x0, 500)
+		if err != nil {
+			return false
+		}
+		for tt := 1; tt <= horizon; tt++ {
+			zs.Advance()
+			want := an.ReachBox(x0, tt)
+			got := zs.Box()
+			for d := 0; d < 2; d++ {
+				if diff := got.Interval(d).Lo - want.Interval(d).Lo; diff > 1e-8 || diff < -1e-8 {
+					return false
+				}
+				if diff := got.Interval(d).Hi - want.Interval(d).Hi; diff > 1e-8 || diff < -1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

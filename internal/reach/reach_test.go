@@ -1,0 +1,332 @@
+package reach
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+// Scalar plant x' = a x + b u.
+func scalar(t *testing.T, a, b float64) *lti.System {
+	t.Helper()
+	s, err := lti.New(mat.Diag(a), mat.ColVec(mat.VecOf(b)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	sys := scalar(t, 1, 1)
+	u := geom.UniformBox(1, -1, 1)
+	if _, err := New(sys, geom.UniformBox(2, -1, 1), 0, 5); err == nil {
+		t.Error("wrong input dimension accepted")
+	}
+	if _, err := New(sys, geom.NewBox(geom.Whole()), 0, 5); err == nil {
+		t.Error("unbounded input box accepted")
+	}
+	if _, err := New(sys, u, -1, 5); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, err := New(sys, u, 0, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestReachBoxStepZeroIsPoint(t *testing.T) {
+	sys := scalar(t, 0.9, 1)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.ReachBox(mat.VecOf(3), 0)
+	if b.Interval(0).Lo != 3 || b.Interval(0).Hi != 3 {
+		t.Errorf("step-0 box = %v, want point {3}", b)
+	}
+}
+
+func TestReachBoxScalarHandComputed(t *testing.T) {
+	// x' = x + u, u ∈ [-1, 1], eps = 0, x0 = 0.
+	// After t steps: x_t ∈ [-t, t].
+	sys := scalar(t, 1, 1)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt <= 10; tt++ {
+		b := a.ReachBox(mat.VecOf(0), tt)
+		if math.Abs(b.Interval(0).Lo+float64(tt)) > 1e-12 || math.Abs(b.Interval(0).Hi-float64(tt)) > 1e-12 {
+			t.Errorf("t=%d: box = %v, want [-%d, %d]", tt, b, tt, tt)
+		}
+	}
+}
+
+func TestReachBoxOffsetInputBox(t *testing.T) {
+	// x' = x + u, u ∈ [1, 3] (center 2, halfwidth 1), eps=0, x0=0:
+	// x_t ∈ [2t - t, 2t + t] = [t, 3t].
+	sys := scalar(t, 1, 1)
+	a, err := New(sys, geom.UniformBox(1, 1, 3), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.ReachBox(mat.VecOf(0), 4)
+	if math.Abs(b.Interval(0).Lo-4) > 1e-12 || math.Abs(b.Interval(0).Hi-12) > 1e-12 {
+		t.Errorf("box = %v, want [4, 12]", b)
+	}
+}
+
+func TestReachBoxUncertaintyAccumulates(t *testing.T) {
+	// x' = x (no input effect), eps = 0.5: x_t ∈ x0 ± 0.5 t.
+	sys := scalar(t, 1, 0)
+	a, err := New(sys, geom.UniformBox(1, 0, 0), 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.ReachBox(mat.VecOf(1), 6)
+	if math.Abs(b.Interval(0).Lo-(1-3)) > 1e-12 || math.Abs(b.Interval(0).Hi-(1+3)) > 1e-12 {
+		t.Errorf("box = %v, want [-2, 4]", b)
+	}
+}
+
+func TestReachBoxContractionStaysBounded(t *testing.T) {
+	// Stable a=0.5: spread converges to eps/(1-a) = 0.2; box must stay small.
+	sys := scalar(t, 0.5, 0)
+	a, err := New(sys, geom.UniformBox(1, 0, 0), 0.1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.ReachBox(mat.VecOf(0), 50)
+	if b.Interval(0).Hi > 0.21 {
+		t.Errorf("stable system spread = %v, want < 0.21", b.Interval(0).Hi)
+	}
+}
+
+func TestReachBoxFromBallAddsInitialSpread(t *testing.T) {
+	sys := scalar(t, 2, 0)
+	a, err := New(sys, geom.UniformBox(1, 0, 0), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial ball radius 0.1; after 3 steps of doubling: ±0.8.
+	b := a.ReachBoxFromBall(mat.VecOf(0), 0.1, 3)
+	if math.Abs(b.Interval(0).Hi-0.8) > 1e-12 {
+		t.Errorf("ball spread = %v, want 0.8", b.Interval(0).Hi)
+	}
+}
+
+func TestReachMatchesNaiveOracle(t *testing.T) {
+	ac := mat.FromRows([][]float64{{0.9, 0.2, 0}, {-0.1, 0.85, 0.1}, {0.05, 0, 0.7}})
+	bc := mat.FromRows([][]float64{{0.1, 0}, {0, 0.2}, {0.05, 0.05}})
+	sys, err := lti.New(ac, bc, nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := geom.BoxFromBounds([]float64{-1, 0}, []float64{2, 3})
+	const eps = 0.05
+	a, err := New(sys, u, eps, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(1, -0.5, 0.25)
+	for tt := 0; tt <= 12; tt++ {
+		fast := a.ReachBox(x0, tt)
+		slow := NaiveReachBox(sys, u, eps, x0, tt)
+		for i := 0; i < 3; i++ {
+			if math.Abs(fast.Interval(i).Lo-slow.Interval(i).Lo) > 1e-9 ||
+				math.Abs(fast.Interval(i).Hi-slow.Interval(i).Hi) > 1e-9 {
+				t.Errorf("t=%d dim=%d: fast=%v naive=%v", tt, i, fast.Interval(i), slow.Interval(i))
+			}
+		}
+	}
+}
+
+func TestStepperMatchesReachBox(t *testing.T) {
+	sys := scalar(t, 1.1, 0.5)
+	a, err := New(sys, geom.UniformBox(1, -2, 2), 0.01, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stepper(mat.VecOf(0.7), 0.05)
+	for {
+		want := a.ReachBoxFromBall(mat.VecOf(0.7), 0.05, s.Step())
+		got := s.Box()
+		if math.Abs(got.Interval(0).Lo-want.Interval(0).Lo) > 1e-9 ||
+			math.Abs(got.Interval(0).Hi-want.Interval(0).Hi) > 1e-9 {
+			t.Fatalf("step %d: stepper=%v direct=%v", s.Step(), got, want)
+		}
+		if !s.Advance() {
+			break
+		}
+	}
+	if s.Step() != 20 {
+		t.Errorf("stepper stopped at %d, want horizon 20", s.Step())
+	}
+}
+
+// Soundness: the over-approximation must contain every trajectory simulated
+// under admissible inputs and disturbances. This is the core guarantee
+// (Definition 3.1) that makes the deadline conservative.
+func TestReachSoundnessProperty(t *testing.T) {
+	ac := mat.FromRows([][]float64{{0.95, 0.1}, {-0.12, 0.9}})
+	bc := mat.ColVec(mat.VecOf(0.1, 0.05))
+	sys, err := lti.New(ac, bc, nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := geom.UniformBox(1, -3, 3)
+	const eps = 0.02
+	const horizon = 25
+	a, err := New(sys, u, eps, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.5, -1)
+	src := noise.NewSource(99)
+	ball := noise.NewBall(100, 2, eps)
+	for trial := 0; trial < 50; trial++ {
+		x := x0.Clone()
+		for tt := 1; tt <= horizon; tt++ {
+			uval := mat.VecOf(src.Uniform(-3, 3))
+			x = sys.Step(x, uval, ball.Sample(tt))
+			box := a.ReachBox(x0, tt)
+			if !box.Contains(x) {
+				t.Fatalf("trial %d step %d: state %v escapes over-approximation %v", trial, tt, x, box)
+			}
+		}
+	}
+}
+
+// Monotonicity: enlarging eps or the input box can only widen the bounds.
+func TestReachMonotonicityProperty(t *testing.T) {
+	sys := scalar(t, 1.05, 1)
+	small, err := New(sys, geom.UniformBox(1, -1, 1), 0.01, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(sys, geom.UniformBox(1, -2, 2), 0.05, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.3)
+	for tt := 0; tt <= 15; tt++ {
+		bs, bb := small.ReachBox(x0, tt), big.ReachBox(x0, tt)
+		if !bb.ContainsBox(bs) {
+			t.Errorf("t=%d: larger uncertainty produced smaller box", tt)
+		}
+	}
+}
+
+func TestFirstUnsafeAndDeadline(t *testing.T) {
+	// x' = x + u, u ∈ [-1,1], x0 = 0, safe |x| <= 4.5.
+	// Reach box at t is [-t, t]; first unsafe t = 5, so deadline 4.
+	sys := scalar(t, 1, 1)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(1, -4.5, 4.5)
+	first, found := a.FirstUnsafe(mat.VecOf(0), 0, safe)
+	if !found || first != 5 {
+		t.Errorf("FirstUnsafe = %d found=%v, want 5 true", first, found)
+	}
+	if d := a.Deadline(mat.VecOf(0), 0, safe); d != 4 {
+		t.Errorf("Deadline = %d, want 4", d)
+	}
+}
+
+func TestDeadlineZeroWhenAlreadyMarginal(t *testing.T) {
+	// x0 right at the boundary: the very next step can be unsafe.
+	sys := scalar(t, 1, 1)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(1, -4.5, 4.5)
+	if d := a.Deadline(mat.VecOf(4.4), 0, safe); d != 0 {
+		t.Errorf("Deadline at boundary = %d, want 0", d)
+	}
+}
+
+func TestDeadlineClampsToHorizon(t *testing.T) {
+	// Stable system far from a huge safe set: never unsafe within horizon.
+	sys := scalar(t, 0.5, 0.1)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0.001, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(1, -100, 100)
+	first, found := a.FirstUnsafe(mat.VecOf(0), 0, safe)
+	if found {
+		t.Errorf("unexpected unsafe at %d", first)
+	}
+	if d := a.Deadline(mat.VecOf(0), 0, safe); d != 30 {
+		t.Errorf("Deadline = %d, want horizon 30", d)
+	}
+}
+
+func TestDeadlineMonotoneInDistanceProperty(t *testing.T) {
+	// Closer to the unsafe boundary => deadline can only shrink.
+	sys := scalar(t, 1, 1)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0.01, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(1, -10, 10)
+	prev := math.MaxInt
+	for x := 0.0; x <= 9.5; x += 0.5 {
+		d := a.Deadline(mat.VecOf(x), 0, safe)
+		if d > prev {
+			t.Errorf("deadline increased from %d to %d as state moved toward unsafe (x=%v)", prev, d, x)
+		}
+		prev = d
+	}
+}
+
+func TestDeadlineWithUnboundedSafeDims(t *testing.T) {
+	// Two-dim plant, safe set bounded only in dim 1 (Table 1 style).
+	ac := mat.FromRows([][]float64{{1, 0.1}, {0, 1}})
+	bc := mat.ColVec(mat.VecOf(0, 0.1))
+	sys, err := lti.New(ac, bc, nil, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.NewBox(geom.NewInterval(-2, 2), geom.Whole())
+	d := a.Deadline(mat.VecOf(0, 0), 0, safe)
+	if d <= 0 || d >= 50 {
+		t.Errorf("deadline = %d, want interior value", d)
+	}
+}
+
+func TestReachBoxOutOfHorizonPanics(t *testing.T) {
+	sys := scalar(t, 1, 1)
+	a, _ := New(sys, geom.UniformBox(1, -1, 1), 0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.ReachBox(mat.VecOf(0), 6)
+}
+
+func TestAccessors(t *testing.T) {
+	sys := scalar(t, 1, 1)
+	u := geom.UniformBox(1, -2, 2)
+	a, err := New(sys, u, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Horizon() != 7 || a.Eps() != 0.3 {
+		t.Errorf("accessors: %d %v", a.Horizon(), a.Eps())
+	}
+	if a.Inputs().Interval(0).Hi != 2 {
+		t.Errorf("Inputs = %v", a.Inputs())
+	}
+}

@@ -1,0 +1,100 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// ZonotopeStepper propagates the reachable set as a zonotope:
+//
+//	X_{t+1} = A X_t ⊕ B·U ⊕ W,   W = box over-approximation of B_ε,
+//
+// with Girard-style order reduction to keep the generator count bounded.
+// It is the classic Le Guernic/Girard recurrence the paper's support-
+// function method is derived from, provided as an alternative backend:
+// exact for the box-shaped input set, conservative for the ε-ball noise
+// (a box inscribing the ball is used, so per-axis bounds are looser by up
+// to the 1-norm/2-norm gap; with ε = 0 the per-axis bounds coincide with
+// Eq. (4)/(5) exactly — the tests pin both facts down).
+type ZonotopeStepper struct {
+	sys      *lti.System
+	inputSet geom.Zonotope
+	noiseSet geom.Zonotope
+	maxOrder int
+
+	cur  geom.Zonotope
+	step int
+}
+
+// NewZonotopeStepper starts the recurrence at the point x0. maxOrder bounds
+// the generator count (clamped to at least the state dimension); 0 selects
+// a default of 5n.
+func NewZonotopeStepper(sys *lti.System, u geom.Box, eps float64, x0 mat.Vec, maxOrder int) (*ZonotopeStepper, error) {
+	n := sys.StateDim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("reach: x0 dimension %d, want %d", len(x0), n)
+	}
+	if u.Dim() != sys.InputDim() {
+		return nil, fmt.Errorf("reach: input box dimension %d, want %d", u.Dim(), sys.InputDim())
+	}
+	if !u.Bounded() {
+		return nil, fmt.Errorf("reach: input box must be bounded")
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("reach: negative eps %v", eps)
+	}
+	if maxOrder <= 0 {
+		maxOrder = 5 * n
+	}
+
+	// B·U as a zonotope: map the input box through B.
+	inputSet := geom.ZonotopeFromBox(u).LinearMap(sys.B)
+	// Noise ball over-approximated by the inscribing box [−ε, ε]^n.
+	noiseSet := geom.NewZonotope(mat.NewVec(n))
+	if eps > 0 {
+		noiseSet = geom.ZonotopeFromBox(geom.UniformBox(n, -eps, eps))
+	}
+	return &ZonotopeStepper{
+		sys:      sys,
+		inputSet: inputSet,
+		noiseSet: noiseSet,
+		maxOrder: maxOrder,
+		cur:      geom.NewZonotope(x0),
+	}, nil
+}
+
+// Step returns the current step index.
+func (zs *ZonotopeStepper) Step() int { return zs.step }
+
+// Set returns the current reachable-set zonotope.
+func (zs *ZonotopeStepper) Set() geom.Zonotope { return zs.cur }
+
+// Box returns the bounding box of the current reachable set.
+func (zs *ZonotopeStepper) Box() geom.Box { return zs.cur.BoundingBox() }
+
+// Advance applies one step of the recurrence.
+func (zs *ZonotopeStepper) Advance() {
+	next := zs.cur.LinearMap(zs.sys.A).MinkowskiSum(zs.inputSet).MinkowskiSum(zs.noiseSet)
+	zs.cur = next.Reduce(zs.maxOrder)
+	zs.step++
+}
+
+// FirstUnsafeZonotope searches steps 1..maxSteps for the first step whose
+// zonotope reachable set is not contained in the safe box.
+func FirstUnsafeZonotope(sys *lti.System, u geom.Box, eps float64, x0 mat.Vec,
+	safe geom.Box, maxSteps, maxOrder int) (int, bool, error) {
+	zs, err := NewZonotopeStepper(sys, u, eps, x0, maxOrder)
+	if err != nil {
+		return 0, false, err
+	}
+	for t := 1; t <= maxSteps; t++ {
+		zs.Advance()
+		if !safe.ContainsBox(zs.Box()) {
+			return t, true, nil
+		}
+	}
+	return maxSteps, false, nil
+}

@@ -1,0 +1,149 @@
+package reach
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+func TestZonotopeStepperMatchesBoxBoundsWithoutNoise(t *testing.T) {
+	// With ε = 0 the zonotope recurrence is exact for box inputs, and its
+	// per-axis bounding box must coincide with the Eq. (4)/(5) bounds.
+	sys := twoDimSystem(t)
+	u := geom.BoxFromBounds([]float64{-1, 0.5}, []float64{2, 3})
+	an, err := New(sys, u, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.7, -0.4)
+	zs, err := NewZonotopeStepper(sys, u, 0, x0, 200) // high order: no reduction error
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt <= 12; tt++ {
+		zs.Advance()
+		want := an.ReachBox(x0, tt)
+		got := zs.Box()
+		for d := 0; d < 2; d++ {
+			if math.Abs(got.Interval(d).Lo-want.Interval(d).Lo) > 1e-9 ||
+				math.Abs(got.Interval(d).Hi-want.Interval(d).Hi) > 1e-9 {
+				t.Fatalf("t=%d dim=%d: zonotope %v vs support-function %v",
+					tt, d, got.Interval(d), want.Interval(d))
+			}
+		}
+	}
+}
+
+func TestZonotopeStepperConservativeForBallNoise(t *testing.T) {
+	// With ε > 0 the zonotope uses the inscribing box for the noise ball,
+	// so its per-axis bounds must contain the (tighter, ball-exact)
+	// support-function bounds.
+	sys := twoDimSystem(t)
+	u := geom.UniformBox(2, -1, 1)
+	const eps = 0.05
+	an, err := New(sys, u, eps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.2, 0.1)
+	zs, err := NewZonotopeStepper(sys, u, eps, x0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt <= 10; tt++ {
+		zs.Advance()
+		exact := an.ReachBox(x0, tt)
+		if !zs.Box().ContainsBox(exact) {
+			t.Fatalf("t=%d: zonotope box %v does not contain support bounds %v", tt, zs.Box(), exact)
+		}
+	}
+}
+
+func TestZonotopeStepperSoundnessProperty(t *testing.T) {
+	// Simulated admissible trajectories stay inside the zonotope bounds
+	// even with aggressive order reduction.
+	sys := twoDimSystem(t)
+	u := geom.UniformBox(2, -1, 1)
+	const eps = 0.03
+	x0 := mat.VecOf(0.5, -0.5)
+	zs, err := NewZonotopeStepper(sys, u, eps, x0, 0) // default (reduced) order
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := make([]geom.Box, 0, 15)
+	for tt := 1; tt <= 15; tt++ {
+		zs.Advance()
+		boxes = append(boxes, zs.Box())
+	}
+	src := noise.NewSource(91)
+	ball := noise.NewBall(92, 2, eps)
+	for trial := 0; trial < 40; trial++ {
+		x := x0.Clone()
+		for tt := 1; tt <= 15; tt++ {
+			uv := mat.VecOf(src.Uniform(-1, 1), src.Uniform(-1, 1))
+			x = sys.Step(x, uv, ball.Sample(tt))
+			if !boxes[tt-1].Contains(x) {
+				t.Fatalf("trial %d step %d: trajectory escaped zonotope bounds", trial, tt)
+			}
+		}
+	}
+}
+
+func TestZonotopeOrderStaysBounded(t *testing.T) {
+	sys := twoDimSystem(t)
+	zs, err := NewZonotopeStepper(sys, geom.UniformBox(2, -1, 1), 0.01, mat.VecOf(0, 0), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 100; tt++ {
+		zs.Advance()
+		if zs.Set().Order() > 12 {
+			t.Fatalf("step %d: order %d exceeds cap", tt, zs.Set().Order())
+		}
+	}
+	if zs.Step() != 100 {
+		t.Errorf("step counter = %d", zs.Step())
+	}
+}
+
+func TestFirstUnsafeZonotopeAgreesWithBoxSearch(t *testing.T) {
+	// ε = 0: both representations are exact per-axis, so the first-unsafe
+	// step must agree.
+	sys := twoDimSystem(t)
+	u := geom.UniformBox(2, -1, 1)
+	an, err := New(sys, u, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(2, -2, 2)
+	for _, x0 := range []mat.Vec{{0, 0}, {1.5, 1.5}, {-1.9, 0}} {
+		tb, fb := an.FirstUnsafe(x0, 0, safe)
+		tz, fz, err := FirstUnsafeZonotope(sys, u, 0, x0, safe, 30, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb != tz || fb != fz {
+			t.Errorf("x0=%v: box (%d,%v) vs zonotope (%d,%v)", x0, tb, fb, tz, fz)
+		}
+	}
+}
+
+func TestZonotopeStepperValidation(t *testing.T) {
+	sys := twoDimSystem(t)
+	u := geom.UniformBox(2, -1, 1)
+	if _, err := NewZonotopeStepper(sys, u, 0, mat.VecOf(1), 0); err == nil {
+		t.Error("bad x0 accepted")
+	}
+	if _, err := NewZonotopeStepper(sys, geom.UniformBox(1, -1, 1), 0, mat.VecOf(0, 0), 0); err == nil {
+		t.Error("bad input box accepted")
+	}
+	if _, err := NewZonotopeStepper(sys, geom.NewBox(geom.Whole(), geom.Whole()), 0, mat.VecOf(0, 0), 0); err == nil {
+		t.Error("unbounded input box accepted")
+	}
+	if _, err := NewZonotopeStepper(sys, u, -1, mat.VecOf(0, 0), 0); err == nil {
+		t.Error("negative eps accepted")
+	}
+}

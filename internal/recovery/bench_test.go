@@ -1,0 +1,45 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+func BenchmarkInfiniteHorizonLQR(b *testing.B) {
+	sys := lti.MustNew(
+		mat.FromRows([][]float64{{1, 0.1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0.005, 0.1)),
+		nil, 0.1,
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InfiniteHorizonLQR(sys.A, sys.B, mat.Identity(2), mat.Diag(0.1), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryControllerStep(b *testing.B) {
+	sys := lti.MustNew(
+		mat.FromRows([][]float64{{1, 0.1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0.005, 0.1)),
+		nil, 0.1,
+	)
+	lqr, err := InfiniteHorizonLQR(sys.A, sys.B, mat.Identity(2), mat.Diag(0.1), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := NewController(sys, lqr, mat.VecOf(1, 0), nil, mat.NewVec(2), geom.UniformBox(1, -5, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ctl.Step()
+	}
+}

@@ -1,0 +1,131 @@
+// Package recovery implements what happens after the detector fires: the
+// real-time attack-recovery strategy of the paper's companion works —
+// Zhang et al., "Real-Time Recovery for Cyber-Physical Systems using
+// Linear Approximations" (RTSS 2020, reference [13], which also supplies
+// the Data Logger protocol) and "Real-Time Attack-Recovery for
+// Cyber-Physical Systems using Linear-Quadratic Regulator" (EMSOFT 2021,
+// reference [14]).
+//
+// Once sensors are deemed compromised they cannot be trusted for feedback.
+// Recovery therefore (1) dead-reckons the current physical state by rolling
+// the linear model forward from the last trusted estimate with the recorded
+// control inputs, and (2) steers that virtual state back to a safe target
+// with an LQR state-feedback law, saturated to the actuator range.
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// LQR holds a discrete-time linear-quadratic regulator design for
+// x' = A x + B u with stage cost xᵀQx + uᵀRu.
+type LQR struct {
+	// Gains[k] is the feedback gain at k steps from the horizon end for the
+	// finite-horizon design; for the infinite-horizon design there is a
+	// single stationary gain.
+	gains []*mat.Dense
+}
+
+// FiniteHorizonLQR solves the backward Riccati recursion over the given
+// horizon with terminal cost Qf (nil = Q):
+//
+//	P_N = Qf
+//	K_k = (R + Bᵀ P_{k+1} B)⁻¹ Bᵀ P_{k+1} A
+//	P_k = Q + Aᵀ P_{k+1} (A − B K_k)
+//
+// returning the time-varying gain schedule K_0..K_{N−1}.
+func FiniteHorizonLQR(a, b, q, r, qf *mat.Dense, horizon int) (*LQR, error) {
+	n, m := a.Rows(), b.Cols()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("recovery: A must be square")
+	}
+	if b.Rows() != n {
+		return nil, fmt.Errorf("recovery: B rows %d != %d", b.Rows(), n)
+	}
+	if q.Rows() != n || q.Cols() != n {
+		return nil, fmt.Errorf("recovery: Q must be %dx%d", n, n)
+	}
+	if r.Rows() != m || r.Cols() != m {
+		return nil, fmt.Errorf("recovery: R must be %dx%d", m, m)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("recovery: horizon %d must be >= 1", horizon)
+	}
+	if qf == nil {
+		qf = q
+	}
+	if qf.Rows() != n || qf.Cols() != n {
+		return nil, fmt.Errorf("recovery: Qf must be %dx%d", n, n)
+	}
+
+	at, bt := a.T(), b.T()
+	p := qf.Clone()
+	gains := make([]*mat.Dense, horizon)
+	for k := horizon - 1; k >= 0; k-- {
+		btp := bt.Mul(p)
+		s := r.Add(btp.Mul(b))
+		sInv, err := mat.Inverse(s)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: R + BᵀPB singular: %w", err)
+		}
+		kGain := sInv.Mul(btp).Mul(a)
+		gains[k] = kGain
+		p = q.Add(at.Mul(p).Mul(a.Sub(b.Mul(kGain))))
+	}
+	return &LQR{gains: gains}, nil
+}
+
+// InfiniteHorizonLQR iterates the Riccati recursion to stationarity and
+// returns a single-gain regulator. It fails with an error when the
+// recursion does not settle (e.g. uncontrollable unstable modes).
+func InfiniteHorizonLQR(a, b, q, r *mat.Dense, maxIter int, tol float64) (*LQR, error) {
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	if tol <= 0 {
+		tol = 1e-11
+	}
+	at, bt := a.T(), b.T()
+	p := q.Clone()
+	var gain *mat.Dense
+	for iter := 0; iter < maxIter; iter++ {
+		btp := bt.Mul(p)
+		s := r.Add(btp.Mul(b))
+		sInv, err := mat.Inverse(s)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: R + BᵀPB singular: %w", err)
+		}
+		kGain := sInv.Mul(btp).Mul(a)
+		next := q.Add(at.Mul(p).Mul(a.Sub(b.Mul(kGain))))
+		diff := next.Sub(p).NormInf()
+		p = next
+		gain = kGain
+		if diff < tol*(1+p.NormInf()) {
+			return &LQR{gains: []*mat.Dense{gain}}, nil
+		}
+	}
+	return nil, fmt.Errorf("recovery: Riccati iteration did not converge")
+}
+
+// Horizon returns the number of scheduled gains (1 for infinite-horizon).
+func (l *LQR) Horizon() int { return len(l.gains) }
+
+// Gain returns the feedback gain for step k of the recovery maneuver
+// (clamped to the last gain when k exceeds the schedule — the stationary
+// tail).
+func (l *LQR) Gain(k int) *mat.Dense {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(l.gains) {
+		k = len(l.gains) - 1
+	}
+	return l.gains[k]
+}
+
+// Control returns u = −K_k (x − target): feedback toward the target state.
+func (l *LQR) Control(k int, x, target mat.Vec) mat.Vec {
+	return l.Gain(k).MulVec(x.Sub(target)).Scale(-1)
+}

@@ -1,0 +1,118 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// DeadReckoner rolls the plant model forward from the last trusted state
+// estimate using the recorded control inputs — the linear-approximation
+// state reconstruction of [13]. Because the model is LTI and the inputs are
+// known exactly, the reckoned state differs from the true state only by the
+// accumulated bounded disturbance.
+type DeadReckoner struct {
+	sys *lti.System
+	x   mat.Vec
+}
+
+// NewDeadReckoner starts from the trusted state estimate.
+func NewDeadReckoner(sys *lti.System, trusted mat.Vec) *DeadReckoner {
+	if len(trusted) != sys.StateDim() {
+		panic(fmt.Sprintf("recovery: trusted state dimension %d, want %d", len(trusted), sys.StateDim()))
+	}
+	return &DeadReckoner{sys: sys, x: trusted.Clone()}
+}
+
+// Advance applies one recorded input to the virtual state.
+func (d *DeadReckoner) Advance(u mat.Vec) {
+	d.x = d.sys.Step(d.x, u, nil)
+}
+
+// AdvanceAll applies a sequence of recorded inputs.
+func (d *DeadReckoner) AdvanceAll(us []mat.Vec) {
+	for _, u := range us {
+		d.Advance(u)
+	}
+}
+
+// State returns a copy of the current virtual state.
+func (d *DeadReckoner) State() mat.Vec { return d.x.Clone() }
+
+// Controller executes the recovery maneuver: LQR feedback on the
+// dead-reckoned state toward a target inside the safe set, with actuator
+// saturation. Sensors are never consulted after engagement.
+type Controller struct {
+	sys    *lti.System
+	lqr    *LQR
+	target mat.Vec
+	uff    mat.Vec // feedforward holding the target as an equilibrium
+	uLo    mat.Vec
+	uHi    mat.Vec
+
+	reck *DeadReckoner
+	step int
+}
+
+// NewController builds a recovery controller.
+//
+// trusted is the last trustworthy state estimate (from the Data Logger),
+// recordedInputs the inputs applied since that estimate (so the reckoner
+// can catch up to "now"), target the state to steer to, and inputs the
+// actuator range U.
+func NewController(sys *lti.System, lqr *LQR, trusted mat.Vec, recordedInputs []mat.Vec,
+	target mat.Vec, inputs geom.Box) (*Controller, error) {
+	if lqr == nil {
+		return nil, fmt.Errorf("recovery: nil LQR design")
+	}
+	if len(target) != sys.StateDim() {
+		return nil, fmt.Errorf("recovery: target dimension %d, want %d", len(target), sys.StateDim())
+	}
+	if inputs.Dim() != sys.InputDim() {
+		return nil, fmt.Errorf("recovery: input box dimension %d, want %d", inputs.Dim(), sys.InputDim())
+	}
+	reck := NewDeadReckoner(sys, trusted)
+	reck.AdvanceAll(recordedInputs)
+	return &Controller{
+		sys:    sys,
+		lqr:    lqr,
+		target: target.Clone(),
+		uff:    feedforward(sys, target),
+		uLo:    inputs.Lo(),
+		uHi:    inputs.Hi(),
+		reck:   reck,
+	}, nil
+}
+
+// feedforward solves B u = (I − A) target in the least-squares sense via
+// Householder QR, yielding the constant input that makes target an
+// equilibrium (zero when B is rank-deficient — the feedback term then does
+// its best alone).
+func feedforward(sys *lti.System, target mat.Vec) mat.Vec {
+	rhs := target.Sub(sys.A.MulVec(target)) // (I − A) target
+	sol, err := mat.LeastSquares(sys.B, rhs)
+	if err != nil {
+		return mat.NewVec(sys.InputDim())
+	}
+	return sol
+}
+
+// State returns the controller's current dead-reckoned state.
+func (c *Controller) State() mat.Vec { return c.reck.State() }
+
+// Step computes the next recovery input from the virtual state, applies it
+// to the reckoner, and returns it. Call once per control period and apply
+// the returned input to the real actuators.
+func (c *Controller) Step() mat.Vec {
+	u := c.lqr.Control(c.step, c.reck.State(), c.target).Add(c.uff)
+	u = control.Saturate(u, c.uLo, c.uHi)
+	c.reck.Advance(u)
+	c.step++
+	return u
+}
+
+// Steps returns how many recovery inputs have been issued.
+func (c *Controller) Steps() int { return c.step }

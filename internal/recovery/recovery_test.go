@@ -1,0 +1,240 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+func doubleIntegrator(t *testing.T) *lti.System {
+	t.Helper()
+	sys, err := lti.New(
+		mat.FromRows([][]float64{{1, 0.1}, {0, 1}}),
+		mat.ColVec(mat.VecOf(0.005, 0.1)),
+		nil, 0.1,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFiniteHorizonLQRScalar(t *testing.T) {
+	// Scalar x' = x + u, Q = 1, R = 1, horizon 1, Qf = Q:
+	// K_0 = (1 + 1·1·1)⁻¹ · 1·1·1 = 0.5.
+	l, err := FiniteHorizonLQR(mat.Diag(1), mat.Diag(1), mat.Diag(1), mat.Diag(1), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Gain(0).At(0, 0)-0.5) > 1e-12 {
+		t.Errorf("K_0 = %v, want 0.5", l.Gain(0).At(0, 0))
+	}
+}
+
+func TestFiniteHorizonLQRValidation(t *testing.T) {
+	a, b, q, r := mat.Diag(1), mat.Diag(1), mat.Diag(1), mat.Diag(1)
+	cases := []func() (*LQR, error){
+		func() (*LQR, error) { return FiniteHorizonLQR(mat.NewDense(1, 2), b, q, r, nil, 5) },
+		func() (*LQR, error) { return FiniteHorizonLQR(a, mat.NewDense(2, 1), q, r, nil, 5) },
+		func() (*LQR, error) { return FiniteHorizonLQR(a, b, mat.Identity(2), r, nil, 5) },
+		func() (*LQR, error) { return FiniteHorizonLQR(a, b, q, mat.Identity(2), nil, 5) },
+		func() (*LQR, error) { return FiniteHorizonLQR(a, b, q, r, mat.Identity(2), 5) },
+		func() (*LQR, error) { return FiniteHorizonLQR(a, b, q, r, nil, 0) },
+	}
+	for i, fn := range cases {
+		if _, err := fn(); err == nil {
+			t.Errorf("case %d: invalid design accepted", i)
+		}
+	}
+}
+
+func TestInfiniteHorizonLQRStabilizes(t *testing.T) {
+	sys := doubleIntegrator(t)
+	l, err := InfiniteHorizonLQR(sys.A, sys.B, mat.Identity(2), mat.Diag(0.1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Horizon() != 1 {
+		t.Errorf("stationary design has %d gains", l.Horizon())
+	}
+	// Closed loop from a disturbed state must converge to the origin.
+	x := mat.VecOf(3, -2)
+	for i := 0; i < 300; i++ {
+		u := l.Control(i, x, mat.NewVec(2))
+		x = sys.Step(x, u, nil)
+	}
+	if x.Norm2() > 1e-3 {
+		t.Errorf("closed loop did not converge: %v", x)
+	}
+}
+
+func TestGainScheduleClamping(t *testing.T) {
+	sys := doubleIntegrator(t)
+	l, err := FiniteHorizonLQR(sys.A, sys.B, mat.Identity(2), mat.Diag(1), nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Horizon() != 5 {
+		t.Fatalf("horizon = %d", l.Horizon())
+	}
+	if !l.Gain(99).Equal(l.Gain(4), 0) || !l.Gain(-3).Equal(l.Gain(0), 0) {
+		t.Error("gain index clamping wrong")
+	}
+}
+
+func TestDeadReckonerMatchesNoiselessPlant(t *testing.T) {
+	sys := doubleIntegrator(t)
+	x := mat.VecOf(1, 0.5)
+	reck := NewDeadReckoner(sys, x)
+	src := noise.NewSource(3)
+	for i := 0; i < 50; i++ {
+		u := mat.VecOf(src.Uniform(-2, 2))
+		x = sys.Step(x, u, nil)
+		reck.Advance(u)
+	}
+	if !reck.State().Equal(x, 1e-12) {
+		t.Errorf("reckoner %v diverged from plant %v", reck.State(), x)
+	}
+}
+
+func TestDeadReckonerErrorBoundedByDisturbance(t *testing.T) {
+	// With bounded disturbance the reckoning error stays within the
+	// geometric accumulation bound Σ‖A‖^k ε for this contraction-free A.
+	sys := doubleIntegrator(t)
+	const eps = 0.001
+	x := mat.VecOf(0, 0)
+	reck := NewDeadReckoner(sys, x)
+	ball := noise.NewBall(4, 2, eps)
+	src := noise.NewSource(5)
+	const steps = 30
+	for i := 0; i < steps; i++ {
+		u := mat.VecOf(src.Uniform(-1, 1))
+		x = sys.Step(x, u, ball.Sample(i))
+		reck.Advance(u)
+	}
+	errNorm := reck.State().Sub(x).Norm2()
+	// ‖A‖_inf = 1.1 here; very loose envelope.
+	bound := eps * steps * math.Pow(1.1, steps)
+	if errNorm > bound {
+		t.Errorf("reckoning error %v exceeds envelope %v", errNorm, bound)
+	}
+	if errNorm == 0 {
+		t.Error("error unexpectedly zero under nonzero disturbance")
+	}
+}
+
+func TestDeadReckonerDimensionPanics(t *testing.T) {
+	sys := doubleIntegrator(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDeadReckoner(sys, mat.VecOf(1))
+}
+
+func TestControllerRecoversFromAttackDrift(t *testing.T) {
+	// Scenario: sensors were spoofed for 20 steps, driving the true state
+	// away while the logger retained the trusted estimate from before the
+	// attack and the inputs applied since. The recovery controller must
+	// steer the plant back near the target without ever reading a sensor.
+	sys := doubleIntegrator(t)
+	trusted := mat.VecOf(1, 0)
+	x := trusted.Clone()
+
+	// Attack phase: controller (spoofed) applies a harmful constant input.
+	var recorded []mat.Vec
+	for i := 0; i < 20; i++ {
+		u := mat.VecOf(1.5)
+		recorded = append(recorded, u)
+		x = sys.Step(x, u, nil)
+	}
+
+	lqr, err := InfiniteHorizonLQR(sys.A, sys.B, mat.Identity(2), mat.Diag(0.5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mat.VecOf(1, 0)
+	ctl, err := NewController(sys, lqr, trusted, recorded, target, geom.UniformBox(1, -5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reckoner caught up: it must agree with the true state exactly
+	// (no disturbance in this test).
+	if !ctl.State().Equal(x, 1e-9) {
+		t.Fatalf("reckoner %v != true %v after catch-up", ctl.State(), x)
+	}
+
+	for i := 0; i < 300; i++ {
+		u := ctl.Step()
+		x = sys.Step(x, u, nil)
+	}
+	if x.Sub(target).Norm2() > 1e-2 {
+		t.Errorf("recovery missed target: %v vs %v", x, target)
+	}
+	if ctl.Steps() != 300 {
+		t.Errorf("Steps = %d", ctl.Steps())
+	}
+}
+
+func TestControllerRespectsSaturation(t *testing.T) {
+	sys := doubleIntegrator(t)
+	lqr, err := InfiniteHorizonLQR(sys.A, sys.B, mat.Identity(2).Scale(100), mat.Diag(0.001), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(sys, lqr, mat.VecOf(50, 0), nil, mat.NewVec(2), geom.UniformBox(1, -1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		u := ctl.Step()
+		if u[0] < -1-1e-12 || u[0] > 1+1e-12 {
+			t.Fatalf("unsaturated input %v", u[0])
+		}
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	sys := doubleIntegrator(t)
+	lqr, _ := InfiniteHorizonLQR(sys.A, sys.B, mat.Identity(2), mat.Diag(1), 0, 0)
+	u := geom.UniformBox(1, -1, 1)
+	if _, err := NewController(sys, nil, mat.VecOf(0, 0), nil, mat.VecOf(0, 0), u); err == nil {
+		t.Error("nil LQR accepted")
+	}
+	if _, err := NewController(sys, lqr, mat.VecOf(0, 0), nil, mat.VecOf(0), u); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := NewController(sys, lqr, mat.VecOf(0, 0), nil, mat.VecOf(0, 0), geom.UniformBox(2, -1, 1)); err == nil {
+		t.Error("bad input box accepted")
+	}
+}
+
+func TestFeedforwardHoldsTargetEquilibrium(t *testing.T) {
+	// x' = 0.5x + u: holding target 2 needs u_ff = 1.
+	sys, err := lti.New(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lqr, err := InfiniteHorizonLQR(sys.A, sys.B, mat.Diag(1), mat.Diag(1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mat.VecOf(2)
+	ctl, err := NewController(sys, lqr, target, nil, target, geom.UniformBox(1, -5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := target.Clone()
+	for i := 0; i < 100; i++ {
+		u := ctl.Step()
+		x = sys.Step(x, u, nil)
+	}
+	if math.Abs(x[0]-2) > 1e-6 {
+		t.Errorf("state drifted to %v, want held at 2 (feedforward missing?)", x[0])
+	}
+}

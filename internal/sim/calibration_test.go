@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/models"
+)
+
+// Calibration regression tests: the evaluation's qualitative results rest
+// on each plant's closed loop behaving in a specific regime (tracks its
+// reference, operates near the safe boundary, keeps its clean residuals
+// below τ on average). These tests pin that regime down so a model edit
+// that silently breaks an experiment fails here first.
+
+func TestCalibrationCleanLoopsTrackReferences(t *testing.T) {
+	for _, m := range append(models.All(), models.TestbedCar()) {
+		tr, err := Run(Config{Model: m, Strategy: Adaptive, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Steady-state tracking: average |state − ref| over the last 50
+		// steps must be within 20% of the reference span (loose enough for
+		// the deliberately-oscillatory aircraft loop).
+		last := tr.Records[len(tr.Records)-50:]
+		sum := 0.0
+		for _, r := range last {
+			sum += math.Abs(r.TrueState[m.CtrlDim] - r.Ref)
+		}
+		avg := sum / float64(len(last))
+		span := math.Abs(last[0].Ref)
+		if span == 0 {
+			span = 1
+		}
+		if avg > 0.2*span {
+			t.Errorf("%s: steady tracking error %.3g vs reference %.3g", m.Name, avg, span)
+		}
+	}
+}
+
+func TestCalibrationCleanRunsStaySafeAfterTransient(t *testing.T) {
+	// The bias scenarios rely on the CLEAN loop staying inside the safe set
+	// once settled (transient overshoot before the attack window is
+	// tolerated — vehicle turning grazes the boundary by design).
+	for _, m := range append(models.All(), models.TestbedCar()) {
+		tr, err := Run(Config{Model: m, Strategy: FixedWindow, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		settled := m.Attack.BiasStart
+		// The operating points deliberately hug the boundary, so rare
+		// noise-driven grazes are tolerated as long as the excursion depth
+		// stays within 2% of the controlled dimension's safe span.
+		iv := m.Safe.Interval(m.CtrlDim)
+		tol := 0.02 * iv.Width()
+		if math.IsInf(tol, 1) {
+			tol = 0
+		}
+		for _, r := range tr.Records[settled:] {
+			v := r.TrueState[m.CtrlDim]
+			if v > iv.Hi+tol || v < iv.Lo-tol {
+				t.Errorf("%s: clean run left the safe band at step %d (state %.4g)", m.Name, r.Step, v)
+				break
+			}
+		}
+	}
+}
+
+func TestCalibrationCleanResidualFloorBelowTau(t *testing.T) {
+	// τ must sit above the clean average residual in every dimension, or
+	// the fixed baseline would false-alarm constantly and Table 2's
+	// contrast would collapse.
+	for _, m := range append(models.All(), models.TestbedCar()) {
+		tr, err := Run(Config{Model: m, Strategy: FixedWindow, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		n := m.Sys.StateDim()
+		sums := make([]float64, n)
+		count := 0
+		for _, r := range tr.Records[1:] {
+			for d := 0; d < n; d++ {
+				sums[d] += r.Residual[d]
+			}
+			count++
+		}
+		for d := 0; d < n; d++ {
+			if mean := sums[d] / float64(count); mean >= m.Tau[d] {
+				t.Errorf("%s: clean residual mean %.4g >= tau %.4g in dim %d",
+					m.Name, mean, m.Tau[d], d)
+			}
+		}
+	}
+}
+
+func TestCalibrationDeadlinesTightenNearBoundary(t *testing.T) {
+	// The adaptive mechanism only matters if the operating point actually
+	// produces deadlines below w_m — check the post-transient window sizes.
+	for _, m := range models.All() {
+		tr, err := Run(Config{Model: m, Strategy: Adaptive, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		minWin := m.MaxWindow
+		for _, r := range tr.Records[m.Attack.BiasStart:] {
+			if r.Window < minWin {
+				minWin = r.Window
+			}
+		}
+		if minWin >= m.MaxWindow {
+			t.Errorf("%s: adaptive window never tightened below w_m = %d", m.Name, m.MaxWindow)
+		}
+	}
+}
+
+func TestExtendedScenariosIntegrate(t *testing.T) {
+	// freeze / ramp / noise must run end-to-end on every plant and carry
+	// correct onset metadata.
+	for _, m := range models.All() {
+		for _, name := range []string{"freeze", "ramp", "noise"} {
+			att, err := BuildAttack(m, name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name, name, err)
+			}
+			tr, err := Run(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 6, Steps: m.Attack.BiasStart + 60})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name, name, err)
+			}
+			if tr.AttackStart < 0 {
+				t.Errorf("%s/%s: onset metadata missing", m.Name, name)
+			}
+		}
+	}
+}
+
+func TestMaskedAndSequenceIntegrate(t *testing.T) {
+	m := models.SeriesRLC()
+	bias, _ := BuildAttack(m, "bias")
+	delay, _ := BuildAttack(m, "delay")
+	seq := attack.NewSequence(bias, delay)
+	tr, err := Run(Config{Model: m, Attack: seq, Strategy: Adaptive, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.AttackStart != m.Attack.DelayStart { // delay starts earlier
+		t.Errorf("sequence onset = %d, want %d", tr.AttackStart, m.Attack.DelayStart)
+	}
+	met := Analyze(tr)
+	if !met.Detected {
+		t.Error("combined attack undetected")
+	}
+}

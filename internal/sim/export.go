@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams a trace as CSV: one row per control step with the true
+// state, the (possibly attacked) estimate, the residual, and the detector's
+// decision. State vectors are expanded into one column per dimension
+// (x0..x{n−1}, est0.., z0..).
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	n := tr.Model.Sys.StateDim()
+	m := tr.Model.Sys.InputDim()
+
+	header := []string{"step", "ref", "window", "deadline", "alarm", "complementary", "attack_active", "unsafe"}
+	for i := 0; i < n; i++ {
+		header = append(header, fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < n; i++ {
+		header = append(header, fmt.Sprintf("est%d", i))
+	}
+	for i := 0; i < n; i++ {
+		header = append(header, fmt.Sprintf("z%d", i))
+	}
+	for i := 0; i < m; i++ {
+		header = append(header, fmt.Sprintf("u%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	row := make([]string, 0, len(header))
+	for _, r := range tr.Records {
+		row = row[:0]
+		row = append(row,
+			strconv.Itoa(r.Step),
+			formatFloat(r.Ref),
+			strconv.Itoa(r.Window),
+			strconv.Itoa(r.Deadline),
+			strconv.FormatBool(r.Alarm),
+			strconv.FormatBool(r.Complementary),
+			strconv.FormatBool(r.AttackActive),
+			strconv.FormatBool(r.Unsafe),
+		)
+		for _, v := range r.TrueState {
+			row = append(row, formatFloat(v))
+		}
+		for _, v := range r.Estimate {
+			row = append(row, formatFloat(v))
+		}
+		for _, v := range r.Residual {
+			row = append(row, formatFloat(v))
+		}
+		for _, v := range r.Input {
+			row = append(row, formatFloat(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat uses the shortest representation that round-trips exactly.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

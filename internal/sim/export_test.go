@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	m := models.SeriesRLC()
+	att, _ := BuildAttack(m, "bias")
+	tr, err := Run(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 4, Steps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 51 { // header + 50 steps
+		t.Fatalf("rows = %d", len(rows))
+	}
+	header := rows[0]
+	// 8 meta columns + 2 state + 2 est + 2 residual + 1 input.
+	if len(header) != 8+2+2+2+1 {
+		t.Fatalf("columns = %d: %v", len(header), header)
+	}
+	if header[0] != "step" || header[8] != "x0" {
+		t.Errorf("header layout wrong: %v", header)
+	}
+	// Spot-check a data row against the trace.
+	rec := tr.Records[10]
+	row := rows[11]
+	if row[0] != "10" {
+		t.Errorf("step column = %q", row[0])
+	}
+	x0, err := strconv.ParseFloat(row[8], 64)
+	if err != nil || x0 != rec.TrueState[0] {
+		t.Errorf("x0 = %q, want %v", row[8], rec.TrueState[0])
+	}
+	if row[4] != strconv.FormatBool(rec.Alarm) {
+		t.Errorf("alarm column = %q", row[4])
+	}
+}
+
+func TestWriteCSVQuadrotorWideRows(t *testing.T) {
+	m := models.Quadrotor()
+	tr, err := Run(Config{Model: m, Strategy: FixedWindow, Seed: 2, Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, "x11") || !strings.Contains(first, "u3") {
+		t.Errorf("quadrotor header missing wide columns: %s", first)
+	}
+}

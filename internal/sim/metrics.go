@@ -1,0 +1,119 @@
+package sim
+
+// Metrics condenses a trace into the quantities the paper reports.
+type Metrics struct {
+	// False positives: alarms raised strictly before the attack onset (or
+	// over the whole run when there is no attack).
+	PreAttackSteps  int
+	PreAttackAlarms int
+	FPRate          float64
+
+	// Detection.
+	Detected       bool
+	FirstAlarm     int // first alarm step at/after onset; -1 if none
+	DetectionDelay int // FirstAlarm − onset; -1 if undetected
+
+	// Safety.
+	UnsafeStep int // first step the true state left the safe set after onset; -1 if never
+	// DeadlineMissed: the physical system entered the unsafe region before
+	// (or without) the first alarm — detection arrived after consequences
+	// ("detecting an attack after car accidents is useless"). Attacks with
+	// negligible physical effect (UnsafeStep < 0) never count as misses,
+	// matching the paper's reading of Table 2.
+	DeadlineMissed bool
+}
+
+// Analyze computes the metrics of one trace. For clean runs (AttackStart <
+// 0) only the false-positive fields are meaningful.
+func Analyze(tr *Trace) Metrics {
+	m := Metrics{FirstAlarm: -1, DetectionDelay: -1, UnsafeStep: -1}
+	onset := tr.AttackStart
+	for _, r := range tr.Records {
+		pre := onset < 0 || r.Step < onset
+		if pre {
+			m.PreAttackSteps++
+			if r.Alarm || r.Complementary {
+				m.PreAttackAlarms++
+			}
+			continue
+		}
+		if (r.Alarm || r.Complementary) && m.FirstAlarm < 0 {
+			m.FirstAlarm = r.Step
+		}
+		if r.Unsafe && m.UnsafeStep < 0 {
+			m.UnsafeStep = r.Step
+		}
+	}
+	if m.PreAttackSteps > 0 {
+		m.FPRate = float64(m.PreAttackAlarms) / float64(m.PreAttackSteps)
+	}
+	if onset >= 0 {
+		m.Detected = m.FirstAlarm >= 0
+		if m.Detected {
+			m.DetectionDelay = m.FirstAlarm - onset
+		}
+		if m.UnsafeStep >= 0 && (!m.Detected || m.FirstAlarm > m.UnsafeStep) {
+			m.DeadlineMissed = true
+		}
+	}
+	return m
+}
+
+// CampaignResult aggregates a Monte-Carlo campaign (the paper's "out of 100
+// simulations" counters of Table 2 and Fig. 7).
+type CampaignResult struct {
+	Runs int
+	// FPExperiments counts runs whose pre-attack false-positive rate
+	// exceeds the 10% cut the paper uses (Sec. 6.1.2).
+	FPExperiments int
+	// FNExperiments counts runs where the attack was never detected.
+	FNExperiments int
+	// DeadlineMisses counts runs where the state went unsafe before the
+	// first alarm.
+	DeadlineMisses int
+	// MeanDelay averages the detection delay over detected runs (-1 when
+	// nothing was detected).
+	MeanDelay float64
+}
+
+// FPRateThreshold is the per-run false-positive-rate cut that makes a run a
+// "false positive experiment" (Sec. 6.1.2: "counted as a false positive
+// experiment if the false positive rate exceeds 10%").
+const FPRateThreshold = 0.10
+
+// Campaign runs n seeded experiments of the given base configuration,
+// varying only the seed, and aggregates the counters. Stateful attacks are
+// reset by Run at the start of every experiment.
+func Campaign(base Config, n int) (CampaignResult, error) {
+	res := CampaignResult{Runs: n}
+	totalDelay, detected := 0, 0
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)*7919
+		tr, err := Run(cfg)
+		if err != nil {
+			return CampaignResult{}, err
+		}
+		m := Analyze(tr)
+		if m.FPRate > FPRateThreshold {
+			res.FPExperiments++
+		}
+		if tr.AttackStart >= 0 {
+			if !m.Detected {
+				res.FNExperiments++
+			} else {
+				totalDelay += m.DetectionDelay
+				detected++
+			}
+			if m.DeadlineMissed {
+				res.DeadlineMisses++
+			}
+		}
+	}
+	if detected > 0 {
+		res.MeanDelay = float64(totalDelay) / float64(detected)
+	} else {
+		res.MeanDelay = -1
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/attack"
+)
+
+// CampaignParallel is Campaign distributed over a worker pool. Because
+// attacks are stateful (delay and replay keep buffers), each run needs its
+// own instance: makeAttack is called once per run (nil for clean runs).
+// Results are deterministic and identical to the serial Campaign for the
+// same base config — runs are independent and seeded individually.
+func CampaignParallel(base Config, n, workers int, makeAttack func() (attack.Attack, error)) (CampaignResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if makeAttack != nil {
+			att, err := makeAttack()
+			if err != nil {
+				return CampaignResult{}, err
+			}
+			base.Attack = att
+		}
+		return Campaign(base, n)
+	}
+
+	type runOut struct {
+		met         Metrics
+		attackStart int
+		err         error
+	}
+	outs := make([]runOut, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cfg := base
+				cfg.Seed = base.Seed + uint64(i)*7919
+				if makeAttack != nil {
+					att, err := makeAttack()
+					if err != nil {
+						outs[i] = runOut{err: err}
+						continue
+					}
+					cfg.Attack = att
+				} else {
+					cfg.Attack = nil
+				}
+				tr, err := Run(cfg)
+				if err != nil {
+					outs[i] = runOut{err: err}
+					continue
+				}
+				outs[i] = runOut{met: Analyze(tr), attackStart: tr.AttackStart}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	res := CampaignResult{Runs: n}
+	totalDelay, detected := 0, 0
+	for _, o := range outs {
+		if o.err != nil {
+			return CampaignResult{}, o.err
+		}
+		if o.met.FPRate > FPRateThreshold {
+			res.FPExperiments++
+		}
+		if o.attackStart >= 0 {
+			if !o.met.Detected {
+				res.FNExperiments++
+			} else {
+				totalDelay += o.met.DetectionDelay
+				detected++
+			}
+			if o.met.DeadlineMissed {
+				res.DeadlineMisses++
+			}
+		}
+	}
+	if detected > 0 {
+		res.MeanDelay = float64(totalDelay) / float64(detected)
+	} else {
+		res.MeanDelay = -1
+	}
+	return res, nil
+}

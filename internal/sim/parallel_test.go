@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/models"
+)
+
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	m := models.VehicleTurning()
+	att, _ := BuildAttack(m, "bias")
+	serial, err := Campaign(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 77}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CampaignParallel(
+		Config{Model: m, Strategy: Adaptive, Seed: 77}, 8, 4,
+		func() (attack.Attack, error) { return BuildAttack(m, "bias") },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("serial %+v != parallel %+v", serial, parallel)
+	}
+}
+
+func TestCampaignParallelCleanRuns(t *testing.T) {
+	m := models.SeriesRLC()
+	res, err := CampaignParallel(Config{Model: m, Strategy: FixedWindow, Seed: 3, Steps: 60}, 6, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 6 || res.FNExperiments != 0 || res.DeadlineMisses != 0 {
+		t.Errorf("clean parallel campaign: %+v", res)
+	}
+	if res.MeanDelay != -1 {
+		t.Errorf("clean campaign mean delay = %v, want -1", res.MeanDelay)
+	}
+}
+
+func TestCampaignParallelSingleWorkerFallsBackToSerial(t *testing.T) {
+	m := models.VehicleTurning()
+	res, err := CampaignParallel(
+		Config{Model: m, Strategy: Adaptive, Seed: 5, Steps: 100}, 3, 1,
+		func() (attack.Attack, error) { return BuildAttack(m, "bias") },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 3 {
+		t.Errorf("runs = %d", res.Runs)
+	}
+}
+
+func TestCampaignParallelPropagatesAttackError(t *testing.T) {
+	m := models.VehicleTurning()
+	wantErr := errors.New("boom")
+	_, err := CampaignParallel(
+		Config{Model: m, Strategy: Adaptive, Seed: 5, Steps: 50}, 4, 2,
+		func() (attack.Attack, error) { return nil, wantErr },
+	)
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+}

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/mat"
+	"repro/internal/models"
+)
+
+func TestRunCleanVehicleTracksReference(t *testing.T) {
+	m := models.VehicleTurning()
+	tr, err := Run(Config{Model: m, Strategy: Adaptive, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != m.RunLength {
+		t.Fatalf("trace length %d, want %d", len(tr.Records), m.RunLength)
+	}
+	last := tr.Records[len(tr.Records)-1]
+	if diff := last.TrueState[0] - last.Ref; diff > 0.3 || diff < -0.3 {
+		t.Errorf("end state %v far from reference %v", last.TrueState[0], last.Ref)
+	}
+	if tr.AttackStart != -1 || tr.AttackName != "none" {
+		t.Errorf("clean run metadata: %v %q", tr.AttackStart, tr.AttackName)
+	}
+}
+
+func TestRunNilModelErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestRunUnknownStrategyErrors(t *testing.T) {
+	if _, err := Run(Config{Model: models.VehicleTurning(), Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	m := models.SeriesRLC()
+	att1, _ := BuildAttack(m, "bias")
+	att2, _ := BuildAttack(m, "bias")
+	tr1, err := Run(Config{Model: m, Attack: att1, Strategy: Adaptive, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Run(Config{Model: m, Attack: att2, Strategy: Adaptive, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr1.Records {
+		if !tr1.Records[i].TrueState.Equal(tr2.Records[i].TrueState, 0) ||
+			tr1.Records[i].Alarm != tr2.Records[i].Alarm {
+			t.Fatalf("step %d diverged across identical seeds", i)
+		}
+	}
+	tr3, err := Run(Config{Model: m, Attack: att1, Strategy: Adaptive, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range tr1.Records {
+		if !tr1.Records[i].TrueState.Equal(tr3.Records[i].TrueState, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestRunStepsOverride(t *testing.T) {
+	tr, err := Run(Config{Model: models.VehicleTurning(), Strategy: FixedWindow, Steps: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 50 {
+		t.Errorf("trace length %d, want 50", len(tr.Records))
+	}
+}
+
+func TestBuildAttackScenarios(t *testing.T) {
+	m := models.AircraftPitch()
+	for _, name := range []string{"bias", "delay", "replay", "none"} {
+		att, err := BuildAttack(m, name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if att.Name() != name {
+			t.Errorf("attack name = %q, want %q", att.Name(), name)
+		}
+	}
+	if _, err := BuildAttack(m, "emp"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestBuildAttackUsesScenarioOnsets(t *testing.T) {
+	m := models.AircraftPitch()
+	b, _ := BuildAttack(m, "bias")
+	d, _ := BuildAttack(m, "delay")
+	r, _ := BuildAttack(m, "replay")
+	if Onset(b) != m.Attack.BiasStart || Onset(d) != m.Attack.DelayStart || Onset(r) != m.Attack.ReplayStart {
+		t.Errorf("onsets: %d %d %d, want %d %d %d", Onset(b), Onset(d), Onset(r),
+			m.Attack.BiasStart, m.Attack.DelayStart, m.Attack.ReplayStart)
+	}
+	if Onset(attack.None{}) != -1 {
+		t.Error("None onset should be -1")
+	}
+}
+
+func TestAttackedRunFlagsAttackSteps(t *testing.T) {
+	m := models.VehicleTurning()
+	att, _ := BuildAttack(m, "bias")
+	tr, err := Run(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := m.Attack.BiasStart
+	if tr.AttackStart != onset {
+		t.Fatalf("AttackStart = %d, want %d", tr.AttackStart, onset)
+	}
+	if tr.Records[onset-1].AttackActive || !tr.Records[onset].AttackActive {
+		t.Error("AttackActive flags wrong around onset")
+	}
+}
+
+func TestAdaptiveDetectsBiasBeforeUnsafe(t *testing.T) {
+	// The headline behaviour: for every plant's default bias scenario the
+	// adaptive detector fires before the state goes unsafe.
+	for _, m := range models.All() {
+		att, _ := BuildAttack(m, "bias")
+		tr, err := Run(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		met := Analyze(tr)
+		if !met.Detected {
+			t.Errorf("%s: bias attack undetected", m.Name)
+			continue
+		}
+		if met.DeadlineMissed {
+			t.Errorf("%s: adaptive missed the deadline (alarm %d, unsafe %d)",
+				m.Name, met.FirstAlarm, met.UnsafeStep)
+		}
+	}
+}
+
+func TestFixedSlowerThanAdaptive(t *testing.T) {
+	// Detection-delay ordering, the core Table 2 claim. Compare mean delays
+	// over a small campaign for every plant/attack combination.
+	for _, m := range models.All() {
+		for _, an := range []string{"bias", "delay", "replay"} {
+			att, _ := BuildAttack(m, an)
+			ra, err := Campaign(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 40}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			att2, _ := BuildAttack(m, an)
+			rf, err := Campaign(Config{Model: m, Attack: att2, Strategy: FixedWindow, Seed: 40}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Undetected (≡ infinite delay) is encoded as -1; map to +inf.
+			da, df := ra.MeanDelay, rf.MeanDelay
+			if da < 0 {
+				da = 1e18
+			}
+			if df < 0 {
+				df = 1e18
+			}
+			if da > df {
+				t.Errorf("%s/%s: adaptive mean delay %.1f > fixed %.1f", m.Name, an, ra.MeanDelay, rf.MeanDelay)
+			}
+		}
+	}
+}
+
+func TestAnalyzeMetrics(t *testing.T) {
+	tr := &Trace{AttackStart: 5, Records: []StepRecord{
+		{Step: 0}, {Step: 1, Alarm: true}, {Step: 2}, {Step: 3}, {Step: 4},
+		{Step: 5}, {Step: 6}, {Step: 7, Unsafe: true}, {Step: 8, Alarm: true},
+	}}
+	m := Analyze(tr)
+	if m.PreAttackSteps != 5 || m.PreAttackAlarms != 1 {
+		t.Errorf("pre-attack: %d/%d", m.PreAttackAlarms, m.PreAttackSteps)
+	}
+	if m.FPRate != 0.2 {
+		t.Errorf("FPRate = %v", m.FPRate)
+	}
+	if !m.Detected || m.FirstAlarm != 8 || m.DetectionDelay != 3 {
+		t.Errorf("detection: %+v", m)
+	}
+	if m.UnsafeStep != 7 || !m.DeadlineMissed {
+		t.Errorf("unsafe entered at 7 before alarm at 8: %+v", m)
+	}
+}
+
+func TestAnalyzeNoMissWhenAlarmBeforeUnsafe(t *testing.T) {
+	tr := &Trace{AttackStart: 1, Records: []StepRecord{
+		{Step: 0}, {Step: 1}, {Step: 2, Alarm: true}, {Step: 3, Unsafe: true},
+	}}
+	m := Analyze(tr)
+	if m.DeadlineMissed {
+		t.Error("alarm before unsafe should not be a miss")
+	}
+}
+
+func TestAnalyzeNegligibleAttackNotAMiss(t *testing.T) {
+	// Attack never drives the state unsafe and is never detected: per the
+	// paper's reading, that is a false negative but not a deadline miss.
+	tr := &Trace{AttackStart: 1, Records: []StepRecord{
+		{Step: 0}, {Step: 1}, {Step: 2}, {Step: 3},
+	}}
+	m := Analyze(tr)
+	if m.Detected || m.DeadlineMissed {
+		t.Errorf("negligible attack metrics: %+v", m)
+	}
+}
+
+func TestAnalyzeComplementaryAlarmCounts(t *testing.T) {
+	tr := &Trace{AttackStart: 1, Records: []StepRecord{
+		{Step: 0}, {Step: 1}, {Step: 2, Complementary: true},
+	}}
+	m := Analyze(tr)
+	if !m.Detected || m.FirstAlarm != 2 {
+		t.Errorf("complementary alarm not counted: %+v", m)
+	}
+}
+
+func TestCampaignAggregates(t *testing.T) {
+	m := models.VehicleTurning()
+	att, _ := BuildAttack(m, "bias")
+	res, err := Campaign(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 4 {
+		t.Errorf("Runs = %d", res.Runs)
+	}
+	if res.FNExperiments+res.DeadlineMisses < 0 || res.FPExperiments > 4 {
+		t.Errorf("implausible campaign: %+v", res)
+	}
+	if res.MeanDelay < 0 && res.FNExperiments < 4 {
+		t.Errorf("mean delay should be defined when something was detected: %+v", res)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Adaptive.String() != "adaptive" || FixedWindow.String() != "fixed" || CUSUMBaseline.String() != "cusum" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(42).String() != "Strategy(42)" {
+		t.Error("unknown strategy rendering wrong")
+	}
+}
+
+func TestDisableComplementaryPropagates(t *testing.T) {
+	// With the pass disabled the run must still work; the ablation
+	// difference itself is exercised in the detect package and benches.
+	m := models.VehicleTurning()
+	att, _ := BuildAttack(m, "bias")
+	if _, err := Run(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 5, DisableComplementary: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCUSUMStrategyRuns(t *testing.T) {
+	m := models.SeriesRLC()
+	att, _ := BuildAttack(m, "bias")
+	tr, err := Run(Config{Model: m, Attack: att, Strategy: CUSUMBaseline, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != m.RunLength {
+		t.Error("CUSUM run incomplete")
+	}
+}
+
+func TestRecordsCarryResiduals(t *testing.T) {
+	m := models.VehicleTurning()
+	tr, err := Run(Config{Model: m, Strategy: Adaptive, Seed: 2, Steps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr.Records {
+		if r.Residual == nil {
+			t.Fatalf("step %d: nil residual", i)
+		}
+		if len(r.Residual) != 1 {
+			t.Fatalf("step %d: residual dim %d", i, len(r.Residual))
+		}
+	}
+}
+
+func TestInputsSaturatedToU(t *testing.T) {
+	m := models.VehicleTurning()
+	att := attack.NewBias(attack.Schedule{Start: 10}, mat.VecOf(-50)) // extreme bias rails the PID
+	tr, err := Run(Config{Model: m, Attack: att, Strategy: FixedWindow, Seed: 2, Steps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.U.Lo(), m.U.Hi()
+	for _, r := range tr.Records {
+		for i := range r.Input {
+			if r.Input[i] < lo[i]-1e-12 || r.Input[i] > hi[i]+1e-12 {
+				t.Fatalf("step %d: input %v outside U", r.Step, r.Input)
+			}
+		}
+	}
+}
+
+func TestRunWithRecoveryAdaptiveKeepsPlantSafe(t *testing.T) {
+	m := models.SeriesRLC()
+	att, _ := BuildAttack(m, "bias")
+	out, err := RunWithRecovery(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AlarmStep < 0 {
+		t.Fatal("recovery never engaged")
+	}
+	if !out.FinalSafe {
+		t.Errorf("run ended unsafe: %+v", out)
+	}
+}
+
+func TestRunWithRecoveryNoAttackNeverEngages(t *testing.T) {
+	m := models.SeriesRLC()
+	out, err := RunWithRecovery(Config{Model: m, Strategy: Adaptive, Seed: 9, Steps: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AlarmStep >= 0 {
+		t.Errorf("recovery engaged on a clean run: %+v", out)
+	}
+	if !out.FinalSafe {
+		t.Error("clean run ended unsafe")
+	}
+}

@@ -1,0 +1,100 @@
+// Package stats provides the summary statistics the evaluation reports:
+// moments, quantiles, and binomial proportion confidence intervals for the
+// "k out of 100 runs" counters of Table 2 / Fig. 7. Pure stdlib.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments and extrema of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// between order statistics. It panics on an empty sample or q outside
+// [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion with k successes out of n trials at the given z
+// (1.96 for 95%). It panics for n <= 0 or k outside [0, n].
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		panic("stats: non-positive trial count")
+	}
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("stats: successes %d outside [0, %d]", k, n))
+	}
+	if z <= 0 {
+		z = 1.96
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi
+}
+
+// FormatCount renders "k/n (lo–hi%)" with a 95% Wilson interval — the house
+// style for campaign counters.
+func FormatCount(k, n int) string {
+	lo, hi := WilsonInterval(k, n, 1.96)
+	return fmt.Sprintf("%d/%d (%.0f–%.0f%%)", k, n, 100*lo, 100*hi)
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if got := Quantile(xs, 1.0/3); math.Abs(got-2) > 1e-12 {
+		t.Errorf("q(1/3) = %v, want 2", got)
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWilsonIntervalKnown(t *testing.T) {
+	// 50/100 at 95%: approximately [0.404, 0.596].
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Errorf("interval = [%v, %v]", lo, hi)
+	}
+	// Extremes stay in [0, 1] and are non-degenerate.
+	lo0, hi0 := WilsonInterval(0, 100, 1.96)
+	if lo0 != 0 || hi0 <= 0 || hi0 > 0.1 {
+		t.Errorf("zero-successes interval = [%v, %v]", lo0, hi0)
+	}
+	loN, hiN := WilsonInterval(100, 100, 1.96)
+	if hiN < 1-1e-12 || loN >= 1 || loN < 0.9 {
+		t.Errorf("all-successes interval = [%v, %v]", loN, hiN)
+	}
+}
+
+func TestWilsonIntervalValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { WilsonInterval(0, 0, 1.96) },
+		func() { WilsonInterval(-1, 10, 1.96) },
+		func() { WilsonInterval(11, 10, 1.96) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	out := FormatCount(3, 10)
+	if out == "" || out[0] != '3' {
+		t.Errorf("FormatCount = %q", out)
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate.
+func TestWilsonContainsPointEstimateProperty(t *testing.T) {
+	f := func(kRaw, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := WilsonInterval(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo <= p+1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw [6]float64, q1Raw, q2Raw uint8) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		xs := raw[:]
+		s := Summarize(xs)
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		return v1 <= v2+1e-12 && v1 >= s.Min-1e-12 && v2 <= s.Max+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max] and std is non-negative.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(raw[:])
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
