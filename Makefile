@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test test-race bench-obs clean
+
+# The full gate: what CI (and every PR) must pass.
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Re-measure the detector-step overhead numbers recorded in BENCH_obs.json.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'DetectorStepObservability|ObserveStep' -benchmem -count 3 .
+
+clean:
+	$(GO) clean ./...

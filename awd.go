@@ -32,8 +32,31 @@ import (
 	"repro/internal/lti"
 	"repro/internal/mat"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// Observer is the observability hook of internal/obs re-exported for the
+// public API: build one with NewObserver and set it on DetectorConfig (or
+// ScenarioConfig) to stream per-step metrics and trace events. A nil
+// *Observer disables telemetry at zero cost.
+type Observer = obs.Observer
+
+// Sink consumes the structured per-step trace events (see internal/obs:
+// NopSink, RingSink, JSONLSink).
+type Sink = obs.Sink
+
+// StepEvent is the structured trace record emitted once per detection step.
+type StepEvent = obs.StepEvent
+
+// NewObserver builds an enabled telemetry observer. Passing nil for both
+// arguments yields an observer with a private metric registry and a
+// discard sink; use obs.Bootstrap-style wiring (cmd/ tools) or
+// NewObserver(reg, sink) for custom plumbing.
+func NewObserver(reg *obs.Registry, sink Sink) *Observer { return obs.NewObserver(reg, sink) }
+
+// NewRegistry returns an empty metric registry for NewObserver.
+func NewRegistry() *obs.Registry { return obs.NewRegistry() }
 
 // DetectorConfig describes a plant and its detection parameters, mirroring
 // the paper's Table 1 columns. All slices are copied at construction.
@@ -68,6 +91,11 @@ type DetectorConfig struct {
 	// negative values select the degenerate single-sample window (the
 	// paper's "window size 0").
 	FixedWindow int
+
+	// Observer, when non-nil, receives per-step telemetry: metric updates
+	// in its registry and a StepEvent per Step call through its sink. Nil
+	// keeps the hot path allocation-free with no measurable overhead.
+	Observer *Observer
 }
 
 // Decision reports the outcome of one detection step.
@@ -91,6 +119,14 @@ type Decision struct {
 
 // Alarm reports whether any check fired this step.
 func (d Decision) Alarm() bool { return d.Primary || d.Complementary }
+
+// String renders the decision as the compact one-liner shared across the
+// pipeline (CLI logs, trace events, core decisions):
+//
+//	step  142  w=12 d=12  ALARM dims=[0 2]
+func (d Decision) String() string {
+	return obs.FormatDecision(d.Step, d.Window, d.Deadline, d.Primary, d.Complementary, d.ComplementaryStep, d.Dims)
+}
 
 // Detector is the assembled attack-detection pipeline of Fig. 1: Data
 // Logger + Deadline Estimator + Adaptive Detector (or the fixed-window
@@ -139,6 +175,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 		Tau:        mat.VecOf(cfg.Tau...),
 		MaxWindow:  cfg.MaxWindow,
 		InitRadius: cfg.InitRadius,
+		Observer:   cfg.Observer,
 	}
 	var csys *core.System
 	if cfg.FixedWindow != 0 {
@@ -212,6 +249,9 @@ type ScenarioConfig struct {
 	FixedWindow int
 	Seed        uint64
 	Steps       int // 0 = the model's default run length
+	// Observer streams per-step telemetry from the scenario's detector
+	// (nil = disabled).
+	Observer *Observer
 }
 
 // ScenarioResult condenses one run.
@@ -256,6 +296,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		FixedWin: cfg.FixedWindow,
 		Steps:    cfg.Steps,
 		Seed:     cfg.Seed,
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return ScenarioResult{}, err
@@ -328,6 +369,7 @@ func RunRecoveryScenario(cfg ScenarioConfig) (RecoveryResult, error) {
 		FixedWin: cfg.FixedWindow,
 		Steps:    cfg.Steps,
 		Seed:     cfg.Seed,
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return RecoveryResult{}, err

@@ -1,0 +1,85 @@
+package awd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scalarConfig builds the doc-comment example plant.
+func scalarConfig() DetectorConfig {
+	return DetectorConfig{
+		A: [][]float64{{1}}, B: [][]float64{{1}}, Dt: 0.02,
+		InputLow: []float64{-1}, InputHigh: []float64{1},
+		Eps:     0.01,
+		SafeLow: []float64{-10}, SafeHigh: []float64{10},
+		Tau:       []float64{0.5},
+		MaxWindow: 40,
+	}
+}
+
+func TestDetectorObserverHook(t *testing.T) {
+	ring := obs.NewRingSink(16)
+	o := NewObserver(NewRegistry(), ring)
+	cfg := scalarConfig()
+	cfg.Observer = o
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		det.Step([]float64{0}, []float64{0})
+	}
+	if got := o.Registry().Counter(obs.MetricSteps, "").Value(); got != 5 {
+		t.Errorf("step counter = %d, want 5", got)
+	}
+	if got := len(ring.Events()); got != 5 {
+		t.Errorf("trace events = %d, want 5", got)
+	}
+
+	// Nil observer keeps working (the disabled fast path).
+	det2, err := NewDetector(scalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := det2.Step([]float64{0}, []float64{0}); dec.Alarm() {
+		t.Errorf("clean step alarmed: %+v", dec)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	dec := Decision{Step: 142, Window: 12, Deadline: 12, Primary: true, Dims: []int{0, 2}, ComplementaryStep: -1}
+	want := "step  142  w=12 d=12  ALARM dims=[0 2]"
+	if got := dec.String(); got != want {
+		t.Errorf("Decision.String() = %q, want %q", got, want)
+	}
+	quiet := Decision{Step: 3, Window: 4, Deadline: 6, ComplementaryStep: -1}
+	if got := quiet.String(); !strings.HasSuffix(got, "ok") {
+		t.Errorf("quiet Decision.String() = %q, want ok suffix", got)
+	}
+}
+
+func TestScenarioObserverAggregates(t *testing.T) {
+	o := NewObserver(nil, nil)
+	res, err := RunScenario(ScenarioConfig{
+		Model:    "vehicle-turning",
+		Attack:   "bias",
+		Strategy: "adaptive",
+		Seed:     7,
+		Observer: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := o.Registry()
+	if got := reg.Counter(obs.MetricSteps, "").Value(); got <= 0 {
+		t.Errorf("scenario recorded %d steps", got)
+	}
+	if res.Detected {
+		if got := reg.Counter(obs.MetricAlarms, "").Value() +
+			reg.Counter(obs.MetricCompAlarms, "").Value(); got <= 0 {
+			t.Error("detected scenario left alarm counters at zero")
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/mat"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/sim"
 )
@@ -144,6 +145,56 @@ func BenchmarkDetectorStep(b *testing.B) {
 				det.Step(est, u)
 			}
 		})
+	}
+}
+
+// BenchmarkDetectorStepObservability quantifies the telemetry layer's
+// hot-path contract (ISSUE 1): with observability disabled (nil Observer)
+// the per-step cost and allocation count must match the plain
+// BenchmarkDetectorStep numbers; "metrics" adds the full atomic-instrument
+// fan-out with a discard sink; "ring" adds flight-recorder trace retention.
+func BenchmarkDetectorStepObservability(b *testing.B) {
+	m := models.VehicleTurning()
+	cases := []struct {
+		name string
+		obsv func() *obs.Observer
+	}{
+		{"disabled", func() *obs.Observer { return nil }},
+		{"metrics", func() *obs.Observer { return obs.NewObserver(nil, obs.NopSink{}) }},
+		{"ring", func() *obs.Observer { return obs.NewObserver(nil, obs.NewRingSink(1024)) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			det, err := sim.Detector(sim.Config{Model: m, Strategy: sim.Adaptive, Observer: c.obsv()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := m.X0.Clone()
+			u := mat.NewVec(m.Sys.InputDim())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.Step(est, u)
+			}
+		})
+	}
+}
+
+// BenchmarkObserveStep isolates the Observer fan-out itself (no detector):
+// the cost of one fully-populated StepEvent through the atomic instruments
+// and the no-op sink. The contract is zero allocations.
+func BenchmarkObserveStep(b *testing.B) {
+	o := obs.NewObserver(nil, obs.NopSink{})
+	res := []float64{0.01, 0.02, 0.03}
+	ev := obs.StepEvent{
+		Step: 1, Strategy: "adaptive", Window: 12, Deadline: 12,
+		ResidualAvg: res, ReachTimed: true, ReachMicros: 7.5,
+		LoggerLen: 14, LoggerObserved: 300, LoggerReleased: 286,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.ObserveStep(ev)
 	}
 }
 

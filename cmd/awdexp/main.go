@@ -19,17 +19,34 @@ import (
 	"path/filepath"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment: table1|table2|fig6|fig7|fig8|ablations|extended|recovery|threshold|traces|validate|magnitude|overhead|stealthy|all")
-		runs   = flag.Int("runs", 100, "Monte-Carlo runs per case (Table 2, Fig 7, ablations)")
-		step   = flag.Int("step", 5, "window-size stride for the Fig 7 sweep")
-		seed   = flag.Uint64("seed", 2022, "base seed")
-		csvdir = flag.String("csvdir", "", "directory for machine-readable CSV copies (created if missing)")
+		which       = flag.String("exp", "all", "experiment: table1|table2|fig6|fig7|fig8|ablations|extended|recovery|threshold|traces|validate|magnitude|overhead|stealthy|all")
+		runs        = flag.Int("runs", 100, "Monte-Carlo runs per case (Table 2, Fig 7, ablations)")
+		step        = flag.Int("step", 5, "window-size stride for the Fig 7 sweep")
+		seed        = flag.Uint64("seed", 2022, "base seed")
+		csvdir      = flag.String("csvdir", "", "directory for machine-readable CSV copies (created if missing)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address while experiments run")
+		traceOut    = flag.String("trace-out", "", "write per-step JSONL trace events to this file (- = stdout)")
 	)
 	flag.Parse()
+
+	obsrv, boundAddr, shutdownObs, err := obs.Bootstrap(*metricsAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "awdexp:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := shutdownObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "awdexp: telemetry:", err)
+		}
+	}()
+	if boundAddr != "" {
+		fmt.Fprintf(os.Stderr, "awdexp: telemetry on http://%s/metrics\n", boundAddr)
+	}
 
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
@@ -77,7 +94,7 @@ func main() {
 
 	run("fig7", func() error {
 		fmt.Println("== Fig 7: window-size profiling (aircraft pitch, 15-step bias) ==")
-		pts, err := exp.Fig7(exp.Fig7Config{Runs: *runs, MaxWindow: 100, Step: *step, Seed: *seed})
+		pts, err := exp.Fig7(exp.Fig7Config{Runs: *runs, MaxWindow: 100, Step: *step, Seed: *seed, Observer: obsrv})
 		if err != nil {
 			return err
 		}
@@ -91,7 +108,7 @@ func main() {
 
 	run("table2", func() error {
 		fmt.Println("== Table 2: adaptive vs fixed, 5 simulators x 3 attacks ==")
-		rows, err := exp.Table2(exp.Table2Config{Runs: *runs, Seed: *seed})
+		rows, err := exp.Table2(exp.Table2Config{Runs: *runs, Seed: *seed, Observer: obsrv})
 		if err != nil {
 			return err
 		}
@@ -124,7 +141,7 @@ func main() {
 
 	run("fig8", func() error {
 		fmt.Println("== Fig 8: RC-car testbed, +2.5 m/s speed bias ==")
-		r, err := exp.Fig8(exp.Fig8Config{Seed: *seed})
+		r, err := exp.Fig8(exp.Fig8Config{Seed: *seed, Observer: obsrv})
 		if err != nil {
 			return err
 		}

@@ -14,28 +14,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/exp"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "aircraft-pitch", "plant model to profile")
-		runs      = flag.Int("runs", 100, "experiments per sweep point")
-		maxWin    = flag.Int("max-window", 100, "largest window in the sweep")
-		step      = flag.Int("step", 5, "window stride")
-		duration  = flag.Int("attack-steps", 15, "bias attack duration (paper: 15)")
-		fnBudget  = flag.Int("fn-budget", 3, "acceptable FN experiments per 100 (Sec. 4.3 cut)")
-		seed      = flag.Uint64("seed", 2022, "base seed")
+		modelName   = flag.String("model", "aircraft-pitch", "plant model to profile")
+		runs        = flag.Int("runs", 100, "experiments per sweep point")
+		maxWin      = flag.Int("max-window", 100, "largest window in the sweep")
+		step        = flag.Int("step", 5, "window stride")
+		duration    = flag.Int("attack-steps", 15, "bias attack duration (paper: 15)")
+		fnBudget    = flag.Int("fn-budget", 3, "acceptable FN experiments per 100 (Sec. 4.3 cut)")
+		seed        = flag.Uint64("seed", 2022, "base seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address while profiling")
+		traceOut    = flag.String("trace-out", "", "write per-step JSONL trace events to this file (- = stdout)")
 	)
 	flag.Parse()
 
+	obsrv, boundAddr, shutdownObs, err := obs.Bootstrap(*metricsAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "awdprofile:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := shutdownObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "awdprofile: telemetry:", err)
+		}
+	}()
+	if boundAddr != "" {
+		fmt.Fprintf(os.Stderr, "awdprofile: telemetry on http://%s/metrics\n", boundAddr)
+	}
+
 	m := models.ByName(*modelName)
 	if m == nil {
-		fmt.Fprintf(os.Stderr, "awdprofile: unknown model %q\n", *modelName)
+		fmt.Fprintf(os.Stderr, "awdprofile: unknown model %q (valid: %s)\n",
+			*modelName, strings.Join(models.Names(), ", "))
 		os.Exit(1)
 	}
 
@@ -61,12 +80,14 @@ func main() {
 				Strategy: sim.FixedWindow,
 				FixedWin: fixedWin,
 				Seed:     *seed + uint64(run)*7919,
+				Observer: obsrv,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "awdprofile:", err)
 				os.Exit(1)
 			}
 			met := sim.Analyze(tr)
+			obsrv.ObserveRun(met.DetectionDelay, met.Detected, met.DeadlineMissed)
 			if met.FPRate > sim.FPRateThreshold {
 				fp++
 			}

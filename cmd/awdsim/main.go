@@ -13,25 +13,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "vehicle-turning", "plant model (see -list)")
-		attName   = flag.String("attack", "bias", "attack scenario: bias|delay|replay|freeze|ramp|noise|none")
-		stratName = flag.String("strategy", "adaptive", "detector: adaptive|fixed|cusum|ewma")
-		window    = flag.Int("window", 0, "window size for -strategy fixed (0 = model w_m)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		steps     = flag.Int("steps", 0, "run length (0 = model default)")
-		list      = flag.Bool("list", false, "list available models and exit")
-		verbose   = flag.Bool("v", false, "print every alarm step")
-		csvPath   = flag.String("csv", "", "write the full per-step trace to this CSV file")
+		modelName   = flag.String("model", "vehicle-turning", "plant model (see -list)")
+		attName     = flag.String("attack", "bias", "attack scenario: bias|delay|replay|freeze|ramp|noise|none")
+		stratName   = flag.String("strategy", "adaptive", "detector: adaptive|fixed|cusum|ewma")
+		window      = flag.Int("window", 0, "window size for -strategy fixed (0 = model w_m)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		steps       = flag.Int("steps", 0, "run length (0 = model default)")
+		list        = flag.Bool("list", false, "list available models and exit")
+		verbose     = flag.Bool("v", false, "print every alarm step")
+		csvPath     = flag.String("csv", "", "write the full per-step trace to this CSV file")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address (e.g. :9090)")
+		traceOut    = flag.String("trace-out", "", "write per-step JSONL trace events to this file (- = stdout)")
 	)
 	flag.Parse()
+
+	obsrv, boundAddr, shutdownObs, err := obs.Bootstrap(*metricsAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "awdsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := shutdownObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "awdsim: telemetry:", err)
+		}
+	}()
+	if boundAddr != "" {
+		fmt.Fprintf(os.Stderr, "awdsim: telemetry on http://%s/metrics\n", boundAddr)
+	}
 
 	if *list {
 		for _, m := range append(models.All(), models.TestbedCar()) {
@@ -43,7 +61,8 @@ func main() {
 
 	m := models.ByName(*modelName)
 	if m == nil {
-		fmt.Fprintf(os.Stderr, "awdsim: unknown model %q (try -list)\n", *modelName)
+		fmt.Fprintf(os.Stderr, "awdsim: unknown model %q (valid: %s)\n",
+			*modelName, strings.Join(models.Names(), ", "))
 		os.Exit(1)
 	}
 	att, err := sim.BuildAttack(m, *attName)
@@ -73,6 +92,7 @@ func main() {
 		FixedWin: *window,
 		Steps:    *steps,
 		Seed:     *seed,
+		Observer: obsrv,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "awdsim:", err)
@@ -111,6 +131,9 @@ func main() {
 	))
 
 	met := sim.Analyze(tr)
+	if tr.AttackStart >= 0 {
+		obsrv.ObserveRun(met.DetectionDelay, met.Detected, met.DeadlineMissed)
+	}
 	fmt.Printf("\nattack onset: %s\n", stepOrNever(tr.AttackStart))
 	fmt.Printf("pre-attack false positive rate: %.1f%% (%d/%d steps)\n",
 		100*met.FPRate, met.PreAttackAlarms, met.PreAttackSteps)
@@ -121,11 +144,7 @@ func main() {
 		fmt.Println("\nalarms:")
 		for _, r := range tr.Records {
 			if r.Alarm || r.Complementary {
-				kind := "window"
-				if r.Complementary {
-					kind = "complementary"
-				}
-				fmt.Printf("  step %4d  window %2d  deadline %2d  (%s)\n", r.Step, r.Window, r.Deadline, kind)
+				fmt.Printf("  %s\n", obs.FormatDecision(r.Step, r.Window, r.Deadline, r.Alarm, r.Complementary, -1, nil))
 			}
 		}
 	}

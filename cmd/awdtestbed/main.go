@@ -17,19 +17,36 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 2022, "base seed")
-		runs  = flag.Int("runs", 1, "number of seeded runs")
-		fixed = flag.Int("fixed", 30, "fixed-window baseline size (paper: 30)")
+		seed        = flag.Uint64("seed", 2022, "base seed")
+		runs        = flag.Int("runs", 1, "number of seeded runs")
+		fixed       = flag.Int("fixed", 30, "fixed-window baseline size (paper: 30)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address while replaying")
+		traceOut    = flag.String("trace-out", "", "write per-step JSONL trace events to this file (- = stdout)")
 	)
 	flag.Parse()
 
+	obsrv, boundAddr, shutdownObs, err := obs.Bootstrap(*metricsAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "awdtestbed:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := shutdownObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "awdtestbed: telemetry:", err)
+		}
+	}()
+	if boundAddr != "" {
+		fmt.Fprintf(os.Stderr, "awdtestbed: telemetry on http://%s/metrics\n", boundAddr)
+	}
+
 	if *runs <= 1 {
-		r, err := exp.Fig8(exp.Fig8Config{Seed: *seed, FixedWin: *fixed})
+		r, err := exp.Fig8(exp.Fig8Config{Seed: *seed, FixedWin: *fixed, Observer: obsrv})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "awdtestbed:", err)
 			os.Exit(1)
@@ -47,18 +64,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "awdtestbed:", err)
 			os.Exit(1)
 		}
-		trA, err := sim.Run(sim.Config{Model: m, Attack: attA, Strategy: sim.Adaptive, Seed: s})
+		trA, err := sim.Run(sim.Config{Model: m, Attack: attA, Strategy: sim.Adaptive, Seed: s, Observer: obsrv})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "awdtestbed:", err)
 			os.Exit(1)
 		}
 		attF, _ := sim.BuildAttack(m, "bias")
-		trF, err := sim.Run(sim.Config{Model: m, Attack: attF, Strategy: sim.FixedWindow, FixedWin: *fixed, Seed: s})
+		trF, err := sim.Run(sim.Config{Model: m, Attack: attF, Strategy: sim.FixedWindow, FixedWin: *fixed, Seed: s, Observer: obsrv})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "awdtestbed:", err)
 			os.Exit(1)
 		}
 		metA, metF := sim.Analyze(trA), sim.Analyze(trF)
+		obsrv.ObserveRun(metA.DetectionDelay, metA.Detected, metA.DeadlineMissed)
 		if metA.UnsafeStep >= 0 {
 			unsafeRuns++
 		}

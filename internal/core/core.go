@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/deadline"
 	"repro/internal/detect"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/logger"
 	"repro/internal/lti"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/reach"
 )
 
@@ -53,6 +55,11 @@ type Config struct {
 	// λ = 2/(MaxWindow+1) (window-equivalent memory), threshold = Tau.
 	EWMALambda    float64
 	EWMAThreshold mat.Vec
+
+	// Observer receives per-step telemetry (metrics + trace events). Nil
+	// disables observability entirely; the hot path then pays one pointer
+	// check and zero allocations per instrumentation point.
+	Observer *obs.Observer
 }
 
 func (c Config) validate() error {
@@ -90,6 +97,12 @@ type Decision struct {
 // Alarmed reports whether any check fired this step.
 func (d Decision) Alarmed() bool { return d.Alarm || d.Complementary }
 
+// String renders the decision with the shared one-line format (see
+// obs.FormatDecision).
+func (d Decision) String() string {
+	return obs.FormatDecision(d.Step, d.Window, d.Deadline, d.Alarm, d.Complementary, d.ComplementaryStep, d.Dims)
+}
+
 type mode int
 
 const (
@@ -110,6 +123,24 @@ type System struct {
 	fixed    *detect.Fixed       // fixed only
 	cusum    *detect.CUSUM       // cusum only
 	ewma     *detect.EWMA        // ewma only
+
+	obs    *obs.Observer // nil = observability disabled
+	resAvg []float64     // scratch buffer for StepEvent residual averages
+}
+
+func (m mode) String() string {
+	switch m {
+	case modeAdaptive:
+		return "adaptive"
+	case modeFixed:
+		return "fixed"
+	case modeCUSUM:
+		return "cusum"
+	case modeEWMA:
+		return "ewma"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
 }
 
 // New builds the full adaptive detection system of the paper.
@@ -133,6 +164,7 @@ func New(cfg Config) (*System, error) {
 		log:      logger.New(cfg.Sys, cfg.MaxWindow),
 		est:      est,
 		adaptive: ad,
+		obs:      cfg.Observer,
 	}, nil
 }
 
@@ -155,6 +187,7 @@ func NewFixed(cfg Config, w int) (*System, error) {
 		mode:  modeFixed,
 		log:   logger.New(cfg.Sys, cfg.MaxWindow),
 		fixed: detect.NewFixed(cfg.Tau, w),
+		obs:   cfg.Observer,
 	}, nil
 }
 
@@ -181,6 +214,7 @@ func NewCUSUM(cfg Config) (*System, error) {
 		mode:  modeCUSUM,
 		log:   logger.New(cfg.Sys, cfg.MaxWindow),
 		cusum: detect.NewCUSUM(threshold, drift, true),
+		obs:   cfg.Observer,
 	}, nil
 }
 
@@ -210,6 +244,7 @@ func NewEWMA(cfg Config) (*System, error) {
 		mode: modeEWMA,
 		log:  logger.New(cfg.Sys, cfg.MaxWindow),
 		ewma: detect.NewEWMA(lambda, threshold, true),
+		obs:  cfg.Observer,
 	}, nil
 }
 
@@ -226,9 +261,19 @@ func (s *System) Step(estimate, appliedU mat.Vec) Decision {
 	entry := s.log.Observe(estimate, appliedU)
 	dec := Decision{Step: entry.Step, ComplementaryStep: -1}
 
+	var reachMicros float64
+	reachTimed := false
 	switch s.mode {
 	case modeAdaptive:
+		var reachStart time.Time
+		if s.obs.Enabled() {
+			reachStart = time.Now()
+		}
 		td, _ := s.est.FromLogger(s.log, s.adaptive.CurrentWindow())
+		if s.obs.Enabled() {
+			reachMicros = float64(time.Since(reachStart)) / float64(time.Microsecond)
+			reachTimed = true
+		}
 		dec.Deadline = td
 		res := s.adaptive.Step(s.log, td)
 		dec.Window = res.Window
@@ -246,7 +291,59 @@ func (s *System) Step(estimate, appliedU mat.Vec) Decision {
 	case modeEWMA:
 		dec.Alarm = s.ewma.Update(entry.Residual)
 	}
+
+	if s.obs.Enabled() {
+		s.obs.ObserveStep(obs.StepEvent{
+			Step:              dec.Step,
+			Strategy:          s.mode.String(),
+			Window:            dec.Window,
+			Deadline:          dec.Deadline,
+			Alarm:             dec.Alarm,
+			Complementary:     dec.Complementary,
+			ComplementaryStep: dec.ComplementaryStep,
+			Dims:              dec.Dims,
+			ResidualAvg:       s.residualAvg(dec.Step, dec.Window),
+			ReachTimed:        reachTimed,
+			ReachMicros:       reachMicros,
+			LoggerLen:         s.log.Len(),
+			LoggerObserved:    s.log.Observed(),
+			LoggerReleased:    s.log.Released(),
+		})
+	}
 	return dec
+}
+
+// residualAvg computes the per-dimension windowed average residual for the
+// window of size w ending at step t — the quantity the window rule holds
+// against τ. Only called with observability enabled; reuses one scratch
+// buffer so steady-state trace emission does not allocate.
+func (s *System) residualAvg(t, w int) []float64 {
+	from := t - w
+	if from < 0 {
+		from = 0
+	}
+	rs, ok := s.log.Residuals(from, t)
+	if !ok {
+		return nil
+	}
+	n := s.cfg.Sys.StateDim()
+	if cap(s.resAvg) < n {
+		s.resAvg = make([]float64, n)
+	}
+	avg := s.resAvg[:n]
+	for i := range avg {
+		avg[i] = 0
+	}
+	for _, r := range rs {
+		for i := range avg {
+			avg[i] += r[i]
+		}
+	}
+	inv := 1 / float64(len(rs))
+	for i := range avg {
+		avg[i] *= inv
+	}
+	return avg
 }
 
 // Reset clears all run state so the system can drive a fresh experiment.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// TestStepEmitsTelemetry drives the adaptive system with an enabled
+// observer and checks the full fan-out: step counters, level gauges, reach
+// latency histogram, logger totals, and the trace event stream.
+func TestStepEmitsTelemetry(t *testing.T) {
+	ring := obs.NewRingSink(32)
+	o := obs.NewObserver(nil, ring)
+	c := cfg(t)
+	c.Observer = o
+	sys, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const steps = 12
+	u := mat.VecOf(0)
+	for i := 0; i < steps; i++ {
+		sys.Step(mat.VecOf(0), u)
+	}
+
+	reg := o.Registry()
+	if got := reg.Counter(obs.MetricSteps, "").Value(); got != steps {
+		t.Errorf("step counter = %d, want %d", got, steps)
+	}
+	h := reg.Histogram(obs.MetricReachLatency, "", obs.ReachLatencyBuckets)
+	if got := h.Count(); got != steps {
+		t.Errorf("reach histogram count = %d, want %d (every adaptive step times the deadline search)", got, steps)
+	}
+	evs := ring.Events()
+	if len(evs) != steps {
+		t.Fatalf("sink saw %d events, want %d", len(evs), steps)
+	}
+	last := evs[len(evs)-1]
+	if last.Step != steps-1 || last.Strategy != "adaptive" {
+		t.Errorf("last event = %+v", last)
+	}
+	if !last.ReachTimed {
+		t.Error("adaptive step event not reach-timed")
+	}
+	if last.LoggerLen != sys.Log().Len() || last.LoggerObserved != steps {
+		t.Errorf("logger telemetry = len %d obs %d, want %d/%d",
+			last.LoggerLen, last.LoggerObserved, sys.Log().Len(), steps)
+	}
+	if len(last.ResidualAvg) != 1 {
+		t.Errorf("residual averages = %v, want 1 dimension", last.ResidualAvg)
+	}
+}
+
+// TestStepTelemetryAlarmPath checks alarms reach the counters and the
+// event stream (fixed-window detector, residual forced over τ).
+func TestStepTelemetryAlarmPath(t *testing.T) {
+	ring := obs.NewRingSink(8)
+	o := obs.NewObserver(nil, ring)
+	c := cfg(t)
+	c.Observer = o
+	sys, err := NewFixed(c, -1) // degenerate window: current residual vs τ
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mat.VecOf(0)
+	sys.Step(mat.VecOf(0), u)
+	dec := sys.Step(mat.VecOf(5), u) // residual 5 > τ = 0.5
+	if !dec.Alarm {
+		t.Fatal("expected alarm")
+	}
+	if got := o.Registry().Counter(obs.MetricAlarms, "").Value(); got != 1 {
+		t.Errorf("alarm counter = %d, want 1", got)
+	}
+	evs := ring.Events()
+	last := evs[len(evs)-1]
+	if !last.Alarm || last.Strategy != "fixed" || len(last.Dims) != 1 {
+		t.Errorf("alarm event = %+v", last)
+	}
+	if last.ReachTimed {
+		t.Error("fixed-window event claims reach timing")
+	}
+	if !strings.Contains(dec.String(), "ALARM") {
+		t.Errorf("Decision.String() = %q, want ALARM", dec.String())
+	}
+}
+
+// TestResetClearsRunTelemetrySources ensures logger counters restart per
+// run so released/observed totals stay per-episode.
+func TestResetClearsRunTelemetrySources(t *testing.T) {
+	c := cfg(t)
+	sys, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mat.VecOf(0)
+	for i := 0; i < 20; i++ {
+		sys.Step(mat.VecOf(0), u)
+	}
+	if sys.Log().Released() == 0 {
+		t.Fatal("long run released nothing — sliding window broken?")
+	}
+	sys.Reset()
+	if sys.Log().Observed() != 0 || sys.Log().Released() != 0 {
+		t.Errorf("after reset: observed=%d released=%d, want 0/0",
+			sys.Log().Observed(), sys.Log().Released())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,8 @@ type Fig7Config struct {
 	Step      int    // window-size stride (1 reproduces the paper exactly)
 	Duration  int    // bias attack duration in steps (paper: 15)
 	Seed      uint64 // base seed
+	// Observer streams live telemetry from every sweep run (nil = off).
+	Observer *obs.Observer
 }
 
 // Fig7 profiles the aircraft-pitch simulator under a 15-step bias attack
@@ -64,11 +67,13 @@ func Fig7(cfg Fig7Config) ([]Fig7Point, error) {
 				Strategy: sim.FixedWindow,
 				FixedWin: fixedWin,
 				Seed:     cfg.Seed + uint64(run)*7919,
+				Observer: cfg.Observer,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig7 w=%d run=%d: %w", w, run, err)
 			}
 			met := sim.Analyze(tr)
+			cfg.Observer.ObserveRun(met.DetectionDelay, met.Detected, met.DeadlineMissed)
 			if met.FPRate > sim.FPRateThreshold {
 				fp++
 			}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,8 @@ type Fig8Result struct {
 type Fig8Config struct {
 	Seed     uint64
 	FixedWin int // paper: 30
+	// Observer streams live telemetry from both runs (nil = off).
+	Observer *obs.Observer
 }
 
 // Fig8 runs the identified RC-car model through the published attack
@@ -41,7 +44,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	trA, err := sim.Run(sim.Config{Model: m, Attack: attA, Strategy: sim.Adaptive, Seed: cfg.Seed})
+	trA, err := sim.Run(sim.Config{Model: m, Attack: attA, Strategy: sim.Adaptive, Seed: cfg.Seed, Observer: cfg.Observer})
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +54,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	}
 	trF, err := sim.Run(sim.Config{
 		Model: m, Attack: attF, Strategy: sim.FixedWindow, FixedWin: cfg.FixedWin, Seed: cfg.Seed,
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -27,6 +28,9 @@ type Table2Config struct {
 	// Workers sizes the worker pool per case (0 = GOMAXPROCS). Results are
 	// identical to serial execution — runs are independently seeded.
 	Workers int
+	// Observer streams live telemetry from every campaign run (nil = off);
+	// its instruments are atomic, so parallel workers share it safely.
+	Observer *obs.Observer
 }
 
 // Table2 runs the full campaign of Sec. 6.1.3: all 5 simulators x 3 attacks
@@ -45,6 +49,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 					Model:    m,
 					Strategy: strat,
 					Seed:     cfg.Seed,
+					Observer: cfg.Observer,
 				}, cfg.Runs, cfg.Workers, func() (attack.Attack, error) {
 					return sim.BuildAttack(m, attackName)
 				})

@@ -60,6 +60,7 @@ type Logger struct {
 	entries  []Entry
 	nextStep int
 	prevEst  mat.Vec
+	released int
 }
 
 // New returns a logger for the given plant model with sliding window w_m.
@@ -103,8 +104,33 @@ func (l *Logger) Observe(estimate, transitionU mat.Vec) Entry {
 	// Release: keep exactly the sliding window [t − w_m − 1, t].
 	if excess := len(l.entries) - (l.maxWin + 2); excess > 0 {
 		l.entries = l.entries[excess:]
+		l.released += excess
 	}
 	return e
+}
+
+// Observed returns the lifetime number of samples logged this run — the
+// protocol's buffer count.
+func (l *Logger) Observed() int { return l.nextStep }
+
+// Released returns the lifetime number of samples dropped past the sliding
+// window this run — the protocol's release count. Observed − Released is
+// the current occupancy (Len).
+func (l *Logger) Released() int { return l.released }
+
+// Counts classifies the retained entries under the current detection
+// window w: how many are still buffered (under scrutiny) and how many are
+// held as trusted history — the live split of the Buffer/Hold protocol.
+func (l *Logger) Counts(w int) (buffered, held int) {
+	t := l.Current()
+	for _, e := range l.entries {
+		if e.Step >= t-w {
+			buffered++
+		} else {
+			held++
+		}
+	}
+	return buffered, held
 }
 
 // Current returns the latest logged step index, or -1 if nothing is logged.
@@ -183,4 +209,5 @@ func (l *Logger) Reset() {
 	l.entries = l.entries[:0]
 	l.nextStep = 0
 	l.prevEst = nil
+	l.released = 0
 }

@@ -242,3 +242,30 @@ func TestObserveDimensionPanics(t *testing.T) {
 	}()
 	l.Observe(mat.VecOf(1, 2), mat.VecOf(0))
 }
+
+func TestObservedReleasedCounts(t *testing.T) {
+	l := New(testSys(t), 3) // retains w_m + 2 = 5 entries
+	for i := 0; i < 8; i++ {
+		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+	}
+	if got := l.Observed(); got != 8 {
+		t.Errorf("Observed = %d, want 8", got)
+	}
+	if got := l.Released(); got != 3 {
+		t.Errorf("Released = %d, want 3 (8 observed - 5 retained)", got)
+	}
+	if l.Observed()-l.Released() != l.Len() {
+		t.Errorf("observed - released = %d, want occupancy %d",
+			l.Observed()-l.Released(), l.Len())
+	}
+	// Window 1 at step 7 buffers [6, 7]; the rest of the retained range is
+	// held history.
+	buffered, held := l.Counts(1)
+	if buffered != 2 || held != 3 {
+		t.Errorf("Counts(1) = (%d, %d), want (2, 3)", buffered, held)
+	}
+	l.Reset()
+	if l.Observed() != 0 || l.Released() != 0 {
+		t.Errorf("after Reset: observed=%d released=%d", l.Observed(), l.Released())
+	}
+}

@@ -412,5 +412,16 @@ func ByName(name string) *Model {
 	return nil
 }
 
+// Names lists every registered model name in registry order — the valid
+// values for ByName, used by the CLI tools' unknown-model diagnostics.
+func Names() []string {
+	ms := append(All(), TestbedCar())
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
 // inf is shorthand used by tests constructing unbounded expectations.
 var inf = math.Inf(1)

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// PrometheusHandler serves the registry in the Prometheus text exposition
+// format.
+func PrometheusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// NewMux bundles the whole diagnostic surface on one mux:
+//
+//	/metrics        Prometheus text format for the registry
+//	/debug/vars     expvar (cmdline, memstats, anything published)
+//	/debug/pprof/   live CPU/heap/goroutine profiling
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "awd telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts the diagnostic endpoint on addr in a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Bootstrap wires the standard CLI observability stack from the
+// -metrics-addr / -trace-out flag values shared by the cmd/ tools. Both
+// empty returns a nil (disabled) observer. tracePath "-" streams JSONL
+// events to stdout; any other path truncates and writes that file. The
+// returned address is the bound metrics endpoint ("" when not serving);
+// the returned shutdown func closes the endpoint and the trace sink and is
+// always non-nil.
+func Bootstrap(metricsAddr, tracePath string) (o *Observer, addr string, shutdown func() error, err error) {
+	shutdown = func() error { return nil }
+	if metricsAddr == "" && tracePath == "" {
+		return nil, "", shutdown, nil
+	}
+	var sink Sink = NopSink{}
+	if tracePath != "" {
+		if tracePath == "-" {
+			sink = NewJSONLSink(nopCloser{os.Stdout})
+		} else {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return nil, "", shutdown, fmt.Errorf("obs: trace output: %w", err)
+			}
+			sink = NewJSONLSink(f)
+		}
+	}
+	o = NewObserver(NewRegistry(), sink)
+	var srv *Server
+	if metricsAddr != "" {
+		srv, err = Serve(metricsAddr, o.Registry())
+		if err != nil {
+			_ = sink.Close()
+			return nil, "", func() error { return nil }, err
+		}
+		addr = srv.Addr
+	}
+	shutdown = func() error {
+		var first error
+		if srv != nil {
+			first = srv.Close()
+		}
+		if err := o.Close(); err != nil && first == nil {
+			first = err
+		}
+		return first
+	}
+	return o, addr, shutdown, nil
+}
+
+// nopCloser shields a shared writer (stdout) from JSONLSink.Close.
+type nopCloser struct{ w *os.File }
+
+func (n nopCloser) Write(p []byte) (int, error) { return n.w.Write(p) }

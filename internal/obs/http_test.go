@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMuxServesMetricsExpvarAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "demo").Add(7)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "demo_total 7") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code=%d body missing memstats", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d empty=%v", code, body == "")
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: code=%d, want 404", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapDisabled(t *testing.T) {
+	o, addr, shutdown, err := Bootstrap("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Enabled() || addr != "" {
+		t.Fatalf("disabled bootstrap: observer=%v addr=%q", o.Enabled(), addr)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapMetricsAndTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	o, addr, shutdown, err := Bootstrap("127.0.0.1:0", tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Enabled() || addr == "" {
+		t.Fatal("bootstrap did not enable observability")
+	}
+	o.ObserveStep(StepEvent{Step: 0, Window: 1, Deadline: 2, LoggerLen: 1})
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), MetricSteps+" 1") {
+		t.Errorf("/metrics missing step counter:\n%s", body)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"step":0`) {
+		t.Errorf("trace file missing event: %q", data)
+	}
+	// Endpoint is down after shutdown.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("metrics endpoint still serving after shutdown")
+	}
+}

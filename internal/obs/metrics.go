@@ -1,0 +1,270 @@
+// Package obs is the zero-dependency observability layer of the detection
+// pipeline: atomic metric instruments in a named registry with Prometheus
+// text exposition, a per-step structured trace event stream behind a
+// pluggable sink, and an HTTP endpoint bundling /metrics with expvar and
+// net/http/pprof so a live detector can be inspected while it runs.
+//
+// Everything here is stdlib-only and safe for concurrent use. The hot-path
+// contract is strict: with observability disabled (a nil *Observer) the
+// instrumented call sites cost one nil check and zero allocations; with it
+// enabled, metric updates are lock-free atomics and trace emission takes a
+// single mutex in the sink.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (Prometheus counter).
+type Counter struct {
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("obs: counter decrement %d", n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) metricHelp() string { return c.help }
+
+func (c *Counter) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	return err
+}
+
+// Gauge is an instantaneous float64 value that may go up or down.
+type Gauge struct {
+	help string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value (convenience for sizes and counts).
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Add atomically adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) metricHelp() string { return g.help }
+
+func (g *Gauge) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+	return err
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// Buckets are defined by their inclusive upper bounds; an implicit +Inf
+// bucket catches the rest. Observe is lock-free and allocation-free.
+type Histogram struct {
+	help   string
+	bounds []float64      // sorted upper bounds
+	counts []atomic.Int64 // len(bounds)+1, per-bucket (non-cumulative)
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) metricHelp() string { return h.help }
+
+func (h *Histogram) write(w io.Writer, name string) error {
+	cum := int64(0)
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(h.bounds[i]), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type metric interface {
+	metricType() string
+	metricHelp() string
+	write(w io.Writer, name string) error
+}
+
+// Registry is a named collection of metric instruments. Instrument lookups
+// are get-or-create: registering the same name twice returns the existing
+// instrument, so independent call sites can share one series. Names must
+// match the Prometheus metric-name grammar.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name string, make func() metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := make()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return &Counter{help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.metricType()))
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.metricType()))
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket upper bounds (sorted copies are taken; must be non-empty and
+// strictly increasing).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, func() metric {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] == bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q has duplicate bucket %v", name, bounds[i]))
+			}
+		}
+		return &Histogram{help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.metricType()))
+	}
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name so output is stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	snapshot := make(map[string]metric, len(r.metrics))
+	for name, m := range r.metrics {
+		snapshot[name] = m
+	}
+	r.mu.RUnlock()
+
+	sort.Strings(names)
+	for _, name := range names {
+		m := snapshot[name]
+		if help := m.metricHelp(); help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, m.metricType()); err != nil {
+			return err
+		}
+		if err := m.write(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetInt(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", got)
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`,   // 0.5 and the inclusive 1
+		`h_bucket{le="10"} 3`,  // + 5
+		`h_bucket{le="100"} 4`, // + 50
+		`h_bucket{le="+Inf"} 5`,
+		"h_sum 556.5",
+		"h_count 5",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "")
+	b := r.Counter("shared_total", "")
+	if a != b {
+		t.Fatal("same name produced distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("shared_total", "")
+}
+
+func TestRegistryRejectsInvalidName(t *testing.T) {
+	for _, bad := range []string{"", "1abc", "with space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "")
+		}()
+	}
+}
+
+// TestPrometheusGolden pins the full text exposition format: sorted names,
+// HELP/TYPE headers, counter/gauge/histogram rendering.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bbb_total", "second metric").Add(3)
+	r.Gauge("aaa_level", "first metric").Set(0.25)
+	h := r.Histogram("ccc_us", "third metric", []float64{1, 2.5})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(9)
+
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aaa_level first metric
+# TYPE aaa_level gauge
+aaa_level 0.25
+# HELP bbb_total second metric
+# TYPE bbb_total counter
+bbb_total 3
+# HELP ccc_us third metric
+# TYPE ccc_us histogram
+ccc_us_bucket{le="1"} 1
+ccc_us_bucket{le="2.5"} 2
+ccc_us_bucket{le="+Inf"} 3
+ccc_us_sum 11.5
+ccc_us_count 3
+`
+	if out.String() != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines; run
+// under -race this doubles as the data-race check, and the deterministic
+// totals catch lost updates in the CAS paths.
+func TestConcurrentUpdates(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Instruments resolved inside the goroutine so registration
+			// itself races too.
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_level", "")
+			h := r.Histogram("conc_hist", "", []float64{0.5, 1})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("conc_level", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("conc_hist", "", []float64{0.5, 1})
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Sum(); got != 0.75*workers*perWorker {
+		t.Errorf("histogram sum = %v, want %v", got, 0.75*workers*perWorker)
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import "time"
+
+// Metric names exported by the Observer — the catalogue README.md
+// documents. Keeping them as constants lets tests and dashboards reference
+// series without stringly-typed drift.
+const (
+	MetricSteps          = "awd_detector_steps_total"
+	MetricAlarms         = "awd_detector_alarms_total"
+	MetricCompAlarms     = "awd_detector_complementary_alarms_total"
+	MetricWindow         = "awd_detector_window_size"
+	MetricDeadline       = "awd_detector_deadline_steps"
+	MetricResidualMax    = "awd_detector_residual_avg_max"
+	MetricReachLatency   = "awd_reach_deadline_duration_us"
+	MetricLoggerLen      = "awd_logger_occupancy"
+	MetricLoggerObserved = "awd_logger_observed_total"
+	MetricLoggerReleased = "awd_logger_released_total"
+	MetricRuns           = "awd_runs_total"
+	MetricRunsDetected   = "awd_runs_detected_total"
+	MetricRunsMissed     = "awd_runs_deadline_missed_total"
+	MetricRunDelay       = "awd_run_detection_delay_steps"
+)
+
+// ReachLatencyBuckets are the µs buckets for the reachability deadline
+// search — Table 2-scale plants land between a few and a few hundred µs.
+var ReachLatencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// RunDelayBuckets bucket per-run detection latency in control steps (the
+// paper's delay column spans roughly 1–150 steps).
+var RunDelayBuckets = []float64{1, 2, 5, 10, 20, 40, 80, 160, 320}
+
+// Observer is the hook the detection pipeline calls into. A nil *Observer
+// is the disabled state: every method is nil-safe and free, so the hot
+// path carries exactly one pointer check per instrumentation point. An
+// enabled Observer fans each step out to its metric instruments (atomics)
+// and its trace sink.
+type Observer struct {
+	reg  *Registry
+	sink Sink
+
+	steps       *Counter
+	alarms      *Counter
+	compAlarms  *Counter
+	window      *Gauge
+	deadline    *Gauge
+	residualMax *Gauge
+	reachUS     *Histogram
+
+	loggerLen      *Gauge
+	loggerObserved *Gauge
+	loggerReleased *Gauge
+
+	runs         *Counter
+	runsDetected *Counter
+	runsMissed   *Counter
+	runDelay     *Histogram
+}
+
+// NewObserver builds an observer over the registry and sink. A nil
+// registry gets a fresh one; a nil sink defaults to NopSink.
+func NewObserver(reg *Registry, sink Sink) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if sink == nil {
+		sink = NopSink{}
+	}
+	return &Observer{
+		reg:  reg,
+		sink: sink,
+
+		steps:       reg.Counter(MetricSteps, "detection steps executed"),
+		alarms:      reg.Counter(MetricAlarms, "primary window-rule alarms"),
+		compAlarms:  reg.Counter(MetricCompAlarms, "complementary-pass alarms"),
+		window:      reg.Gauge(MetricWindow, "detection window size w_c of the latest step"),
+		deadline:    reg.Gauge(MetricDeadline, "detection deadline t_d of the latest step"),
+		residualMax: reg.Gauge(MetricResidualMax, "max per-dimension windowed average residual"),
+		reachUS:     reg.Histogram(MetricReachLatency, "reachability deadline search latency (microseconds)", ReachLatencyBuckets),
+
+		loggerLen:      reg.Gauge(MetricLoggerLen, "entries retained in the data logger sliding window"),
+		loggerObserved: reg.Gauge(MetricLoggerObserved, "samples observed by the data logger this run"),
+		loggerReleased: reg.Gauge(MetricLoggerReleased, "samples released past the sliding window this run"),
+
+		runs:         reg.Counter(MetricRuns, "attacked evaluation runs analyzed"),
+		runsDetected: reg.Counter(MetricRunsDetected, "runs whose attack was detected"),
+		runsMissed:   reg.Counter(MetricRunsMissed, "runs unsafe before the first alarm"),
+		runDelay:     reg.Histogram(MetricRunDelay, "per-run detection delay (control steps)", RunDelayBuckets),
+	}
+}
+
+// Enabled reports whether observability is on; safe on a nil receiver.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Registry returns the metric registry backing this observer (nil when
+// disabled).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Sink returns the trace sink (nil when disabled).
+func (o *Observer) Sink() Sink {
+	if o == nil {
+		return nil
+	}
+	return o.sink
+}
+
+// Now returns the current time when enabled and the zero time when
+// disabled, so call sites can guard clock reads with the same nil check.
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveStep records one detection step: counters, level gauges, the
+// reachability latency histogram, and the trace event. Nil-safe and
+// allocation-free provided ev's slices are caller-owned.
+func (o *Observer) ObserveStep(ev StepEvent) {
+	if o == nil {
+		return
+	}
+	o.steps.Inc()
+	o.window.SetInt(ev.Window)
+	o.deadline.SetInt(ev.Deadline)
+	if ev.Alarm {
+		o.alarms.Inc()
+	}
+	if ev.Complementary {
+		o.compAlarms.Inc()
+	}
+	if len(ev.ResidualAvg) > 0 {
+		max := ev.ResidualAvg[0]
+		for _, v := range ev.ResidualAvg[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		o.residualMax.Set(max)
+	}
+	if ev.ReachTimed {
+		o.reachUS.Observe(ev.ReachMicros)
+	}
+	o.loggerLen.SetInt(ev.LoggerLen)
+	o.loggerObserved.SetInt(ev.LoggerObserved)
+	o.loggerReleased.SetInt(ev.LoggerReleased)
+	o.sink.Emit(ev)
+}
+
+// ObserveRun aggregates one finished evaluation run into the campaign
+// histograms: detection latency plus detected / deadline-missed counters.
+// Call it once per attacked run (sim.Campaign does). Nil-safe.
+func (o *Observer) ObserveRun(detectionDelaySteps int, detected, deadlineMissed bool) {
+	if o == nil {
+		return
+	}
+	o.runs.Inc()
+	if detected {
+		o.runsDetected.Inc()
+		o.runDelay.Observe(float64(detectionDelaySteps))
+	}
+	if deadlineMissed {
+		o.runsMissed.Inc()
+	}
+}
+
+// Close flushes and closes the trace sink. Nil-safe.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	return o.sink.Close()
+}

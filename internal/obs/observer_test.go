@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilObserverIsSafeAndFree(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer reports enabled")
+	}
+	if o.Registry() != nil || o.Sink() != nil {
+		t.Fatal("nil observer leaks components")
+	}
+	if !o.Now().IsZero() {
+		t.Fatal("nil observer read the clock")
+	}
+	o.ObserveStep(StepEvent{Step: 1, Alarm: true})
+	o.ObserveRun(3, true, false)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		o.ObserveStep(StepEvent{Step: 1})
+	}); allocs != 0 {
+		t.Fatalf("disabled ObserveStep allocates %v per call", allocs)
+	}
+}
+
+func TestObserveStepUpdatesInstruments(t *testing.T) {
+	ring := NewRingSink(8)
+	o := NewObserver(nil, ring)
+	o.ObserveStep(StepEvent{
+		Step: 0, Strategy: "adaptive", Window: 5, Deadline: 7,
+		ResidualAvg: []float64{0.1, 0.4, 0.2},
+		ReachTimed:  true, ReachMicros: 12,
+		LoggerLen: 6, LoggerObserved: 10, LoggerReleased: 4,
+	})
+	o.ObserveStep(StepEvent{
+		Step: 1, Strategy: "adaptive", Window: 3, Deadline: 3, Alarm: true,
+		Complementary: true, ComplementaryStep: 0, Dims: []int{1},
+		ReachTimed: true, ReachMicros: 30, LoggerLen: 7,
+	})
+
+	reg := o.Registry()
+	if got := reg.Counter(MetricSteps, "").Value(); got != 2 {
+		t.Errorf("steps = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricAlarms, "").Value(); got != 1 {
+		t.Errorf("alarms = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricCompAlarms, "").Value(); got != 1 {
+		t.Errorf("complementary alarms = %d, want 1", got)
+	}
+	if got := reg.Gauge(MetricWindow, "").Value(); got != 3 {
+		t.Errorf("window gauge = %v, want 3", got)
+	}
+	if got := reg.Gauge(MetricDeadline, "").Value(); got != 3 {
+		t.Errorf("deadline gauge = %v, want 3", got)
+	}
+	if got := reg.Gauge(MetricResidualMax, "").Value(); got != 0.4 {
+		t.Errorf("residual max = %v, want 0.4", got)
+	}
+	h := reg.Histogram(MetricReachLatency, "", ReachLatencyBuckets)
+	if h.Count() != 2 || h.Sum() != 42 {
+		t.Errorf("reach histogram count/sum = %d/%v, want 2/42", h.Count(), h.Sum())
+	}
+	if got := len(ring.Events()); got != 2 {
+		t.Errorf("sink saw %d events, want 2", got)
+	}
+}
+
+func TestObserveRun(t *testing.T) {
+	o := NewObserver(nil, nil)
+	o.ObserveRun(10, true, false)
+	o.ObserveRun(-1, false, true)
+	reg := o.Registry()
+	if got := reg.Counter(MetricRuns, "").Value(); got != 2 {
+		t.Errorf("runs = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricRunsDetected, "").Value(); got != 1 {
+		t.Errorf("detected = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricRunsMissed, "").Value(); got != 1 {
+		t.Errorf("missed = %d, want 1", got)
+	}
+	h := reg.Histogram(MetricRunDelay, "", RunDelayBuckets)
+	if h.Count() != 1 || h.Sum() != 10 {
+		t.Errorf("delay histogram count/sum = %d/%v, want 1/10", h.Count(), h.Sum())
+	}
+}
+
+// TestObserveStepNoAllocsWithNopSink pins the enabled-path allocation
+// contract the ISSUE requires: metrics on, tracing discarded, zero
+// allocations per step.
+func TestObserveStepNoAllocsWithNopSink(t *testing.T) {
+	o := NewObserver(nil, NopSink{})
+	res := []float64{0.1, 0.2}
+	ev := StepEvent{
+		Step: 3, Strategy: "adaptive", Window: 4, Deadline: 4,
+		ResidualAvg: res, ReachTimed: true, ReachMicros: 8.5,
+		LoggerLen: 6, LoggerObserved: 9, LoggerReleased: 3,
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		o.ObserveStep(ev)
+	}); allocs != 0 {
+		t.Fatalf("enabled ObserveStep with NopSink allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestObserverExpositionEndToEnd(t *testing.T) {
+	o := NewObserver(nil, nil)
+	o.ObserveStep(StepEvent{Step: 0, Window: 2, Deadline: 9, Alarm: true, LoggerLen: 1})
+	var out strings.Builder
+	if err := o.Registry().WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		MetricSteps + " 1",
+		MetricAlarms + " 1",
+		MetricWindow + " 2",
+		MetricDeadline + " 9",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

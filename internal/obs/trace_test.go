@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFormatDecision(t *testing.T) {
+	cases := []struct {
+		step, window, deadline int
+		alarm, comp            bool
+		compStep               int
+		dims                   []int
+		want                   string
+	}{
+		{142, 12, 12, true, false, -1, []int{0, 2}, "step  142  w=12 d=12  ALARM dims=[0 2]"},
+		{143, 10, 10, false, true, 138, []int{1}, "step  143  w=10 d=10  comp@138 dims=[1]"},
+		{144, 10, 10, false, false, -1, nil, "step  144  w=10 d=10  ok"},
+		{7, 30, -1, true, false, -1, nil, "step    7  w=30  ALARM"},
+		{8, 5, 5, true, true, 3, []int{0}, "step    8  w=5 d=5  ALARM+comp@3 dims=[0]"},
+		{9, 5, 5, false, true, -1, nil, "step    9  w=5 d=5  comp"},
+	}
+	for _, c := range cases {
+		got := FormatDecision(c.step, c.window, c.deadline, c.alarm, c.comp, c.compStep, c.dims)
+		if got != c.want {
+			t.Errorf("FormatDecision(%+v):\n got %q\nwant %q", c, got, c.want)
+		}
+	}
+}
+
+func TestStepEventString(t *testing.T) {
+	ev := StepEvent{Step: 5, Window: 3, Deadline: 4, Alarm: true, ComplementaryStep: -1,
+		ReachTimed: true, ReachMicros: 12.34, LoggerLen: 9}
+	s := ev.String()
+	for _, want := range []string{"w=3 d=4", "ALARM", "reach=12.3µs", "log=9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRingSinkWrapsAndCopies(t *testing.T) {
+	s := NewRingSink(3)
+	shared := []float64{1, 2}
+	for i := 0; i < 5; i++ {
+		shared[0] = float64(i) // emitter reuses its scratch buffer
+		s.Emit(StepEvent{Step: i, ResidualAvg: shared})
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		wantStep := i + 2 // oldest two overwritten
+		if ev.Step != wantStep {
+			t.Errorf("event %d step = %d, want %d", i, ev.Step, wantStep)
+		}
+		if ev.ResidualAvg[0] != float64(wantStep) {
+			t.Errorf("event %d residual = %v, want %v (retained event aliases emitter scratch)",
+				i, ev.ResidualAvg[0], wantStep)
+		}
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+}
+
+func TestRingSinkConcurrentEmit(t *testing.T) {
+	s := NewRingSink(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Emit(StepEvent{Step: i, Strategy: "adaptive"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(s.Events()); got != 64 {
+		t.Fatalf("retained %d events, want 64", got)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(StepEvent{Step: 0, Strategy: "adaptive", Window: 4, Deadline: 6, LoggerLen: 1})
+	s.Emit(StepEvent{Step: 1, Window: 3, Deadline: 3, Alarm: true, Dims: []int{1}, LoggerLen: 2})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var ev StepEvent
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Step != 1 || !ev.Alarm || len(ev.Dims) != 1 || ev.Dims[0] != 1 {
+		t.Fatalf("round-trip event = %+v", ev)
+	}
+	// Optional fields stay out of the wire format when empty.
+	if strings.Contains(lines[0], "dims") || strings.Contains(lines[0], "complementary") {
+		t.Errorf("line 0 carries zero-value noise: %s", lines[0])
+	}
+}

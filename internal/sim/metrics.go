@@ -99,6 +99,7 @@ func Campaign(base Config, n int) (CampaignResult, error) {
 			res.FPExperiments++
 		}
 		if tr.AttackStart >= 0 {
+			base.Observer.ObserveRun(m.DetectionDelay, m.Detected, m.DeadlineMissed)
 			if !m.Detected {
 				res.FNExperiments++
 			} else {

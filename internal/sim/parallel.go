@@ -80,6 +80,7 @@ func CampaignParallel(base Config, n, workers int, makeAttack func() (attack.Att
 			res.FPExperiments++
 		}
 		if o.attackStart >= 0 {
+			base.Observer.ObserveRun(o.met.DetectionDelay, o.met.Detected, o.met.DeadlineMissed)
 			if !o.met.Detected {
 				res.FNExperiments++
 			} else {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/models"
 	"repro/internal/noise"
+	"repro/internal/obs"
 )
 
 // Strategy selects the detector under test.
@@ -73,6 +74,11 @@ type Config struct {
 	// DisableComplementary turns off the complementary detection pass
 	// (Sec. 4.2.1) for the ablation study.
 	DisableComplementary bool
+	// Observer receives per-step telemetry from the detection system and
+	// per-run aggregates from Campaign. Nil disables observability. The
+	// observer's instruments are atomic, so one observer may be shared
+	// across parallel campaign workers.
+	Observer *obs.Observer
 }
 
 // StepRecord captures one control step of a run.
@@ -116,6 +122,7 @@ func Detector(cfg Config) (*core.System, error) {
 		MaxWindow:            m.MaxWindow,
 		InitRadius:           m.EstimatorRadius(),
 		DisableComplementary: cfg.DisableComplementary,
+		Observer:             cfg.Observer,
 	}
 	switch cfg.Strategy {
 	case Adaptive:
