@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-obs clean
+.PHONY: check vet lint build test test-race fuzz-smoke bench-obs clean
 
 # The full gate: what CI (and every PR) must pass.
-check: vet build test-race
+check: vet lint build test-race
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (floateq, obsguard, nopanic, errflow) — see
+# internal/lint and README "Static analysis".
+lint:
+	$(GO) run ./cmd/awdlint ./...
 
 build:
 	$(GO) build ./...
@@ -16,6 +21,14 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Short fuzzing pass over the native fuzz targets; CI runs the same smoke.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/detect/ -run '^$$' -fuzz '^FuzzNoEscape$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/logger/ -run '^$$' -fuzz '^FuzzBufferHoldRelease$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzSupportFunction$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzReachBoundFinite$$' -fuzztime $(FUZZTIME)
 
 # Re-measure the detector-step overhead numbers recorded in BENCH_obs.json.
 bench-obs:

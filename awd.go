@@ -15,7 +15,8 @@
 //	    MaxWindow: 40,
 //	})
 //	...
-//	dec := det.Step(estimate, appliedInput) // once per control period
+//	dec, err := det.Step(estimate, appliedInput) // once per control period
+//	if err != nil { ... }                        // configuration fault
 //	if dec.Alarm() { ... }
 //
 // The package also exposes the evaluation plants (Models, RunScenario) so
@@ -192,12 +193,20 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 // Step feeds one control step: the state estimate x̂_t delivered by the
 // sensors and the input u_{t−1} that was applied over the preceding period
 // (nil for zero input). It returns the detection decision for step t.
-func (d *Detector) Step(estimate, appliedInput []float64) Decision {
+//
+// An error reports a configuration fault — estimate or input dimensions
+// that do not match the plant model. The detector did not ingest the
+// sample and remains usable; the control loop decides whether that is
+// fatal.
+func (d *Detector) Step(estimate, appliedInput []float64) (Decision, error) {
 	var u mat.Vec
 	if appliedInput != nil {
 		u = mat.VecOf(appliedInput...)
 	}
-	dec := d.sys.Step(mat.VecOf(estimate...), u)
+	dec, err := d.sys.Step(mat.VecOf(estimate...), u)
+	if err != nil {
+		return Decision{}, fmt.Errorf("awd: %w", err)
+	}
 	return Decision{
 		Step:              dec.Step,
 		Window:            dec.Window,
@@ -206,7 +215,7 @@ func (d *Detector) Step(estimate, appliedInput []float64) Decision {
 		Complementary:     dec.Complementary,
 		ComplementaryStep: dec.ComplementaryStep,
 		Dims:              append([]int(nil), dec.Dims...),
-	}
+	}, nil
 }
 
 // Reset clears all run state so the detector can start a fresh episode.

@@ -29,7 +29,7 @@ func TestDetectorObserverHook(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		det.Step([]float64{0}, []float64{0})
+		must(det.Step([]float64{0}, []float64{0}))
 	}
 	if got := o.Registry().Counter(obs.MetricSteps, "").Value(); got != 5 {
 		t.Errorf("step counter = %d, want 5", got)
@@ -43,7 +43,7 @@ func TestDetectorObserverHook(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec := det2.Step([]float64{0}, []float64{0}); dec.Alarm() {
+	if dec := must(det2.Step([]float64{0}, []float64{0})); dec.Alarm() {
 		t.Errorf("clean step alarmed: %+v", dec)
 	}
 }

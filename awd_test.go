@@ -5,6 +5,14 @@ import (
 	"testing"
 )
 
+// must unwraps a (value, error) pair from a call the test knows is valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func scalarCfg() DetectorConfig {
 	return DetectorConfig{
 		A: [][]float64{{1}}, B: [][]float64{{1}}, Dt: 1,
@@ -43,7 +51,7 @@ func TestDetectorAlarmsOnAttack(t *testing.T) {
 	}
 	// Clean steps: constant state, zero input → zero residuals.
 	for i := 0; i < 10; i++ {
-		if dec := det.Step([]float64{1}, []float64{0}); dec.Alarm() {
+		if dec := must(det.Step([]float64{1}, []float64{0})); dec.Alarm() {
 			t.Fatalf("clean step %d alarmed", i)
 		}
 	}
@@ -52,7 +60,7 @@ func TestDetectorAlarmsOnAttack(t *testing.T) {
 	v := 1.0
 	for i := 0; i < 5 && !alarmed; i++ {
 		v += 4
-		alarmed = det.Step([]float64{v}, []float64{0}).Alarm()
+		alarmed = must(det.Step([]float64{v}, []float64{0})).Alarm()
 	}
 	if !alarmed {
 		t.Error("attack never detected")
@@ -66,11 +74,11 @@ func TestDetectorDeadlineShrinksNearBoundary(t *testing.T) {
 	}
 	var far, near Decision
 	for i := 0; i < 12; i++ {
-		far = det.Step([]float64{0}, []float64{0})
+		far = must(det.Step([]float64{0}, []float64{0}))
 	}
 	det.Reset()
 	for i := 0; i < 12; i++ {
-		near = det.Step([]float64{9.3}, []float64{0})
+		near = must(det.Step([]float64{9.3}, []float64{0}))
 	}
 	if near.Deadline >= far.Deadline {
 		t.Errorf("deadline near boundary (%d) should be tighter than far (%d)",
@@ -88,7 +96,7 @@ func TestDetectorFixedWindowVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec := det.Step([]float64{0}, nil)
+	dec := must(det.Step([]float64{0}, nil))
 	if dec.Window != 3 || dec.Deadline != 0 {
 		t.Errorf("fixed decision = %+v", dec)
 	}
@@ -99,10 +107,10 @@ func TestDetectorReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	det.Step([]float64{1}, nil)
-	det.Step([]float64{2}, nil)
+	must(det.Step([]float64{1}, nil))
+	must(det.Step([]float64{2}, nil))
 	det.Reset()
-	if dec := det.Step([]float64{5}, nil); dec.Step != 0 || dec.Alarm() {
+	if dec := must(det.Step([]float64{5}, nil)); dec.Step != 0 || dec.Alarm() {
 		t.Errorf("post-reset decision = %+v", dec)
 	}
 }
@@ -226,12 +234,12 @@ func TestDecisionDimsAttribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	det.Step([]float64{0}, nil)
+	must(det.Step([]float64{0}, nil))
 	var dec Decision
 	v := 0.0
 	for i := 0; i < 5 && !dec.Alarm(); i++ {
 		v += 5
-		dec = det.Step([]float64{v}, nil)
+		dec = must(det.Step([]float64{v}, nil))
 	}
 	if !dec.Alarm() || len(dec.Dims) != 1 || dec.Dims[0] != 0 {
 		t.Errorf("facade dims = %+v", dec)

@@ -1,0 +1,75 @@
+// Command awdlint is the multichecker for the repo's domain-specific
+// static-analysis suite (internal/lint): floateq, obsguard, nopanic, and
+// errflow. It enforces the implementation-level invariants behind the
+// paper's Theorems 1–2 — tolerance-based threshold comparisons, a
+// panic-free detection hot path, nil-safe telemetry, and checked matrix
+// algebra errors.
+//
+// Usage:
+//
+//	awdlint [-list] [-only name[,name...]] [packages]
+//
+// Exit status is 0 when clean, 1 on findings, 2 on usage or load errors —
+// mirroring go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: awdlint [-list] [-only name,...] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the awd static-analysis suite over the given package patterns\n(default ./...). Analyzers:\n\n")
+		printAnalyzers()
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers()
+		return 0
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := lint.Run(os.Stdout, "", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "awdlint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+func printAnalyzers() {
+	for _, a := range lint.Suite() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+	}
+}

@@ -60,8 +60,14 @@ func main() {
 
 		// Observer turns the (possibly spoofed) output into a state
 		// estimate; the detector consumes it like a direct measurement.
-		estimate := obs.Step(y, u)
-		dec := det.Step(estimate, u)
+		estimate, err := obs.Step(y, u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := det.Step(estimate, u)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if dec.Alarmed() && firstAlarm < 0 && t >= attackStart {
 			firstAlarm = t
 		}

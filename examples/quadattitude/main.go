@@ -69,7 +69,10 @@ func main() {
 
 	for t := 0; t < 300; t++ {
 		estimate := att.Apply(t, x.Add(sens.Sample(t)))
-		dec := det.Step(estimate, u)
+		dec, err := det.Step(estimate, u)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if dec.Alarmed() && t >= attackStart && firstAlarm < 0 {
 			firstAlarm = t
 			if len(dec.Dims) > 0 {

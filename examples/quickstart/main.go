@@ -53,7 +53,10 @@ func main() {
 
 		// Detect: one call per control period, with the input that was
 		// applied over the preceding period.
-		dec := det.Step([]float64{reading}, []float64{u})
+		dec, err := det.Step([]float64{reading}, []float64{u})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if dec.Alarm() && firstAlarm < 0 {
 			firstAlarm = t
 			fmt.Printf("ALARM at step %d (window %d, deadline %d)\n",

@@ -73,6 +73,11 @@ func (c Config) validate() error {
 	if len(c.Tau) != n {
 		return fmt.Errorf("core: threshold dimension %d, want %d", len(c.Tau), n)
 	}
+	for i, v := range c.Tau {
+		if v < 0 {
+			return fmt.Errorf("core: negative threshold %v in dimension %d", v, i)
+		}
+	}
 	if c.MaxWindow < 1 {
 		return fmt.Errorf("core: maximum window %d must be >= 1", c.MaxWindow)
 	}
@@ -203,10 +208,21 @@ func NewCUSUM(cfg Config) (*System, error) {
 	threshold := cfg.CUSUMThreshold
 	if threshold == nil {
 		threshold = cfg.Tau.Scale(4)
-		for i, v := range threshold {
-			if v <= 0 {
-				return nil, fmt.Errorf("core: derived CUSUM threshold %v in dimension %d not positive", v, i)
-			}
+	}
+	// Validate both the derived and the explicitly supplied parameters here
+	// so the detect constructor's programmer-error panics stay unreachable
+	// from configuration data.
+	if len(threshold) != len(drift) {
+		return nil, fmt.Errorf("core: CUSUM threshold/drift dimension mismatch %d vs %d", len(threshold), len(drift))
+	}
+	for i, v := range threshold {
+		if v <= 0 {
+			return nil, fmt.Errorf("core: CUSUM threshold %v in dimension %d not positive", v, i)
+		}
+	}
+	for i, v := range drift {
+		if v < 0 {
+			return nil, fmt.Errorf("core: CUSUM drift %v in dimension %d negative", v, i)
 		}
 	}
 	return &System{
@@ -230,10 +246,13 @@ func NewEWMA(cfg Config) (*System, error) {
 	threshold := cfg.EWMAThreshold
 	if threshold == nil {
 		threshold = cfg.Tau.Clone()
-		for i, v := range threshold {
-			if v <= 0 {
-				return nil, fmt.Errorf("core: derived EWMA threshold %v in dimension %d not positive", v, i)
-			}
+	}
+	if len(threshold) == 0 {
+		return nil, fmt.Errorf("core: empty EWMA threshold")
+	}
+	for i, v := range threshold {
+		if v <= 0 {
+			return nil, fmt.Errorf("core: EWMA threshold %v in dimension %d not positive", v, i)
 		}
 	}
 	if lambda <= 0 || lambda > 1 {
@@ -257,8 +276,15 @@ func (s *System) Estimator() *deadline.Estimator { return s.est }
 // Step ingests the state estimate for the next control step together with
 // the input applied over the preceding period, and returns the detection
 // decision for that step.
-func (s *System) Step(estimate, appliedU mat.Vec) Decision {
-	entry := s.log.Observe(estimate, appliedU)
+//
+// Errors are configuration faults (dimension mismatches between the
+// estimate, input, and the plant model); the detector state is safe to
+// keep using after a failed Step, which simply did not ingest anything.
+func (s *System) Step(estimate, appliedU mat.Vec) (Decision, error) {
+	entry, err := s.log.Observe(estimate, appliedU)
+	if err != nil {
+		return Decision{}, err
+	}
 	dec := Decision{Step: entry.Step, ComplementaryStep: -1}
 
 	var reachMicros float64
@@ -275,21 +301,31 @@ func (s *System) Step(estimate, appliedU mat.Vec) Decision {
 			reachTimed = true
 		}
 		dec.Deadline = td
-		res := s.adaptive.Step(s.log, td)
+		res, err := s.adaptive.Step(s.log, td)
+		if err != nil {
+			return Decision{}, err
+		}
 		dec.Window = res.Window
 		dec.Alarm = res.Alarm
 		dec.Complementary = res.Complementary
 		dec.ComplementaryStep = res.ComplementaryStep
 		dec.Dims = res.Dims
 	case modeFixed:
-		res := s.fixed.Step(s.log)
+		res, err := s.fixed.Step(s.log)
+		if err != nil {
+			return Decision{}, err
+		}
 		dec.Window = res.Window
 		dec.Alarm = res.Alarm
 		dec.Dims = res.Dims
 	case modeCUSUM:
-		dec.Alarm = s.cusum.Update(entry.Residual)
+		if dec.Alarm, err = s.cusum.Update(entry.Residual); err != nil {
+			return Decision{}, err
+		}
 	case modeEWMA:
-		dec.Alarm = s.ewma.Update(entry.Residual)
+		if dec.Alarm, err = s.ewma.Update(entry.Residual); err != nil {
+			return Decision{}, err
+		}
 	}
 
 	if s.obs.Enabled() {
@@ -310,7 +346,7 @@ func (s *System) Step(estimate, appliedU mat.Vec) Decision {
 			LoggerReleased:    s.log.Released(),
 		})
 	}
-	return dec
+	return dec, nil
 }
 
 // residualAvg computes the per-dimension windowed average residual for the

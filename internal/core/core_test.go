@@ -8,6 +8,14 @@ import (
 	"repro/internal/mat"
 )
 
+// must unwraps a (value, error) pair from a call the test knows is valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // Scalar plant x' = x + u (identity-observable), safe |x| <= 10.
 func cfg(t *testing.T) Config {
 	t.Helper()
@@ -61,7 +69,7 @@ func TestAdaptiveSystemDeadlineDrivesWindow(t *testing.T) {
 	// Feed estimates far from the boundary: deadline should saturate at w_m.
 	var dec Decision
 	for i := 0; i < 5; i++ {
-		dec = sys.Step(mat.VecOf(0), mat.VecOf(0))
+		dec = must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
 	}
 	if dec.Deadline != 8 || dec.Window != 8 {
 		t.Errorf("far-field decision = %+v, want deadline/window 8", dec)
@@ -69,7 +77,7 @@ func TestAdaptiveSystemDeadlineDrivesWindow(t *testing.T) {
 	// Now drive the estimate near the boundary: trusted estimate catches up
 	// after the window length, and the deadline must tighten.
 	for i := 0; i < 20; i++ {
-		dec = sys.Step(mat.VecOf(9.2), mat.VecOf(0))
+		dec = must(sys.Step(mat.VecOf(9.2), mat.VecOf(0)))
 	}
 	if dec.Deadline >= 8 {
 		t.Errorf("near-boundary deadline = %d, want < 8", dec.Deadline)
@@ -84,10 +92,10 @@ func TestAdaptiveSystemAlarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
 	// Jump of 3 with zero input: residual 3 > τ even averaged over w_m.
 	for i := 0; i < 3; i++ {
-		dec := sys.Step(mat.VecOf(float64(3*(i+1))), mat.VecOf(0))
+		dec := must(sys.Step(mat.VecOf(float64(3*(i+1))), mat.VecOf(0)))
 		if dec.Alarmed() {
 			return
 		}
@@ -103,7 +111,7 @@ func TestFixedSystem(t *testing.T) {
 	if sys.Estimator() != nil {
 		t.Error("fixed system should have no estimator")
 	}
-	dec := sys.Step(mat.VecOf(0), mat.VecOf(0))
+	dec := must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
 	if dec.Window != 4 || dec.Alarm {
 		t.Errorf("fixed decision = %+v", dec)
 	}
@@ -112,7 +120,7 @@ func TestFixedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec := sysDef.Step(mat.VecOf(0), mat.VecOf(0)); dec.Window != 8 {
+	if dec := must(sysDef.Step(mat.VecOf(0), mat.VecOf(0))); dec.Window != 8 {
 		t.Errorf("default fixed window = %d, want 8", dec.Window)
 	}
 }
@@ -122,12 +130,12 @@ func TestCUSUMSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
 	alarmed := false
 	for i := 1; i <= 10 && !alarmed; i++ {
 		// Sustained residual 2 per step: CUSUM statistic grows by 2−τ each
 		// step and crosses the 4τ default threshold quickly.
-		dec := sys.Step(mat.VecOf(float64(2*i)), mat.VecOf(0))
+		dec := must(sys.Step(mat.VecOf(float64(2*i)), mat.VecOf(0)))
 		alarmed = dec.Alarm
 	}
 	if !alarmed {
@@ -145,13 +153,13 @@ func TestSystemReset(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		sys.Step(mat.VecOf(1), mat.VecOf(0))
-		sys.Step(mat.VecOf(9), mat.VecOf(0))
+		must(sys.Step(mat.VecOf(1), mat.VecOf(0)))
+		must(sys.Step(mat.VecOf(9), mat.VecOf(0)))
 		sys.Reset()
 		if sys.Log().Current() != -1 {
 			t.Errorf("%s: log not cleared", name)
 		}
-		dec := sys.Step(mat.VecOf(1), mat.VecOf(0))
+		dec := must(sys.Step(mat.VecOf(1), mat.VecOf(0)))
 		if dec.Step != 0 {
 			t.Errorf("%s: post-reset step = %d", name, dec.Step)
 		}
@@ -191,19 +199,19 @@ func TestAdaptiveComplementaryFlagSurfacing(t *testing.T) {
 	// Quiet phase (window grows to 8).
 	val := 0.0
 	for i := 0; i < 10; i++ {
-		sys.Step(mat.VecOf(val), mat.VecOf(0))
+		must(sys.Step(mat.VecOf(val), mat.VecOf(0)))
 	}
 	// Burst: two +4 jumps (residual 4 each), then quiet at the new level.
 	val = 4
-	sys.Step(mat.VecOf(val), mat.VecOf(0))
+	must(sys.Step(mat.VecOf(val), mat.VecOf(0)))
 	val = 8
-	sys.Step(mat.VecOf(val), mat.VecOf(0))
+	must(sys.Step(mat.VecOf(val), mat.VecOf(0)))
 	// Rush toward the boundary so the trusted estimate (once it exits the
 	// window) slams the deadline down and shrinks the window.
 	fired := false
 	val = 9.4
 	for i := 0; i < 10 && !fired; i++ {
-		dec := sys.Step(mat.VecOf(val), mat.VecOf(0))
+		dec := must(sys.Step(mat.VecOf(val), mat.VecOf(0)))
 		fired = dec.Alarmed()
 	}
 	if !fired {
@@ -216,18 +224,18 @@ func TestEWMASystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
 	alarmed := false
 	v := 0.0
 	for i := 0; i < 40 && !alarmed; i++ {
 		v += 2 // sustained residual 2 > τ: the EWMA must cross eventually
-		alarmed = sys.Step(mat.VecOf(v), mat.VecOf(0)).Alarm
+		alarmed = must(sys.Step(mat.VecOf(v), mat.VecOf(0))).Alarm
 	}
 	if !alarmed {
 		t.Error("EWMA system never alarmed on sustained shift")
 	}
 	sys.Reset()
-	if dec := sys.Step(mat.VecOf(0), mat.VecOf(0)); dec.Alarm {
+	if dec := must(sys.Step(mat.VecOf(0), mat.VecOf(0))); dec.Alarm {
 		t.Error("post-reset EWMA alarmed")
 	}
 }
@@ -250,12 +258,31 @@ func TestDecisionCarriesDims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Step(mat.VecOf(0), mat.VecOf(0))
+	must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
 	var dec Decision
 	for i := 1; i <= 5 && !dec.Alarmed(); i++ {
-		dec = sys.Step(mat.VecOf(float64(5*i)), mat.VecOf(0))
+		dec = must(sys.Step(mat.VecOf(float64(5*i)), mat.VecOf(0)))
 	}
 	if !dec.Alarmed() || len(dec.Dims) == 0 || dec.Dims[0] != 0 {
 		t.Errorf("decision dims = %+v", dec)
+	}
+}
+
+func TestSystemStepDimensionError(t *testing.T) {
+	sys, err := New(cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(mat.VecOf(1, 2), mat.VecOf(0)); err == nil {
+		t.Error("mismatched estimate dimension must surface as an error")
+	}
+	// The rejected step must not advance the run.
+	if sys.Log().Current() != -1 {
+		t.Errorf("rejected step advanced the log to %d", sys.Log().Current())
+	}
+	// The system keeps working after a rejected step.
+	dec := must(sys.Step(mat.VecOf(0), mat.VecOf(0)))
+	if dec.Step != 0 {
+		t.Errorf("post-error step = %d, want 0", dec.Step)
 	}
 }

@@ -24,7 +24,7 @@ func TestStepEmitsTelemetry(t *testing.T) {
 	const steps = 12
 	u := mat.VecOf(0)
 	for i := 0; i < steps; i++ {
-		sys.Step(mat.VecOf(0), u)
+		must(sys.Step(mat.VecOf(0), u))
 	}
 
 	reg := o.Registry()
@@ -67,8 +67,8 @@ func TestStepTelemetryAlarmPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	u := mat.VecOf(0)
-	sys.Step(mat.VecOf(0), u)
-	dec := sys.Step(mat.VecOf(5), u) // residual 5 > τ = 0.5
+	must(sys.Step(mat.VecOf(0), u))
+	dec := must(sys.Step(mat.VecOf(5), u)) // residual 5 > τ = 0.5
 	if !dec.Alarm {
 		t.Fatal("expected alarm")
 	}
@@ -98,7 +98,7 @@ func TestResetClearsRunTelemetrySources(t *testing.T) {
 	}
 	u := mat.VecOf(0)
 	for i := 0; i < 20; i++ {
-		sys.Step(mat.VecOf(0), u)
+		must(sys.Step(mat.VecOf(0), u))
 	}
 	if sys.Log().Released() == 0 {
 		t.Fatal("long run released nothing — sliding window broken?")

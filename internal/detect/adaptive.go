@@ -57,10 +57,14 @@ func (a *Adaptive) Reset() {
 //
 // Growing (w_c > w_p, Sec. 4.2.2): no extra work — no sample escapes a
 // window that got longer.
-func (a *Adaptive) Step(log *logger.Logger, deadline int) Result {
+//
+// Step returns ErrNoObservation when called before the logger has seen a
+// sample, and a dimension error on residual/threshold mismatch; both are
+// configuration faults the control loop should surface, not panic over.
+func (a *Adaptive) Step(log *logger.Logger, deadline int) (Result, error) {
 	t := log.Current()
 	if t < 0 {
-		panic("detect: Step before any logged observation")
+		return Result{}, ErrNoObservation
 	}
 	wc := deadline
 	if wc < 0 {
@@ -78,7 +82,10 @@ func (a *Adaptive) Step(log *logger.Logger, deadline int) Result {
 			from = 0
 		}
 		for s := from; s <= t-1; s++ {
-			dims, ok := a.win.CheckAtDims(log, s, wc)
+			dims, ok, err := a.win.CheckAtDims(log, s, wc)
+			if err != nil {
+				return Result{}, err
+			}
 			if ok && len(dims) > 0 {
 				res.Complementary = true
 				res.ComplementaryStep = s
@@ -88,7 +95,10 @@ func (a *Adaptive) Step(log *logger.Logger, deadline int) Result {
 		}
 	}
 
-	dims, ok := a.win.CheckAtDims(log, t, wc)
+	dims, ok, err := a.win.CheckAtDims(log, t, wc)
+	if err != nil {
+		return Result{}, err
+	}
 	if ok && len(dims) > 0 {
 		res.Alarm = true
 		if res.Dims == nil {
@@ -98,7 +108,7 @@ func (a *Adaptive) Step(log *logger.Logger, deadline int) Result {
 
 	a.prevW = wc
 	a.primed = true
-	return res
+	return res, nil
 }
 
 // Fixed is the fixed-window baseline of the evaluation: the same window rule
@@ -119,19 +129,24 @@ func NewFixed(tau mat.Vec, w int) *Fixed {
 // WindowSize returns the fixed window size.
 func (f *Fixed) WindowSize() int { return f.w }
 
-// Step runs one detection round at the logger's current step.
-func (f *Fixed) Step(log *logger.Logger) Result {
+// Step runs one detection round at the logger's current step. It returns
+// ErrNoObservation before the first logged sample and dimension errors on
+// residual/threshold mismatch.
+func (f *Fixed) Step(log *logger.Logger) (Result, error) {
 	t := log.Current()
 	if t < 0 {
-		panic("detect: Step before any logged observation")
+		return Result{}, ErrNoObservation
 	}
 	res := Result{Step: t, Window: f.w, ComplementaryStep: -1}
-	dims, ok := f.win.CheckAtDims(log, t, f.w)
+	dims, ok, err := f.win.CheckAtDims(log, t, f.w)
+	if err != nil {
+		return Result{}, err
+	}
 	if ok && len(dims) > 0 {
 		res.Alarm = true
 		res.Dims = dims
 	}
-	return res
+	return res, nil
 }
 
 // Reset is a no-op; the fixed detector is stateless across steps.

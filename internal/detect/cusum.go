@@ -48,10 +48,11 @@ func NewCUSUM(threshold, drift mat.Vec, resetOnAlarm bool) *CUSUM {
 }
 
 // Update folds one residual vector into the statistic and reports whether an
-// alarm fires.
-func (c *CUSUM) Update(residual mat.Vec) bool {
+// alarm fires. A residual of the wrong dimension is a configuration error
+// and is returned, leaving the statistic untouched.
+func (c *CUSUM) Update(residual mat.Vec) (bool, error) {
 	if len(residual) != len(c.s) {
-		panic(fmt.Sprintf("detect: CUSUM residual dimension %d, want %d", len(residual), len(c.s)))
+		return false, fmt.Errorf("detect: CUSUM residual dimension %d, want %d", len(residual), len(c.s))
 	}
 	alarm := false
 	for i := range c.s {
@@ -67,7 +68,7 @@ func (c *CUSUM) Update(residual mat.Vec) bool {
 	if alarm && c.resetOn {
 		c.Reset()
 	}
-	return alarm
+	return alarm, nil
 }
 
 // Statistic returns a copy of the current per-dimension statistic.

@@ -1,13 +1,23 @@
 package detect
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/logger"
 	"repro/internal/lti"
 	"repro/internal/mat"
 )
+
+// must unwraps a (value, error) pair from a call the test knows is valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // identity plant x' = x: residual_t = |est_t − est_{t−1}|.
 func newLog(t *testing.T, wm int) *logger.Logger {
@@ -24,20 +34,20 @@ func newLog(t *testing.T, wm int) *logger.Logger {
 func feed(l *logger.Logger, rs ...float64) {
 	cur := 0.0
 	if l.Current() < 0 {
-		l.Observe(mat.VecOf(0), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(0), mat.VecOf(0)))
 	} else {
 		e, _ := l.Entry(l.Current())
 		cur = e.Estimate[0]
 	}
 	for _, r := range rs {
 		cur += r
-		l.Observe(mat.VecOf(cur), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(cur), mat.VecOf(0)))
 	}
 }
 
 func TestWindowAverage(t *testing.T) {
 	w := NewWindow(mat.VecOf(1))
-	avg := w.Average([]mat.Vec{{1}, {2}, {3}})
+	avg := must(w.Average([]mat.Vec{{1}, {2}, {3}}))
 	if math.Abs(avg[0]-2) > 1e-12 {
 		t.Errorf("Average = %v, want 2", avg[0])
 	}
@@ -46,25 +56,22 @@ func TestWindowAverage(t *testing.T) {
 func TestWindowExceedsPerDimension(t *testing.T) {
 	w := NewWindow(mat.VecOf(1, 0.1))
 	// Dim 0 below threshold, dim 1 above.
-	if !w.Exceeds([]mat.Vec{{0.5, 0.2}}) {
+	if !must(w.Exceeds([]mat.Vec{{0.5, 0.2}})) {
 		t.Error("should alarm on dim 1")
 	}
-	if w.Exceeds([]mat.Vec{{0.5, 0.05}}) {
+	if must(w.Exceeds([]mat.Vec{{0.5, 0.05}})) {
 		t.Error("should not alarm below both thresholds")
 	}
 	// Exactly at threshold: no alarm (strict inequality).
-	if w.Exceeds([]mat.Vec{{1, 0.1}}) {
+	if must(w.Exceeds([]mat.Vec{{1, 0.1}})) {
 		t.Error("boundary value should not alarm")
 	}
 }
 
-func TestWindowValidation(t *testing.T) {
+func TestWindowConstructorValidation(t *testing.T) {
 	for i, fn := range []func(){
 		func() { NewWindow(mat.Vec{}) },
 		func() { NewWindow(mat.VecOf(-0.1)) },
-		func() { NewWindow(mat.VecOf(1)).Average(nil) },
-		func() { NewWindow(mat.VecOf(1)).Exceeds([]mat.Vec{{1, 2}}) },
-		func() { NewWindow(mat.VecOf(1)).CheckAt(nil, 0, -1) },
 	} {
 		func() {
 			defer func() {
@@ -77,12 +84,51 @@ func TestWindowValidation(t *testing.T) {
 	}
 }
 
+func TestWindowRuntimeErrors(t *testing.T) {
+	w := NewWindow(mat.VecOf(1))
+	if _, err := w.Average(nil); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("Average(nil) err = %v, want ErrEmptyWindow", err)
+	}
+	if _, err := w.Exceeds(nil); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("Exceeds(nil) err = %v, want ErrEmptyWindow", err)
+	}
+	if _, err := w.Exceeds([]mat.Vec{{1, 2}}); err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Errorf("dimension mismatch err = %v, want dimension error", err)
+	}
+}
+
+func TestCheckAtDimensionMismatchSurfacesError(t *testing.T) {
+	l := newLog(t, 10)
+	feed(l, 1)
+	// Logger residuals are 1-dimensional; a 2-dimensional threshold is a
+	// configuration fault that must surface as err, not panic or !ok.
+	w := NewWindow(mat.VecOf(1, 1))
+	if _, ok, err := w.CheckAt(l, l.Current(), 0); err == nil || ok {
+		t.Errorf("CheckAt mismatched dims: ok=%v err=%v, want error", ok, err)
+	}
+}
+
+func TestCheckAtNegativeWindowClamps(t *testing.T) {
+	l := newLog(t, 10)
+	feed(l, 5) // residuals: step0=0, step1=5
+	w := NewWindow(mat.VecOf(1))
+	// A negative window clamps to the degenerate single-sample window,
+	// mirroring Adaptive.Step's deadline clamping.
+	alarm, ok, err := w.CheckAt(l, 1, -3)
+	if err != nil || !ok || !alarm {
+		t.Errorf("CheckAt(-3) = alarm=%v ok=%v err=%v, want single-sample alarm", alarm, ok, err)
+	}
+}
+
 func TestCheckAtWindowClamping(t *testing.T) {
 	l := newLog(t, 10)
 	feed(l, 5, 5) // residuals: step0=0, step1=5, step2=5
 	w := NewWindow(mat.VecOf(1))
 	// Window 10 at step 2 clamps to [0,2]: avg = 10/3 > 1 => alarm.
-	alarm, ok := w.CheckAt(l, 2, 10)
+	alarm, ok, err := w.CheckAt(l, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || !alarm {
 		t.Errorf("CheckAt clamped = %v ok=%v", alarm, ok)
 	}
@@ -92,11 +138,11 @@ func TestCheckAtMissingData(t *testing.T) {
 	l := newLog(t, 2)
 	feed(l, 1, 1, 1, 1, 1, 1, 1, 1) // long run: early entries released
 	w := NewWindow(mat.VecOf(10))
-	if _, ok := w.CheckAt(l, 0, 0); ok {
-		t.Error("released step should report !ok")
+	if _, ok, err := w.CheckAt(l, 0, 0); ok || err != nil {
+		t.Errorf("released step: ok=%v err=%v, want !ok", ok, err)
 	}
-	if _, ok := w.CheckAt(l, l.Current()+1, 0); ok {
-		t.Error("future step should report !ok")
+	if _, ok, err := w.CheckAt(l, l.Current()+1, 0); ok || err != nil {
+		t.Errorf("future step: ok=%v err=%v, want !ok", ok, err)
 	}
 }
 
@@ -104,12 +150,12 @@ func TestAdaptiveBasicAlarm(t *testing.T) {
 	l := newLog(t, 10)
 	a := NewAdaptive(mat.VecOf(0.5), 10)
 	feed(l) // step 0, residual 0
-	res := a.Step(l, 5)
+	res := must(a.Step(l, 5))
 	if res.Alarm || res.Window != 5 {
 		t.Errorf("clean step: %+v", res)
 	}
 	feed(l, 3) // step 1, residual 3
-	res = a.Step(l, 0)
+	res = must(a.Step(l, 0))
 	// Window 0: avg = residual at step 1 = 3 > 0.5.
 	if !res.Alarm {
 		t.Errorf("attacked step: %+v", res)
@@ -120,11 +166,11 @@ func TestAdaptiveWindowClampsToDeadline(t *testing.T) {
 	l := newLog(t, 8)
 	a := NewAdaptive(mat.VecOf(1), 8)
 	feed(l)
-	if res := a.Step(l, 100); res.Window != 8 {
+	if res := must(a.Step(l, 100)); res.Window != 8 {
 		t.Errorf("window = %d, want clamped 8", res.Window)
 	}
 	feed(l, 0)
-	if res := a.Step(l, -3); res.Window != 0 {
+	if res := must(a.Step(l, -3)); res.Window != 0 {
 		t.Errorf("window = %d, want clamped 0", res.Window)
 	}
 }
@@ -138,10 +184,10 @@ func TestAdaptiveShrinkTriggersComplementary(t *testing.T) {
 
 	// Steps 0..5 clean.
 	feed(l, 0, 0, 0, 0, 0)
-	a.Step(l, 20) // w_p = 20
+	must(a.Step(l, 20)) // w_p = 20
 	// Steps 6,7: residual 4 each (attack burst), then steps 8..12 clean.
 	feed(l, 4, 4, -0, 0, 0, 0, 0)
-	res := a.Step(l, 20) // large window: avg = 8/13 < 0.9 -> no alarm
+	res := must(a.Step(l, 20)) // large window: avg = 8/13 < 0.9 -> no alarm
 	if res.Alarmed() {
 		t.Fatalf("diluted window should not alarm: %+v", res)
 	}
@@ -149,7 +195,7 @@ func TestAdaptiveShrinkTriggersComplementary(t *testing.T) {
 	// 6-7 escaped the new window [11,13]; complementary detection must
 	// catch it: e.g. window [5,7] has avg 8/3 > 0.9.
 	feed(l, 0)
-	res = a.Step(l, 2)
+	res = must(a.Step(l, 2))
 	if !res.Complementary {
 		t.Fatalf("complementary detection missed escaped burst: %+v", res)
 	}
@@ -165,7 +211,10 @@ func TestAdaptiveShrinkWithoutComplementaryWouldMiss(t *testing.T) {
 	l := newLog(t, 20)
 	feed(l, 0, 0, 0, 0, 0, 4, 4, 0, 0, 0, 0, 0, 0)
 	w := NewWindow(mat.VecOf(0.9))
-	alarm, ok := w.CheckAt(l, l.Current(), 2)
+	alarm, ok, err := w.CheckAt(l, l.Current(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("window data missing")
 	}
@@ -178,9 +227,9 @@ func TestAdaptiveGrowNoComplementary(t *testing.T) {
 	l := newLog(t, 20)
 	a := NewAdaptive(mat.VecOf(0.5), 20)
 	feed(l, 4, 4) // hot residuals
-	a.Step(l, 1)
+	must(a.Step(l, 1))
 	feed(l, 0)
-	res := a.Step(l, 10) // grow 1 -> 10
+	res := must(a.Step(l, 10)) // grow 1 -> 10
 	if res.Complementary {
 		t.Errorf("growing window must not run complementary detection: %+v", res)
 	}
@@ -192,7 +241,7 @@ func TestAdaptiveFirstStepNoComplementary(t *testing.T) {
 	feed(l, 4, 4, 4)
 	// First ever Step with small window — prevW is unprimed; must not treat
 	// it as a shrink from 0.
-	res := a.Step(l, 1)
+	res := must(a.Step(l, 1))
 	if res.Complementary {
 		t.Errorf("unprimed detector ran complementary pass: %+v", res)
 	}
@@ -202,27 +251,24 @@ func TestAdaptiveReset(t *testing.T) {
 	l := newLog(t, 10)
 	a := NewAdaptive(mat.VecOf(0.5), 10)
 	feed(l)
-	a.Step(l, 10)
+	must(a.Step(l, 10))
 	a.Reset()
 	if a.CurrentWindow() != 0 {
 		t.Error("Reset did not clear window")
 	}
 	feed(l, 4)
-	res := a.Step(l, 1)
+	res := must(a.Step(l, 1))
 	if res.Complementary {
 		t.Error("post-reset step ran complementary pass")
 	}
 }
 
-func TestAdaptiveStepBeforeObservationPanics(t *testing.T) {
+func TestAdaptiveStepBeforeObservationErrors(t *testing.T) {
 	l := newLog(t, 10)
 	a := NewAdaptive(mat.VecOf(1), 10)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	a.Step(l, 5)
+	if _, err := a.Step(l, 5); !errors.Is(err, ErrNoObservation) {
+		t.Fatalf("err = %v, want ErrNoObservation", err)
+	}
 }
 
 func TestAdaptiveBadMaxWindowPanics(t *testing.T) {
@@ -238,7 +284,7 @@ func TestFixedDetector(t *testing.T) {
 	l := newLog(t, 10)
 	f := NewFixed(mat.VecOf(1), 3)
 	feed(l, 2, 2, 2, 2)
-	res := f.Step(l)
+	res := must(f.Step(l))
 	if !res.Alarm || res.Window != 3 {
 		t.Errorf("fixed detector: %+v", res)
 	}
@@ -260,7 +306,7 @@ func TestFixedDilutionDelaysDetection(t *testing.T) {
 		l := sysLog()
 		for k := 1; k <= 20; k++ {
 			feed(l, 4) // sustained attack residual
-			if f.Step(l).Alarm {
+			if must(f.Step(l)).Alarm {
 				return k
 			}
 		}
@@ -275,15 +321,12 @@ func TestFixedDilutionDelaysDetection(t *testing.T) {
 	}
 }
 
-func TestFixedStepBeforeObservationPanics(t *testing.T) {
+func TestFixedStepBeforeObservationErrors(t *testing.T) {
 	l := newLog(t, 10)
 	f := NewFixed(mat.VecOf(1), 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	f.Step(l)
+	if _, err := f.Step(l); !errors.Is(err, ErrNoObservation) {
+		t.Fatalf("err = %v, want ErrNoObservation", err)
+	}
 }
 
 func TestFixedNegativeWindowPanics(t *testing.T) {
@@ -308,7 +351,7 @@ func TestCUSUMDetectsSustainedShift(t *testing.T) {
 	c := NewCUSUM(mat.VecOf(2), mat.VecOf(0.5), false)
 	alarmAt := -1
 	for i := 0; i < 10; i++ {
-		if c.Update(mat.VecOf(1.0)) && alarmAt < 0 {
+		if must(c.Update(mat.VecOf(1.0))) && alarmAt < 0 {
 			alarmAt = i
 		}
 	}
@@ -321,19 +364,19 @@ func TestCUSUMDetectsSustainedShift(t *testing.T) {
 func TestCUSUMDriftSuppressesNoise(t *testing.T) {
 	c := NewCUSUM(mat.VecOf(2), mat.VecOf(0.5), false)
 	for i := 0; i < 1000; i++ {
-		if c.Update(mat.VecOf(0.4)) { // below drift: statistic pinned at 0
+		if must(c.Update(mat.VecOf(0.4))) { // below drift: statistic pinned at 0
 			t.Fatal("CUSUM alarmed on sub-drift residuals")
 		}
 	}
-	if c.Statistic()[0] != 0 {
+	if !mat.ApproxZero(c.Statistic()[0], 0) {
 		t.Errorf("statistic = %v, want 0", c.Statistic()[0])
 	}
 }
 
 func TestCUSUMResetOnAlarm(t *testing.T) {
 	c := NewCUSUM(mat.VecOf(1), mat.VecOf(0), true)
-	c.Update(mat.VecOf(2)) // alarm, then reset
-	if c.Statistic()[0] != 0 {
+	must(c.Update(mat.VecOf(2))) // alarm, then reset
+	if !mat.ApproxZero(c.Statistic()[0], 0) {
 		t.Errorf("statistic after alarm = %v, want 0", c.Statistic()[0])
 	}
 }
@@ -343,7 +386,6 @@ func TestCUSUMValidation(t *testing.T) {
 		func() { NewCUSUM(mat.VecOf(1), mat.VecOf(0, 0), false) },
 		func() { NewCUSUM(mat.VecOf(0), mat.VecOf(0), false) },
 		func() { NewCUSUM(mat.VecOf(1), mat.VecOf(-1), false) },
-		func() { NewCUSUM(mat.VecOf(1), mat.VecOf(0), false).Update(mat.VecOf(1, 2)) },
 	} {
 		func() {
 			defer func() {
@@ -356,17 +398,28 @@ func TestCUSUMValidation(t *testing.T) {
 	}
 }
 
+func TestCUSUMUpdateDimensionMismatchErrors(t *testing.T) {
+	c := NewCUSUM(mat.VecOf(1), mat.VecOf(0), false)
+	if _, err := c.Update(mat.VecOf(1, 2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	// The statistic must be untouched by a rejected update.
+	if !mat.ApproxZero(c.Statistic()[0], 0) {
+		t.Errorf("statistic after rejected update = %v, want 0", c.Statistic()[0])
+	}
+}
+
 func TestExceedingAttribution(t *testing.T) {
 	w := NewWindow(mat.VecOf(1, 0.1, 5))
-	dims := w.Exceeding([]mat.Vec{{2, 0.05, 1}})
+	dims := must(w.Exceeding([]mat.Vec{{2, 0.05, 1}}))
 	if len(dims) != 1 || dims[0] != 0 {
 		t.Errorf("dims = %v, want [0]", dims)
 	}
-	dims = w.Exceeding([]mat.Vec{{2, 0.2, 9}})
+	dims = must(w.Exceeding([]mat.Vec{{2, 0.2, 9}}))
 	if len(dims) != 3 {
 		t.Errorf("dims = %v, want all three", dims)
 	}
-	if dims := w.Exceeding([]mat.Vec{{0, 0, 0}}); dims != nil {
+	if dims := must(w.Exceeding([]mat.Vec{{0, 0, 0}})); dims != nil {
 		t.Errorf("clean dims = %v, want nil", dims)
 	}
 }
@@ -375,12 +428,12 @@ func TestResultCarriesDims(t *testing.T) {
 	l := newLog(t, 10)
 	a := NewAdaptive(mat.VecOf(0.5), 10)
 	feed(l, 3)
-	res := a.Step(l, 0)
+	res := must(a.Step(l, 0))
 	if !res.Alarm || len(res.Dims) != 1 || res.Dims[0] != 0 {
 		t.Errorf("adaptive dims = %+v", res)
 	}
 	f := NewFixed(mat.VecOf(0.5), 0)
-	resF := f.Step(l)
+	resF := must(f.Step(l))
 	if !resF.Alarm || len(resF.Dims) != 1 {
 		t.Errorf("fixed dims = %+v", resF)
 	}

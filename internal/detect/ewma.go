@@ -44,10 +44,12 @@ func NewEWMA(lambda float64, threshold mat.Vec, resetOnAlarm bool) *EWMA {
 	}
 }
 
-// Update folds one residual into the statistic and reports an alarm.
-func (e *EWMA) Update(residual mat.Vec) bool {
+// Update folds one residual into the statistic and reports an alarm. A
+// residual of the wrong dimension is a configuration error and is
+// returned, leaving the statistic untouched.
+func (e *EWMA) Update(residual mat.Vec) (bool, error) {
 	if len(residual) != len(e.s) {
-		panic(fmt.Sprintf("detect: EWMA residual dimension %d, want %d", len(residual), len(e.s)))
+		return false, fmt.Errorf("detect: EWMA residual dimension %d, want %d", len(residual), len(e.s))
 	}
 	alarm := false
 	for i := range e.s {
@@ -59,7 +61,7 @@ func (e *EWMA) Update(residual mat.Vec) bool {
 	if alarm && e.resetOn {
 		e.Reset()
 	}
-	return alarm
+	return alarm, nil
 }
 
 // Statistic returns a copy of the smoothed per-dimension statistic.

@@ -11,7 +11,7 @@ func TestEWMAConvergesToSustainedLevel(t *testing.T) {
 	e := NewEWMA(0.2, mat.VecOf(0.9), false)
 	alarmAt := -1
 	for i := 0; i < 50; i++ {
-		if e.Update(mat.VecOf(1)) && alarmAt < 0 {
+		if must(e.Update(mat.VecOf(1))) && alarmAt < 0 {
 			alarmAt = i
 		}
 	}
@@ -28,7 +28,7 @@ func TestEWMASmoothsTransients(t *testing.T) {
 	// A single spike of 3 with λ = 0.1 only moves the statistic to 0.3:
 	// below a 0.5 threshold, unlike a window-0 comparison.
 	e := NewEWMA(0.1, mat.VecOf(0.5), false)
-	if e.Update(mat.VecOf(3)) {
+	if must(e.Update(mat.VecOf(3))) {
 		t.Error("single spike should be smoothed away")
 	}
 	if math.Abs(e.Statistic()[0]-0.3) > 1e-12 {
@@ -38,15 +38,15 @@ func TestEWMASmoothsTransients(t *testing.T) {
 
 func TestEWMALambdaOneIsInstantaneous(t *testing.T) {
 	e := NewEWMA(1, mat.VecOf(0.5), false)
-	if !e.Update(mat.VecOf(0.6)) {
+	if !must(e.Update(mat.VecOf(0.6))) {
 		t.Error("λ=1 should behave like a window-0 detector")
 	}
 }
 
 func TestEWMAResetOnAlarm(t *testing.T) {
 	e := NewEWMA(1, mat.VecOf(0.5), true)
-	e.Update(mat.VecOf(1))
-	if e.Statistic()[0] != 0 {
+	must(e.Update(mat.VecOf(1)))
+	if !mat.ApproxZero(e.Statistic()[0], 0) {
 		t.Errorf("statistic after alarm = %v, want 0", e.Statistic()[0])
 	}
 }
@@ -57,7 +57,6 @@ func TestEWMAValidation(t *testing.T) {
 		func() { NewEWMA(1.1, mat.VecOf(1), false) },
 		func() { NewEWMA(0.5, mat.Vec{}, false) },
 		func() { NewEWMA(0.5, mat.VecOf(0), false) },
-		func() { NewEWMA(0.5, mat.VecOf(1), false).Update(mat.VecOf(1, 2)) },
 	} {
 		func() {
 			defer func() {
@@ -67,5 +66,15 @@ func TestEWMAValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestEWMAUpdateDimensionMismatchErrors(t *testing.T) {
+	e := NewEWMA(0.5, mat.VecOf(1), false)
+	if _, err := e.Update(mat.VecOf(1, 2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if !mat.ApproxZero(e.Statistic()[0], 0) {
+		t.Errorf("statistic after rejected update = %v, want 0", e.Statistic()[0])
 	}
 }

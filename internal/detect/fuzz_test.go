@@ -60,7 +60,7 @@ func fuzzRun(t *testing.T, seed uint64, skipComplementary bool) (fired, mustCatc
 			delta = m
 		}
 		cur += delta
-		log.Observe(mat.VecOf(cur), mat.VecOf(0))
+		must(log.Observe(mat.VecOf(cur), mat.VecOf(0)))
 
 		// Random-walk deadline schedule; free to collapse any time.
 		window += src.Intn(7) - 3
@@ -80,7 +80,7 @@ func fuzzRun(t *testing.T, seed uint64, skipComplementary bool) (fired, mustCatc
 			mustCatch = true // complementary pass re-checks the escape region
 		}
 
-		res := a.Step(log, window)
+		res := must(a.Step(log, window))
 		if res.Alarmed() {
 			fired = true
 		}
@@ -157,8 +157,8 @@ func TestFuzzCleanRunsNeverAlarm(t *testing.T) {
 		log := logger.New(sys, 12)
 		a := NewAdaptive(mat.VecOf(0.1), 12)
 		for tt := 0; tt < 80; tt++ {
-			log.Observe(mat.VecOf(5), mat.VecOf(0)) // constant: residual 0
-			if res := a.Step(log, src.Intn(13)); res.Alarmed() {
+			must(log.Observe(mat.VecOf(5), mat.VecOf(0))) // constant: residual 0
+			if res := must(a.Step(log, src.Intn(13))); res.Alarmed() {
 				t.Fatalf("seed %d step %d: alarm on zero residuals: %+v", seed, tt, res)
 			}
 		}
@@ -178,9 +178,9 @@ func TestFuzzWindowNeverExceedsBounds(t *testing.T) {
 		log := logger.New(sys, wm)
 		a := NewAdaptive(mat.VecOf(1), wm)
 		for tt := 0; tt < 60; tt++ {
-			log.Observe(mat.VecOf(0), mat.VecOf(0))
+			must(log.Observe(mat.VecOf(0), mat.VecOf(0)))
 			deadline := src.Intn(25) - 5 // includes out-of-range values
-			res := a.Step(log, deadline)
+			res := must(a.Step(log, deadline))
 			want := deadline
 			if want < 0 {
 				want = 0
@@ -193,4 +193,26 @@ func TestFuzzWindowNeverExceedsBounds(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzNoEscape is the native-fuzzing entry to the same oracle the seeded
+// tests above use: for any schedule seed and ablation choice, an
+// oracle-covered burst must alarm, and the skip variant must never
+// out-detect the full protocol on the same schedule.
+func FuzzNoEscape(f *testing.F) {
+	f.Add(uint64(0), false)
+	f.Add(uint64(1), true)
+	f.Add(uint64(42), false)
+	f.Fuzz(func(t *testing.T, seed uint64, skip bool) {
+		fired, mustCatch := fuzzRun(t, seed, skip)
+		if mustCatch && !fired {
+			t.Fatalf("seed %d skip=%v: oracle-covered burst escaped detection", seed, skip)
+		}
+		if skip && fired {
+			full, _ := fuzzRun(t, seed, false)
+			if !full {
+				t.Fatalf("seed %d: skip variant alarmed but full protocol did not", seed)
+			}
+		}
+	})
 }

@@ -17,11 +17,19 @@
 package detect
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/logger"
 	"repro/internal/mat"
 )
+
+// ErrEmptyWindow reports a window rule evaluated over zero residuals.
+var ErrEmptyWindow = errors.New("detect: empty residual window")
+
+// ErrNoObservation reports a detector stepped before the logger observed
+// any sample.
+var ErrNoObservation = errors.New("detect: step before any logged observation")
 
 // Window is the basic window-based detection rule of Sec. 4.1.
 type Window struct {
@@ -45,57 +53,64 @@ func NewWindow(tau mat.Vec) *Window {
 func (w *Window) Tau() mat.Vec { return w.tau.Clone() }
 
 // Exceeds reports whether the average of the given residual vectors exceeds
-// τ in at least one dimension. It panics on an empty window or mismatched
-// dimensions.
-func (w *Window) Exceeds(residuals []mat.Vec) bool {
-	return len(w.Exceeding(residuals)) > 0
+// τ in at least one dimension. It returns ErrEmptyWindow on an empty window
+// and a dimension error on mismatched residuals.
+func (w *Window) Exceeds(residuals []mat.Vec) (bool, error) {
+	dims, err := w.Exceeding(residuals)
+	return len(dims) > 0, err
 }
 
 // Exceeding returns the indices of the dimensions whose average residual
 // exceeds τ — the alarm attribution that tells an operator which sensors
 // look compromised. Empty when no dimension fires.
-func (w *Window) Exceeding(residuals []mat.Vec) []int {
-	avg := w.Average(residuals)
+func (w *Window) Exceeding(residuals []mat.Vec) ([]int, error) {
+	avg, err := w.Average(residuals)
+	if err != nil {
+		return nil, err
+	}
 	var dims []int
 	for i, a := range avg {
 		if a > w.tau[i] {
 			dims = append(dims, i)
 		}
 	}
-	return dims
+	return dims, nil
 }
 
 // Average returns the element-wise mean of the residual vectors: the
-// z_t^avg of Sec. 4.1.
-func (w *Window) Average(residuals []mat.Vec) mat.Vec {
+// z_t^avg of Sec. 4.1. It returns ErrEmptyWindow on an empty window and a
+// dimension error on residuals that do not match τ.
+func (w *Window) Average(residuals []mat.Vec) (mat.Vec, error) {
 	if len(residuals) == 0 {
-		panic("detect: empty residual window")
+		return nil, ErrEmptyWindow
 	}
 	n := len(w.tau)
 	sum := mat.NewVec(n)
 	for _, r := range residuals {
 		if len(r) != n {
-			panic(fmt.Sprintf("detect: residual dimension %d, want %d", len(r), n))
+			return nil, fmt.Errorf("detect: residual dimension %d, want %d", len(r), n)
 		}
 		sum.AddInPlace(r)
 	}
-	return sum.Scale(1 / float64(len(residuals)))
+	return sum.Scale(1 / float64(len(residuals))), nil
 }
 
 // CheckAt runs the window rule at step s with window size win against the
 // logger: it averages the residuals of steps [s−win, s] (clamped at 0) and
 // compares against τ. ok is false when the logger no longer retains the
-// needed samples.
-func (w *Window) CheckAt(log *logger.Logger, s, win int) (alarm, ok bool) {
-	alarmDims, ok := w.CheckAtDims(log, s, win)
-	return len(alarmDims) > 0, ok
+// needed samples; err reports residual/threshold dimension mismatches
+// (a configuration error, not a data-availability condition).
+func (w *Window) CheckAt(log *logger.Logger, s, win int) (alarm, ok bool, err error) {
+	alarmDims, ok, err := w.CheckAtDims(log, s, win)
+	return len(alarmDims) > 0, ok, err
 }
 
 // CheckAtDims is CheckAt with alarm attribution: the dimensions whose
-// windowed average exceeded τ.
-func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok bool) {
+// windowed average exceeded τ. A negative win clamps to 0 (the degenerate
+// single-sample window), mirroring Adaptive.Step's deadline clamping.
+func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok bool, err error) {
 	if win < 0 {
-		panic(fmt.Sprintf("detect: negative window %d", win))
+		win = 0
 	}
 	from := s - win
 	if from < 0 {
@@ -103,9 +118,13 @@ func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok boo
 	}
 	rs, ok := log.Residuals(from, s)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
-	return w.Exceeding(rs), true
+	dims, err = w.Exceeding(rs)
+	if err != nil {
+		return nil, false, err
+	}
+	return dims, true, nil
 }
 
 // Result is the outcome of one detector step.

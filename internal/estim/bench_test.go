@@ -23,7 +23,9 @@ func BenchmarkObserverStep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		obs.Step(y, u)
+		if _, err := obs.Step(y, u); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

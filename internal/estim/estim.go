@@ -66,7 +66,7 @@ func DARE(a, c, q, r *mat.Dense, maxIter int, tol float64) (*mat.Dense, error) {
 		next := a.Mul(p).Mul(at).Add(q).Sub(apct.Mul(sInv).Mul(apct.T()))
 		diff := next.Sub(p).NormInf()
 		p = next
-		if diff < tol*(1+p.NormInf()) {
+		if mat.ApproxZero(diff, tol*(1+p.NormInf())) {
 			return p, nil
 		}
 	}
@@ -145,10 +145,15 @@ func (o *Observer) Estimate() mat.Vec { return o.xhat.Clone() }
 //	x̂_{t+1} = A x̂⁺_t + B u_t         (time update)
 //
 // It returns the corrected (filtered) estimate x̂⁺_t — this is the value to
-// hand to the Data Logger as the step-t state estimate.
-func (o *Observer) Step(y mat.Vec, u mat.Vec) mat.Vec {
+// hand to the Data Logger as the step-t state estimate. Mismatched
+// measurement or input dimensions are configuration faults returned as
+// errors; the estimate is left untouched.
+func (o *Observer) Step(y mat.Vec, u mat.Vec) (mat.Vec, error) {
 	if len(y) != o.sys.OutputDim() {
-		panic(fmt.Sprintf("estim: measurement dimension %d, want %d", len(y), o.sys.OutputDim()))
+		return nil, fmt.Errorf("estim: measurement dimension %d, want %d", len(y), o.sys.OutputDim())
+	}
+	if u != nil && len(u) != o.sys.InputDim() {
+		return nil, fmt.Errorf("estim: input dimension %d, want %d", len(u), o.sys.InputDim())
 	}
 	innovation := y.Sub(o.sys.Output(o.xhat))
 	corrected := o.xhat.Add(o.gain.MulVec(innovation))
@@ -156,17 +161,19 @@ func (o *Observer) Step(y mat.Vec, u mat.Vec) mat.Vec {
 		u = mat.NewVec(o.sys.InputDim())
 	}
 	o.xhat = o.sys.Step(corrected, u, nil)
-	return corrected
+	return corrected, nil
 }
 
-// Reset restores the estimate to x0 (nil = zero).
-func (o *Observer) Reset(x0 mat.Vec) {
+// Reset restores the estimate to x0 (nil = zero). A mismatched x0
+// dimension is returned as an error, leaving the estimate untouched.
+func (o *Observer) Reset(x0 mat.Vec) error {
 	if x0 == nil {
 		o.xhat = mat.NewVec(o.sys.StateDim())
-		return
+		return nil
 	}
 	if len(x0) != o.sys.StateDim() {
-		panic(fmt.Sprintf("estim: x0 dimension %d, want %d", len(x0), o.sys.StateDim()))
+		return fmt.Errorf("estim: x0 dimension %d, want %d", len(x0), o.sys.StateDim())
 	}
 	o.xhat = x0.Clone()
+	return nil
 }

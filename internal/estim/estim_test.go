@@ -83,7 +83,10 @@ func TestSteadyStateGainStabilizesErrorDynamics(t *testing.T) {
 	var lastErr float64
 	for i := 0; i < 400; i++ {
 		y := sys.Output(x)
-		est := obs.Step(y, mat.VecOf(0))
+		est, err := obs.Step(y, mat.VecOf(0))
+		if err != nil {
+			t.Fatal(err)
+		}
 		lastErr = est.Sub(x).Norm2()
 	}
 	if lastErr > 1e-3 {
@@ -113,7 +116,10 @@ func TestObserverTracksDrivenSystemUnderNoise(t *testing.T) {
 		u := mat.VecOf(math.Sin(float64(i) / 30))
 		y := sys.Output(x)
 		y[0] += src.Uniform(-0.3, 0.3) // measurement noise, std ~0.17
-		est := obs.Step(y, u)
+		est, err := obs.Step(y, u)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if i > 200 { // skip transient
 			e := est.Sub(x).Norm2()
 			sumSq += e * e
@@ -141,7 +147,11 @@ func TestObserverOnTestbedCarOutputModel(t *testing.T) {
 	var est mat.Vec
 	for i := 0; i < 100; i++ {
 		y := m.Sys.Output(x)
-		est = obs.Step(y, u)
+		var err error
+		est, err = obs.Step(y, u)
+		if err != nil {
+			t.Fatal(err)
+		}
 		x = m.Sys.Step(x, u, nil)
 	}
 	if est.Sub(x).Norm2() > 1e-3*x.Norm2()+1e-9 {
@@ -162,18 +172,22 @@ func TestObserverValidation(t *testing.T) {
 	}
 }
 
-func TestObserverStepPanicsOnBadMeasurement(t *testing.T) {
+func TestObserverStepErrorsOnBadDimensions(t *testing.T) {
 	sys := lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 1)
-	obs, err := NewObserverWithGain(sys, mat.Diag(0.5), nil)
+	obs, err := NewObserverWithGain(sys, mat.Diag(0.5), mat.VecOf(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	obs.Step(mat.VecOf(1, 2), nil)
+	if _, err := obs.Step(mat.VecOf(1, 2), nil); err == nil {
+		t.Error("mismatched measurement dimension must error")
+	}
+	if _, err := obs.Step(mat.VecOf(1), mat.VecOf(1, 2)); err == nil {
+		t.Error("mismatched input dimension must error")
+	}
+	// A rejected step must leave the estimate untouched.
+	if !mat.ApproxEq(obs.Estimate()[0], 3, 0) {
+		t.Errorf("estimate after rejected steps = %v, want 3", obs.Estimate()[0])
+	}
 }
 
 func TestObserverResetAndAccessors(t *testing.T) {
@@ -185,14 +199,23 @@ func TestObserverResetAndAccessors(t *testing.T) {
 	if obs.Estimate()[0] != 3 {
 		t.Error("initial estimate wrong")
 	}
-	obs.Step(mat.VecOf(1), mat.VecOf(0))
-	obs.Reset(nil)
+	if _, err := obs.Step(mat.VecOf(1), mat.VecOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
 	if obs.Estimate()[0] != 0 {
 		t.Error("Reset(nil) should zero the estimate")
 	}
-	obs.Reset(mat.VecOf(7))
+	if err := obs.Reset(mat.VecOf(7)); err != nil {
+		t.Fatal(err)
+	}
 	if obs.Estimate()[0] != 7 {
 		t.Error("Reset(x0) wrong")
+	}
+	if err := obs.Reset(mat.VecOf(1, 2)); err == nil {
+		t.Error("Reset with wrong dimension must error")
 	}
 	g := obs.Gain()
 	g.Set(0, 0, 99)
@@ -208,7 +231,9 @@ func TestObserverNilInputTreatedAsZero(t *testing.T) {
 		t.Fatal(err)
 	}
 	// With gain 1, corrected = y; next = A·y + B·0 = y.
-	obs.Step(mat.VecOf(5), nil)
+	if _, err := obs.Step(mat.VecOf(5), nil); err != nil {
+		t.Fatal(err)
+	}
 	if obs.Estimate()[0] != 5 {
 		t.Errorf("estimate = %v, want 5", obs.Estimate()[0])
 	}

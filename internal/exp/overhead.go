@@ -40,7 +40,9 @@ func Overhead() ([]OverheadRow, error) {
 		u := mat.NewVec(m.Sys.InputDim())
 		full := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				det.Step(est, u)
+				if _, err := det.Step(est, u); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 

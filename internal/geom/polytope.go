@@ -14,6 +14,7 @@ type Halfspace struct {
 
 // NewHalfspace returns a halfspace, panicking on a zero normal.
 func NewHalfspace(normal mat.Vec, offset float64) Halfspace {
+	//awdlint:allow floateq -- exact: only the exactly-zero normal is degenerate; tiny normals still define a halfspace
 	if normal.Norm2() == 0 {
 		panic("geom: zero halfspace normal")
 	}

@@ -1,0 +1,113 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the core golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) used by the awdlint suite. The repo builds with zero
+// third-party dependencies, so rather than vendoring x/tools this package
+// provides the same shape on top of go/ast + go/types; analyzers written
+// against it port to the upstream API by changing one import path.
+//
+// Suppression: a site can opt out of a specific analyzer with a trailing
+// or preceding comment of the form
+//
+//	//awdlint:allow <analyzer> [<analyzer>...] -- <reason>
+//
+// The directive applies to its own source line and to the line that
+// follows it, so it works both as a trailing comment and on the line
+// above the exempted statement. The reason ("-- ..." suffix) is mandatory
+// so every exemption is self-documenting.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //awdlint:allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by `awdlint -help`.
+	Doc string
+	// Run executes the pass over one package.
+	Run func(*Pass) error
+	// Match restricts the packages the driver applies this analyzer to
+	// (nil = every package). Tests bypass it and run the analyzer
+	// directly, mirroring how vet's own flags gate analyzers rather than
+	// the analyzers gating themselves.
+	Match func(pkgPath string) bool
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	allow       map[lineKey][]string
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Position resolves the diagnostic's file position.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position { return fset.Position(d.Pos) }
+
+// String renders the go-vet style one-liner.
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	p := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var directiveRe = regexp.MustCompile(`^//awdlint:allow\s+([a-z0-9_,\s]+?)\s*--\s*\S`)
+
+// NewPass assembles a pass for one package. The allow-directive index is
+// built once per pass from the files' comments.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, allow: map[lineKey][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				pos := fset.Position(c.Slash)
+				p.allow[lineKey{pos.Filename, pos.Line}] = append(p.allow[lineKey{pos.Filename, pos.Line}], names...)
+				p.allow[lineKey{pos.Filename, pos.Line + 1}] = append(p.allow[lineKey{pos.Filename, pos.Line + 1}], names...)
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a diagnostic unless an //awdlint:allow directive covers
+// the position for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	pp := p.Fset.Position(pos)
+	for _, name := range p.allow[lineKey{pp.Filename, pp.Line}] {
+		if name == p.Analyzer.Name {
+			return
+		}
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }

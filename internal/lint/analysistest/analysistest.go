@@ -1,0 +1,157 @@
+// Package analysistest runs awdlint analyzers over testdata packages and
+// checks their diagnostics against expectations written in the testdata
+// source itself — a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are trailing comments of the form
+//
+//	// want "regexp" `regexp` ...
+//
+// Each diagnostic must be claimed by a want on its source line, and every
+// want must be claimed by exactly one diagnostic; anything unmatched in
+// either direction fails the test. A testdata file with no want comments
+// therefore asserts the analyzer stays silent on it.
+package analysistest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+var (
+	envOnce   sync.Once
+	sharedEnv *loader.Env
+	envErr    error
+)
+
+// Root returns the module root, located relative to this source file.
+func Root() string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// environment lazily builds the shared type-checking environment: the
+// export-data closure of the whole module, so testdata may import real
+// module packages (repro/internal/obs, repro/internal/mat, ...).
+func environment(t *testing.T) *loader.Env {
+	t.Helper()
+	envOnce.Do(func() { sharedEnv, envErr = loader.NewEnv(Root()) })
+	if envErr != nil {
+		t.Fatalf("analysistest: building type-check environment: %v", envErr)
+	}
+	return sharedEnv
+}
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file    string // base name
+	line    int
+	re      *regexp.Regexp
+	claimed bool
+}
+
+var (
+	wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	argRe  = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+)
+
+// parseWants scans every .go file under dir for want comments.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var wants []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".go" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, arg := range argRe.FindAllStringSubmatch(m[1], -1) {
+				var pat string
+				if strings.HasPrefix(arg[0], "\"") {
+					pat = unquote(arg[1])
+				} else {
+					pat = arg[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", ent.Name(), line, pat, err)
+				}
+				wants = append(wants, &expectation{file: ent.Name(), line: line, re: re})
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+	}
+	return wants
+}
+
+// unquote resolves the double-quoted escape forms used in want patterns.
+func unquote(s string) string {
+	r := strings.NewReplacer(`\"`, `"`, `\\`, `\`)
+	return r.Replace(s)
+}
+
+// Run type-checks the testdata package in internal/lint/testdata/src/<dir>
+// under the given import path, applies the analyzer, and verifies the
+// diagnostics against the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath, dir string) {
+	t.Helper()
+	env := environment(t)
+	abs := filepath.Join(Root(), "internal", "lint", "testdata", "src", filepath.FromSlash(dir))
+	pkg, err := env.CheckDir(pkgPath, abs)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := parseWants(t, abs)
+	for _, d := range pass.Diagnostics() {
+		p := d.Position(pkg.Fset)
+		if !claim(wants, filepath.Base(p.Filename), p.Line, d.Message) {
+			t.Errorf("%s/%s:%d: unexpected diagnostic: %s", dir, filepath.Base(p.Filename), p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s/%s:%d: no diagnostic matched %q", dir, w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unclaimed expectation on (file, line) whose pattern
+// matches the message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// errFlowSources are the packages whose error returns guard the matrix
+// algebra under the reachability core. A swallowed dimension or
+// singularity error there does not crash — it silently corrupts the
+// reachable-set over-approximation, and with it the deadline t_d that
+// Theorem 2's detection guarantee is measured against.
+var errFlowSources = map[string]bool{
+	"repro/internal/mat": true,
+	"repro/internal/lti": true,
+}
+
+// ErrFlow flags calls into internal/mat and internal/lti whose error
+// result is dropped: either the whole call used as a statement, or the
+// error position assigned to the blank identifier.
+var ErrFlow = &analysis.Analyzer{
+	Name:  "errflow",
+	Doc:   "forbids discarding error returns from internal/mat and internal/lti; a swallowed dimension error corrupts reachability",
+	Match: matchPrefix("repro/"),
+	Run:   runErrFlow,
+}
+
+func runErrFlow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, ok := droppedErrCall(pass, call); ok {
+						pass.Reportf(call.Pos(), "result of %s dropped; its error must be checked", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := droppedErrCall(pass, st.Call); ok {
+					pass.Reportf(st.Call.Pos(), "go statement discards the error from %s", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := droppedErrCall(pass, st.Call); ok {
+					pass.Reportf(st.Call.Pos(), "defer discards the error from %s", name)
+				}
+			case *ast.AssignStmt:
+				checkAssignErrFlow(pass, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// droppedErrCall reports whether the call targets an error-returning
+// function of the guarded packages, with its printable name.
+func droppedErrCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := calleeOf(pass, call)
+	if obj == nil || obj.Pkg() == nil || !errFlowSources[obj.Pkg().Path()] {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return "", false
+	}
+	return types.ExprString(call.Fun), true
+}
+
+// checkAssignErrFlow flags `v, _ := mat.F(...)` — the error position
+// assigned to blank.
+func checkAssignErrFlow(pass *analysis.Pass, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := droppedErrCall(pass, call)
+	if !ok || len(st.Lhs) == 0 {
+		return
+	}
+	if id, ok := st.Lhs[len(st.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(), "error from %s assigned to blank; handle or propagate it", name)
+	}
+}
+
+// calleeOf resolves the called function object, if statically known.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorIface) }

@@ -1,0 +1,94 @@
+// Package lint hosts the awdlint analyzers: domain-specific static checks
+// that keep the implementation honest about the invariants the paper's
+// guarantees (Theorems 1–2) silently rely on. See the individual analyzer
+// docs and README.md's "Static analysis" section for the mapping from each
+// check to the property it protects.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// floatEqScope lists the numerical packages where exact float equality is
+// almost always a bug: residual/threshold comparisons (Murguia & Ruths show
+// detector behaviour is dominated by threshold-comparison details) and the
+// support-function reachability core.
+var floatEqScope = []string{
+	"repro/internal/detect",
+	"repro/internal/reach",
+	"repro/internal/geom",
+	"repro/internal/mat",
+	"repro/internal/estim",
+	"repro/internal/stats",
+}
+
+// FloatEq flags == and != between floating-point expressions. The paper's
+// no-false-alarm argument (Theorem 1) assumes tolerance-based comparisons;
+// exact equality on computed floats silently breaks it. Use
+// mat.ApproxEq/mat.ApproxZero (or math.IsNaN for the x != x idiom), or
+// annotate a deliberately exact sentinel with
+// //awdlint:allow floateq -- <why exactness is correct here>.
+var FloatEq = &analysis.Analyzer{
+	Name:  "floateq",
+	Doc:   "flags ==/!= between floating-point expressions in the numerical packages; use the mat.ApproxEq tolerance helpers instead",
+	Match: matchAny(floatEqScope),
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.TypesInfo.Types[be.X]
+			ty := pass.TypesInfo.Types[be.Y]
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant folding is exact
+			}
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				pass.Reportf(be.OpPos, "self-comparison of floating-point expression %s; use math.IsNaN", types.ExprString(be.X))
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use mat.ApproxEq/ApproxZero or annotate //awdlint:allow floateq -- reason", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// matchAny returns a package filter accepting exactly the listed paths.
+func matchAny(paths []string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if pkgPath == p {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// matchPrefix returns a package filter accepting the module's packages.
+func matchPrefix(prefix string) func(string) bool {
+	return func(pkgPath string) bool {
+		return pkgPath == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(pkgPath, prefix)
+	}
+}

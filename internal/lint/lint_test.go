@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+// Each analyzer is exercised against a flagged testdata package (every
+// diagnostic pinned by a want comment, including suppression directives)
+// and a clean one (zero diagnostics asserted).
+
+func TestFloatEqFlagged(t *testing.T) {
+	analysistest.Run(t, FloatEq, "repro/internal/lint/testdata/floateq", "floateq/flagged")
+}
+
+func TestFloatEqClean(t *testing.T) {
+	analysistest.Run(t, FloatEq, "repro/internal/lint/testdata/floateq", "floateq/clean")
+}
+
+func TestNoPanicFlagged(t *testing.T) {
+	analysistest.Run(t, NoPanic, "repro/internal/lint/testdata/nopanic", "nopanic/flagged")
+}
+
+func TestNoPanicClean(t *testing.T) {
+	analysistest.Run(t, NoPanic, "repro/internal/lint/testdata/nopanic", "nopanic/clean")
+}
+
+// The observer testdata is type-checked under the real obs import path so
+// the analyzer applies its in-package receiver-guard rule.
+
+func TestObsGuardObserverFlagged(t *testing.T) {
+	analysistest.Run(t, ObsGuard, "repro/internal/obs", "obsguard/observer_flagged")
+}
+
+func TestObsGuardObserverClean(t *testing.T) {
+	analysistest.Run(t, ObsGuard, "repro/internal/obs", "obsguard/observer_clean")
+}
+
+func TestObsGuardSinkFlagged(t *testing.T) {
+	analysistest.Run(t, ObsGuard, "repro/internal/lint/testdata/sinkuse", "obsguard/sink_flagged")
+}
+
+func TestObsGuardSinkClean(t *testing.T) {
+	analysistest.Run(t, ObsGuard, "repro/internal/lint/testdata/sinkuse", "obsguard/sink_clean")
+}
+
+func TestErrFlowFlagged(t *testing.T) {
+	analysistest.Run(t, ErrFlow, "repro/internal/lint/testdata/errflow", "errflow/flagged")
+}
+
+func TestErrFlowClean(t *testing.T) {
+	analysistest.Run(t, ErrFlow, "repro/internal/lint/testdata/errflow", "errflow/clean")
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"floateq", "nopanic"})
+	if err != nil || len(as) != 2 || as[0] != FloatEq || as[1] != NoPanic {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+	all, err := ByName(nil)
+	if err != nil || len(all) != len(Suite()) {
+		t.Fatalf("ByName(nil) = %v, %v", all, err)
+	}
+}

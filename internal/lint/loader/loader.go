@@ -1,0 +1,200 @@
+// Package loader turns package patterns into fully type-checked syntax
+// trees using nothing but the go toolchain and the standard library — a
+// minimal, offline substitute for golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -export -deps -json`, which compiles (or reuses
+// from the build cache) every package in the dependency closure and reports
+// the path of each package's gc export data. Target packages are then
+// parsed with go/parser and type-checked with go/types, resolving every
+// import through the export data via go/importer's gc mode — no network,
+// no GOPATH assumptions, and exact agreement with the compiler's view of
+// the code.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// exportIndex maps import paths to gc export data files.
+type exportIndex map[string]string
+
+// goList runs `go list -export -deps -json` for the patterns rooted at dir.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// newImporter builds a types.Importer that serves every import from the
+// export index. The gc importer caches, so shared deps are read once.
+func newImporter(fset *token.FileSet, idx exportIndex) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := idx[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// checkDir parses and type-checks the given files as one package.
+func checkDir(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// Load type-checks the packages matching the patterns (relative to dir;
+// "" = current directory). Only the matched packages are parsed; their
+// dependencies are resolved from compiled export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	idx := exportIndex{}
+	for _, p := range listed {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, idx)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkDir(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// Env captures a reusable type-checking environment: the export-data
+// closure of a module's packages. It lets callers (the analysistest
+// harness) type-check out-of-module directories — testdata packages —
+// against real module and stdlib dependencies.
+type Env struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewEnv builds an environment whose importable universe is the dependency
+// closure of the module rooted at moduleDir.
+func NewEnv(moduleDir string) (*Env, error) {
+	listed, err := goList(moduleDir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	idx := exportIndex{}
+	for _, p := range listed {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	return &Env{fset: fset, imp: newImporter(fset, idx)}, nil
+}
+
+// Fset returns the environment's shared file set.
+func (e *Env) Fset() *token.FileSet { return e.fset }
+
+// CheckDir parses and type-checks every .go file in dir as a single
+// package with the given import path. Imports must lie inside the
+// environment's closure.
+func (e *Env) CheckDir(pkgPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, ent := range entries {
+		if !ent.IsDir() && filepath.Ext(ent.Name()) == ".go" {
+			files = append(files, ent.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return checkDir(e.fset, e.imp, pkgPath, dir, files)
+}

@@ -1,0 +1,58 @@
+package loader
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot walks up from this file to the directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+func TestLoadTypeChecksModulePackage(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "repro/internal/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "repro/internal/detect" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Syntax) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatalf("incomplete package: %d files", len(p.Syntax))
+	}
+	if p.Types.Scope().Lookup("Window") == nil {
+		t.Error("type-checked package is missing detect.Window")
+	}
+}
+
+func TestLoadResolvesCrossPackageTypes(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "repro/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pkgs[0].Types.Scope().Lookup("System")
+	if obj == nil {
+		t.Fatal("missing core.System")
+	}
+}
+
+func TestEnvCheckDirRejectsMissingDir(t *testing.T) {
+	env, err := NewEnv(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CheckDir("nope", filepath.Join(moduleRoot(t), "no-such-dir")); err == nil {
+		t.Error("expected error for missing directory")
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// noPanicScope is the per-control-step runtime hot path: the packages a
+// deployed detector executes every control period. A panic here takes the
+// whole control loop down mid-flight; errors must be returned and handled
+// by the supervisor instead. Constructors and validation helpers run at
+// configuration time and may panic on programmer error (the mat package
+// convention, mirroring gonum).
+var noPanicScope = []string{
+	"repro/internal/core",
+	"repro/internal/detect",
+	"repro/internal/logger",
+	"repro/internal/estim",
+	"repro/internal/deadline",
+}
+
+// NoPanic forbids panic calls on the runtime hot path outside
+// constructors/validation. Detection before the deadline t_d (Theorem 2)
+// is void if the detector process dies instead of deciding.
+var NoPanic = &analysis.Analyzer{
+	Name:  "nopanic",
+	Doc:   "forbids panic in the per-step hot-path packages outside constructors and validation helpers; return errors instead",
+	Match: matchAny(noPanicScope),
+	Run:   runNoPanic,
+}
+
+// panicAllowedIn reports whether the enclosing function is a construction
+// or validation context where panicking on programmer error is accepted.
+func panicAllowedIn(name string) bool {
+	return strings.HasPrefix(name, "New") ||
+		strings.HasPrefix(name, "Must") ||
+		strings.HasPrefix(name, "must") ||
+		name == "init" ||
+		strings.Contains(strings.ToLower(name), "validate")
+}
+
+func runNoPanic(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || panicAllowedIn(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj, ok := pass.TypesInfo.Uses[id]; !ok || obj == nil {
+					return true
+				} else if _, builtin := obj.(*types.Builtin); !builtin {
+					return true // shadowed identifier, not the builtin
+				}
+				pass.Reportf(call.Pos(), "panic on the detection hot path (func %s); return an error so the control loop survives", fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

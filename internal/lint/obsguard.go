@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+const obsPkgPath = "repro/internal/obs"
+
+// ObsGuard enforces the zero-cost-when-off telemetry invariant from PR 1:
+//
+//   - inside internal/obs, every method on *Observer that touches receiver
+//     state must open with the `if o == nil` guard — that guard IS the
+//     nil-safe wrapper the rest of the pipeline relies on;
+//   - outside internal/obs, a method call on an obs.Sink value must be
+//     nil-guarded (calling a method on a nil interface panics), unless the
+//     value flows straight out of an obs constructor.
+//
+// Together the two rules keep `Observer == nil` a valid, free "telemetry
+// off" state for the hot path.
+var ObsGuard = &analysis.Analyzer{
+	Name:  "obsguard",
+	Doc:   "requires nil-receiver guards on obs.Observer methods and nil checks around obs.Sink calls outside the wrapper",
+	Match: matchPrefix("repro/"),
+	Run:   runObsGuard,
+}
+
+func runObsGuard(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == obsPkgPath {
+		runObserverReceiverGuards(pass)
+		return nil
+	}
+	runSinkCallGuards(pass)
+	return nil
+}
+
+// runObserverReceiverGuards checks rule one: *Observer methods that use
+// receiver state must begin with the nil-receiver guard.
+func runObserverReceiverGuards(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if !isPtrToNamed(pass.TypesInfo.TypeOf(recv.Type), obsPkgPath, "Observer") {
+				continue
+			}
+			if len(recv.Names) == 0 {
+				continue // receiver unused, nothing to deref
+			}
+			recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+			if recvObj == nil || !usesReceiverState(pass, fd.Body, recvObj) {
+				continue
+			}
+			if !startsWithNilGuard(pass, fd.Body, recvObj) {
+				pass.Reportf(fd.Name.Pos(), "method (*Observer).%s uses receiver state but does not start with the `if %s == nil` guard; a nil Observer must stay a free no-op", fd.Name.Name, recvObj.Name())
+			}
+		}
+	}
+}
+
+// usesReceiverState reports whether the body selects a field through the
+// receiver object (directly or via a field's own methods).
+func usesReceiverState(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// startsWithNilGuard reports whether the first statement is an if whose
+// condition compares the receiver against nil.
+func startsWithNilGuard(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	be, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	return (isRecvIdent(pass, be.X, recv) && isNil(pass, be.Y)) ||
+		(isRecvIdent(pass, be.Y, recv) && isNil(pass, be.X))
+}
+
+func isRecvIdent(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// runSinkCallGuards checks rule two: outside internal/obs, method calls on
+// obs.Sink values need an enclosing nil check on the same expression.
+func runSinkCallGuards(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		// Track the if-guarded expressions on the path to each node.
+		var walk func(n ast.Node, guarded map[string]bool)
+		walk = func(n ast.Node, guarded map[string]bool) {
+			switch v := n.(type) {
+			case nil:
+				return
+			case *ast.IfStmt:
+				if v.Init != nil {
+					walk(v.Init, guarded)
+				}
+				walk(v.Cond, guarded)
+				thenGuards := guardsFromCond(pass, v.Cond, guarded)
+				walk(v.Body, thenGuards)
+				if v.Else != nil {
+					walk(v.Else, guarded)
+				}
+				return
+			case *ast.CallExpr:
+				checkSinkCall(pass, v, guarded)
+			}
+			// Generic traversal one level down.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				if c == nil {
+					return false
+				}
+				walk(c, guarded)
+				return false
+			})
+		}
+		walk(f, map[string]bool{})
+	}
+}
+
+// guardsFromCond extends the guard set with `x != nil` conjuncts of cond.
+func guardsFromCond(pass *analysis.Pass, cond ast.Expr, base map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(base)+1)
+	for k := range base {
+		out[k] = true
+	}
+	var collect func(e ast.Expr)
+	collect = func(e ast.Expr) {
+		be, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case token.LAND:
+			collect(be.X)
+			collect(be.Y)
+		case token.NEQ:
+			if isNil(pass, be.Y) {
+				out[types.ExprString(be.X)] = true
+			} else if isNil(pass, be.X) {
+				out[types.ExprString(be.Y)] = true
+			}
+		}
+	}
+	collect(cond)
+	return out
+}
+
+func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr, guarded map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	if !isNamed(recvType, obsPkgPath, "Sink") {
+		return
+	}
+	if guarded[types.ExprString(sel.X)] {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s on an obs.Sink value without a nil guard; a disabled observer hands out nil sinks", types.ExprString(call.Fun))
+}
+
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamed(p.Elem(), pkgPath, name)
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Suite returns every awdlint analyzer in deterministic order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{ErrFlow, FloatEq, NoPanic, ObsGuard}
+}
+
+// ByName resolves a subset of the suite; unknown names are an error.
+func ByName(names []string) ([]*analysis.Analyzer, error) {
+	if len(names) == 0 {
+		return Suite(), nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range Suite() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run loads the packages matching patterns (rooted at dir) and applies
+// every analyzer whose Match accepts the package. Diagnostics are written
+// to w in file:line:col order; the count of findings is returned.
+func Run(w io.Writer, dir string, analyzers []*analysis.Analyzer, patterns ...string) (int, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		var ds []analysis.Diagnostic
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.PkgPath) {
+				continue
+			}
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo)
+			if err := a.Run(pass); err != nil {
+				return total, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			ds = append(ds, pass.Diagnostics()...)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Pos < ds[j].Pos })
+		for _, d := range ds {
+			fmt.Fprintln(w, d.Format(pkg.Fset))
+		}
+		total += len(ds)
+	}
+	return total, nil
+}

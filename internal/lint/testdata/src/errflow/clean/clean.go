@@ -1,0 +1,30 @@
+// Package errflow is awdlint testdata: handled or propagated errors and
+// error-free calls — zero diagnostics expected.
+package errflow
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+func handled(a *mat.Dense, b mat.Vec) (mat.Vec, error) {
+	v, err := mat.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+	return v, nil
+}
+
+func errorKept(a *mat.Dense, b mat.Vec) error {
+	_, err := mat.Solve(a, b)
+	return err
+}
+
+func noErrorResult(a *mat.Dense) *mat.Dense {
+	return a.T()
+}
+
+func unguardedPackage() {
+	fmt.Println("errors from packages outside mat/lti are not errflow's concern")
+}

@@ -1,0 +1,35 @@
+// Package errflow is awdlint testdata: every dropped error from the
+// guarded packages (repro/internal/mat, repro/internal/lti) must be
+// flagged.
+package errflow
+
+import (
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+func dropStatement(a *mat.Dense, b mat.Vec) {
+	mat.Solve(a, b) // want `result of mat.Solve dropped`
+}
+
+func blankAssign(a *mat.Dense, b mat.Vec) mat.Vec {
+	v, _ := mat.Solve(a, b) // want `error from mat.Solve assigned to blank`
+	return v
+}
+
+func dropInGoroutine(a *mat.Dense, b mat.Vec) {
+	go mat.Solve(a, b) // want `go statement discards the error from mat.Solve`
+}
+
+func dropInDefer(a *mat.Dense, b mat.Vec) {
+	defer mat.Solve(a, b) // want `defer discards the error from mat.Solve`
+}
+
+func dropConstructor() {
+	lti.New(mat.Diag(1), mat.ColVec(mat.VecOf(0)), nil, 1) // want `result of lti.New dropped`
+}
+
+func suppressed(a *mat.Dense) {
+	//awdlint:allow errflow -- testdata: invertibility established by the caller
+	mat.Inverse(a)
+}

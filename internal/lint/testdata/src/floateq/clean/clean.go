@@ -1,0 +1,19 @@
+// Package floateq is awdlint testdata: nothing in this package may be
+// flagged (the test asserts zero diagnostics).
+package floateq
+
+import "math"
+
+const tol = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= tol }
+
+func approxZero(x float64) bool { return math.Abs(x) <= tol }
+
+func ints(a, b int) bool { return a == b }
+
+func strings(a, b string) bool { return a != b }
+
+func constantFold() bool { return 1.5 == 3.0/2.0 }
+
+func ordering(a, b float64) bool { return a < b || a > b }

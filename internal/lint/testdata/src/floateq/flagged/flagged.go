@@ -1,0 +1,33 @@
+// Package floateq is awdlint testdata: every comparison below must be
+// flagged exactly where the want comments say.
+package floateq
+
+func exactEq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func exactNe(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // want "self-comparison of floating-point expression x"
+}
+
+func mixedOperands(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func suppressed(a float64) bool {
+	//awdlint:allow floateq -- testdata: sentinel must be bit-exact
+	return a == 0
+}
+
+func reasonlessDirectiveDoesNotSuppress(a float64) bool {
+	//awdlint:allow floateq
+	return a == 1 // want "floating-point == comparison"
+}

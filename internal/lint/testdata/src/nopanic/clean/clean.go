@@ -1,0 +1,22 @@
+// Package nopanic is awdlint testdata: error returns on the hot path and
+// constructor-time panics are both acceptable — zero diagnostics expected.
+package nopanic
+
+import "fmt"
+
+type Counter struct{ n int }
+
+func NewCounter(start int) *Counter {
+	if start < 0 {
+		panic(fmt.Sprintf("nopanic: negative start %d", start))
+	}
+	return &Counter{n: start}
+}
+
+func (c *Counter) Step(delta int) (int, error) {
+	if delta < 0 {
+		return 0, fmt.Errorf("nopanic: negative delta %d", delta)
+	}
+	c.n += delta
+	return c.n, nil
+}

@@ -1,0 +1,50 @@
+// Package nopanic is awdlint testdata for the hot-path panic rule: panics
+// outside constructors/validation must be flagged.
+package nopanic
+
+import "errors"
+
+var errNegative = errors.New("negative")
+
+func Step(x int) (int, error) {
+	if x < 0 {
+		panic("boom") // want "panic on the detection hot path"
+	}
+	return x, nil
+}
+
+func observe() {
+	defer func() { _ = recover() }()
+	panic(errNegative) // want "panic on the detection hot path"
+}
+
+func New(x int) int {
+	if x < 0 {
+		panic("constructors may panic on programmer error")
+	}
+	return x
+}
+
+func MustStep(x int) int {
+	v, err := Step(x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func validateInput(x int) {
+	if x < 0 {
+		panic("validation helpers may panic")
+	}
+}
+
+func shadowed() {
+	panic := func(msg string) { _ = msg }
+	panic("not the builtin")
+}
+
+func suppressed() {
+	//awdlint:allow nopanic -- testdata: state corruption is unrecoverable here
+	panic("suppressed")
+}

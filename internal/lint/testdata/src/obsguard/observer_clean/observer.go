@@ -1,0 +1,20 @@
+// Package obs is awdlint testdata type-checked as repro/internal/obs:
+// every state-touching method is properly guarded — zero diagnostics.
+package obs
+
+type Registry struct{ steps int }
+
+type Observer struct {
+	reg *Registry
+}
+
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+func (o *Observer) Enabled() bool {
+	return o != nil
+}

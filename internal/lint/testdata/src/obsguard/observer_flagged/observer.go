@@ -1,0 +1,42 @@
+// Package obs is awdlint testdata standing in for the real telemetry
+// package: the harness type-checks it under the import path
+// repro/internal/obs, so the analyzer applies its in-package rule — every
+// *Observer method touching receiver state must open with the nil guard.
+package obs
+
+type Registry struct{ steps int }
+
+// Inc is a method on a non-Observer type: exempt from the rule.
+func (r *Registry) Inc() { r.steps++ }
+
+type Observer struct {
+	reg *Registry
+	on  bool
+}
+
+func (o *Observer) Unguarded() *Registry { // want `uses receiver state but does not start with`
+	return o.reg
+}
+
+func (o *Observer) FieldGuardIsNotReceiverGuard() bool { // want `uses receiver state but does not start with`
+	if o.reg == nil {
+		return false
+	}
+	return o.on
+}
+
+func (o *Observer) Guarded() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+func (o *Observer) GuardedFlipped() bool {
+	if nil == o {
+		return false
+	}
+	return o.on
+}
+
+func (o *Observer) Stateless() int { return 42 }

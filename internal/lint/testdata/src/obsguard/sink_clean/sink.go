@@ -1,0 +1,22 @@
+// Package sinkuse is awdlint testdata: every obs.Sink call is nil-guarded
+// and concrete sink types are exempt — zero diagnostics expected.
+package sinkuse
+
+import "repro/internal/obs"
+
+type recorder struct {
+	sink obs.Sink
+	ring *obs.RingSink
+}
+
+func (r *recorder) emit(ev obs.StepEvent) {
+	if r.sink != nil {
+		r.sink.Emit(ev)
+	}
+}
+
+func (r *recorder) emitConcrete(ev obs.StepEvent) {
+	// Calls on concrete sink types never dispatch through a nil interface.
+	obs.NopSink{}.Emit(ev)
+	r.ring.Emit(ev)
+}

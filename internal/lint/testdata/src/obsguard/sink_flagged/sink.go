@@ -1,0 +1,40 @@
+// Package sinkuse is awdlint testdata for the out-of-package rule: method
+// calls on obs.Sink values (the real repro/internal/obs interface) need an
+// enclosing nil guard on the same expression.
+package sinkuse
+
+import "repro/internal/obs"
+
+type pipeline struct {
+	sink obs.Sink
+}
+
+func (p *pipeline) unguarded(ev obs.StepEvent) {
+	p.sink.Emit(ev) // want `call to p.sink.Emit on an obs.Sink value`
+}
+
+func (p *pipeline) guarded(ev obs.StepEvent) {
+	if p.sink != nil {
+		p.sink.Emit(ev)
+	}
+}
+
+func (p *pipeline) conjunction(ev obs.StepEvent, enabled bool) {
+	if enabled && p.sink != nil {
+		p.sink.Emit(ev)
+	}
+}
+
+func (p *pipeline) guardOnDifferentValue(ev obs.StepEvent, other obs.Sink) {
+	if other != nil {
+		p.sink.Emit(ev) // want `call to p.sink.Emit on an obs.Sink value`
+	}
+}
+
+func (p *pipeline) elseBranchIsNotGuarded(ev obs.StepEvent) {
+	if p.sink != nil {
+		p.sink.Emit(ev)
+	} else {
+		p.sink.Emit(ev) // want `call to p.sink.Emit on an obs.Sink value`
+	}
+}

@@ -15,7 +15,9 @@ func BenchmarkObserve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l.Observe(est, u)
+		if _, err := l.Observe(est, u); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -23,7 +25,9 @@ func BenchmarkResidualsWindow40(b *testing.B) {
 	sys := lti.MustNew(mat.Diag(0.9), mat.ColVec(mat.VecOf(1)), nil, 0.02)
 	l := New(sys, 40)
 	for i := 0; i < 100; i++ {
-		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+		if _, err := l.Observe(mat.VecOf(float64(i)), mat.VecOf(0)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	t := l.Current()
 	b.ReportAllocs()

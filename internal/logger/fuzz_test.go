@@ -1,0 +1,135 @@
+package logger
+
+import (
+	"testing"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// FuzzBufferHoldRelease drives the Buffer/Hold/Release protocol
+// (Sec. 3.3.2) with a fuzzer-chosen run: the first byte picks the
+// maximum window w_m, then each subsequent byte contributes one
+// observation (low nibble → estimate value) and one detection-window
+// query (high nibble → w in [0, w_m]).
+//
+// After every step the full protocol contract is re-checked against a
+// shadow copy of everything ever observed:
+//
+//   - exactly the steps [max(0, t−w_m−1), t] are retained — a sample is
+//     never lost early, never duplicated, and never outlives the window;
+//   - Observed − Released == Len (conservation);
+//   - every retained estimate is bit-identical to what was fed;
+//   - Counts/StatusOf/TrustedEstimate/Residuals agree with the shadow
+//     model for the queried window.
+func FuzzBufferHoldRelease(f *testing.F) {
+	f.Add([]byte{3, 0x10, 0x21, 0x32, 0x43, 0x54, 0x65})
+	f.Add([]byte{1, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte{8, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip("need a window byte and at least one observation")
+		}
+		wm := 1 + int(data[0])%8
+		sys, err := lti.New(mat.Diag(0.5), mat.ColVec(mat.VecOf(1)), nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := New(sys, wm)
+
+		var fed []float64 // shadow copy: fed[s] is the estimate observed at step s
+		for _, b := range data[1:] {
+			est := float64(int(b&0x0f) - 8)
+			w := int(b>>4) % (wm + 1) // detection window in [0, w_m]
+
+			e, err := l.Observe(mat.VecOf(est), mat.VecOf(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed = append(fed, est)
+			step := len(fed) - 1
+			if e.Step != step {
+				t.Fatalf("Observe returned step %d, want %d", e.Step, step)
+			}
+
+			// Retention: exactly [lo, step] is live.
+			lo := step - wm - 1
+			if lo < 0 {
+				lo = 0
+			}
+			if got, want := l.Len(), step-lo+1; got != want {
+				t.Fatalf("step %d: Len = %d, want %d", step, got, want)
+			}
+			if l.Observed()-l.Released() != l.Len() {
+				t.Fatalf("step %d: conservation broken: observed %d − released %d != len %d",
+					step, l.Observed(), l.Released(), l.Len())
+			}
+			for s := 0; s <= step; s++ {
+				got, ok := l.Entry(s)
+				if s < lo {
+					if ok {
+						t.Fatalf("step %d: released sample %d still retained", step, s)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("step %d: sample %d lost while inside the window", step, s)
+				}
+				if got.Step != s || got.Estimate[0] != fed[s] {
+					t.Fatalf("step %d: entry %d corrupted: %+v, fed %v", step, s, got, fed[s])
+				}
+			}
+			if _, ok := l.Entry(step + 1); ok {
+				t.Fatalf("step %d: phantom future entry", step)
+			}
+
+			// The queried window's Buffer/Hold split matches the shadow model.
+			buffered, held := l.Counts(w)
+			wantBuf := 0
+			for s := lo; s <= step; s++ {
+				if s >= step-w {
+					wantBuf++
+				}
+			}
+			if buffered != wantBuf || buffered+held != l.Len() {
+				t.Fatalf("step %d w=%d: Counts = (%d,%d), want buffered %d of %d",
+					step, w, buffered, held, wantBuf, l.Len())
+			}
+			for s := lo; s <= step; s++ {
+				want := Held
+				if s >= step-w {
+					want = Buffered
+				}
+				if got := l.StatusOf(s, w); got != want {
+					t.Fatalf("step %d w=%d: StatusOf(%d) = %v, want %v", step, w, s, got, want)
+				}
+			}
+			if lo > 0 {
+				if got := l.StatusOf(lo-1, w); got != Released {
+					t.Fatalf("step %d: StatusOf(%d) = %v, want Released", step, lo-1, got)
+				}
+			}
+
+			// Trusted estimate for w is the shadow estimate at max(0, t−w−1);
+			// it must always be available because w <= w_m keeps it retained.
+			trusted, ok := l.TrustedEstimate(w)
+			ts := step - w - 1
+			if ts < 0 {
+				ts = 0
+			}
+			if !ok || trusted[0] != fed[ts] {
+				t.Fatalf("step %d w=%d: TrustedEstimate = %v,%v, want %v", step, w, trusted, ok, fed[ts])
+			}
+
+			// Residuals are all-or-nothing over retention.
+			if res, ok := l.Residuals(lo, step); !ok || len(res) != l.Len() {
+				t.Fatalf("step %d: Residuals over live range failed (%d, %v)", step, len(res), ok)
+			}
+			if lo > 0 {
+				if _, ok := l.Residuals(lo-1, step); ok {
+					t.Fatalf("step %d: Residuals accepted a released step", step)
+				}
+			}
+		}
+	})
+}

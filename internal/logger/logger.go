@@ -83,9 +83,16 @@ func (l *Logger) Len() int { return len(l.entries) }
 // |x̂_t − (A x̂_{t−1} + B u_{t−1})| exactly as Sec. 5 defines it. A nil
 // transitionU is treated as zero input. For the first step there is no
 // prediction, so the residual is zero.
-func (l *Logger) Observe(estimate, transitionU mat.Vec) Entry {
+//
+// A mismatched estimate or input dimension is a configuration fault: it is
+// returned as an error without logging anything, so the control loop can
+// surface it instead of dying mid-flight.
+func (l *Logger) Observe(estimate, transitionU mat.Vec) (Entry, error) {
 	if len(estimate) != l.sys.StateDim() {
-		panic(fmt.Sprintf("logger: estimate dimension %d, want %d", len(estimate), l.sys.StateDim()))
+		return Entry{}, fmt.Errorf("logger: estimate dimension %d, want %d", len(estimate), l.sys.StateDim())
+	}
+	if transitionU != nil && len(transitionU) != l.sys.InputDim() {
+		return Entry{}, fmt.Errorf("logger: input dimension %d, want %d", len(transitionU), l.sys.InputDim())
 	}
 	residual := mat.NewVec(l.sys.StateDim())
 	if l.prevEst != nil {
@@ -106,7 +113,7 @@ func (l *Logger) Observe(estimate, transitionU mat.Vec) Entry {
 		l.entries = l.entries[excess:]
 		l.released += excess
 	}
-	return e
+	return e, nil
 }
 
 // Observed returns the lifetime number of samples logged this run — the
@@ -170,11 +177,12 @@ func (l *Logger) Residuals(from, to int) ([]mat.Vec, bool) {
 // TrustedEstimate returns the latest trustworthy state estimate for a
 // detection window of size w ending at the current step: x̂_{t−w−1}
 // (Sec. 3.3.1). ok is false when that step has been released or not yet
-// observed. For w such that t−w−1 < 0, the first logged estimate is returned
-// (run prefix is trusted by assumption).
+// observed, and for a (nonsensical) negative window. For w such that
+// t−w−1 < 0, the first logged estimate is returned (run prefix is trusted
+// by assumption).
 func (l *Logger) TrustedEstimate(w int) (mat.Vec, bool) {
 	if w < 0 {
-		panic(fmt.Sprintf("logger: negative window %d", w))
+		return nil, false
 	}
 	t := l.Current()
 	if t < 0 {

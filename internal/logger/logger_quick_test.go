@@ -25,7 +25,7 @@ func TestQuickRetentionWindowInvariant(t *testing.T) {
 		wm := int(wmRaw%20) + 1
 		l := New(quickSys(), wm)
 		for _, v := range values {
-			l.Observe(mat.VecOf(clampQuick(v)), mat.VecOf(0))
+			must(l.Observe(mat.VecOf(clampQuick(v)), mat.VecOf(0)))
 		}
 		tNow := len(values) - 1
 		first := tNow - wm - 1
@@ -56,7 +56,7 @@ func TestQuickResidualNonNegativeInvariant(t *testing.T) {
 	f := func(values []float64) bool {
 		l := New(quickSys(), 8)
 		for _, v := range values {
-			e := l.Observe(mat.VecOf(clampQuick(v)), mat.VecOf(0))
+			e := must(l.Observe(mat.VecOf(clampQuick(v)), mat.VecOf(0)))
 			for _, r := range e.Residual {
 				if !(r >= 0) { // catches negatives and NaN
 					return false
@@ -79,7 +79,7 @@ func TestQuickTrustedEstimateIndexInvariant(t *testing.T) {
 		w := int(wRaw) % (wm + 1)
 		l := New(quickSys(), wm)
 		for i := 0; i < n; i++ {
-			l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+			must(l.Observe(mat.VecOf(float64(i)), mat.VecOf(0)))
 		}
 		want := n - 1 - w - 1
 		if want < 0 {
@@ -104,7 +104,7 @@ func TestQuickResidualsAllOrNothingInvariant(t *testing.T) {
 		n := int(count%30) + 1
 		l := New(quickSys(), 10)
 		for i := 0; i < n; i++ {
-			l.Observe(mat.VecOf(0), mat.VecOf(0))
+			must(l.Observe(mat.VecOf(0), mat.VecOf(0)))
 		}
 		from := int(fromRaw % 35)
 		to := from + int(lenRaw%10)

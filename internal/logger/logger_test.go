@@ -7,6 +7,14 @@ import (
 	"repro/internal/mat"
 )
 
+// must unwraps a (value, error) pair from a call the test knows is valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // plant x_{t+1} = x_t + u_t, scalar.
 func testSys(t *testing.T) *lti.System {
 	t.Helper()
@@ -19,7 +27,7 @@ func testSys(t *testing.T) *lti.System {
 
 func TestFirstObservationZeroResidual(t *testing.T) {
 	l := New(testSys(t), 5)
-	e := l.Observe(mat.VecOf(3), mat.VecOf(0))
+	e := must(l.Observe(mat.VecOf(3), mat.VecOf(0)))
 	if e.Step != 0 {
 		t.Errorf("first step = %d", e.Step)
 	}
@@ -30,16 +38,16 @@ func TestFirstObservationZeroResidual(t *testing.T) {
 
 func TestResidualMatchesPrediction(t *testing.T) {
 	l := New(testSys(t), 5)
-	l.Observe(mat.VecOf(1), nil)
+	must(l.Observe(mat.VecOf(1), nil))
 	// Transition applied u=2: prediction = 1 + 2 = 3; estimate 3.5.
-	e := l.Observe(mat.VecOf(3.5), mat.VecOf(2))
+	e := must(l.Observe(mat.VecOf(3.5), mat.VecOf(2)))
 	if e.Residual[0] != 0.5 {
 		t.Errorf("residual = %v, want 0.5", e.Residual[0])
 	}
 	// Residual is absolute: an estimate below prediction gives the same.
 	l2 := New(testSys(t), 5)
-	l2.Observe(mat.VecOf(1), nil)
-	e2 := l2.Observe(mat.VecOf(2.5), mat.VecOf(2))
+	must(l2.Observe(mat.VecOf(1), nil))
+	e2 := must(l2.Observe(mat.VecOf(2.5), mat.VecOf(2)))
 	if e2.Residual[0] != 0.5 {
 		t.Errorf("abs residual = %v, want 0.5", e2.Residual[0])
 	}
@@ -47,9 +55,9 @@ func TestResidualMatchesPrediction(t *testing.T) {
 
 func TestNilInputTreatedAsZero(t *testing.T) {
 	l := New(testSys(t), 5)
-	l.Observe(mat.VecOf(1), nil)
+	must(l.Observe(mat.VecOf(1), nil))
 	// nil transition input: prediction = 1 + 0 = 1.
-	e := l.Observe(mat.VecOf(1.25), nil)
+	e := must(l.Observe(mat.VecOf(1.25), nil))
 	if e.Residual[0] != 0.25 {
 		t.Errorf("residual = %v, want 0.25", e.Residual[0])
 	}
@@ -59,7 +67,7 @@ func TestReleaseKeepsSlidingWindow(t *testing.T) {
 	wm := 4
 	l := New(testSys(t), wm)
 	for i := 0; i < 20; i++ {
-		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(float64(i)), mat.VecOf(0)))
 	}
 	// Retained steps must be exactly [t - wm - 1, t] = [14, 19].
 	if l.Len() != wm+2 {
@@ -79,7 +87,7 @@ func TestReleaseKeepsSlidingWindow(t *testing.T) {
 func TestEntryLookup(t *testing.T) {
 	l := New(testSys(t), 10)
 	for i := 0; i < 5; i++ {
-		l.Observe(mat.VecOf(float64(i*i)), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(float64(i*i)), mat.VecOf(0)))
 	}
 	e, ok := l.Entry(3)
 	if !ok || e.Estimate[0] != 9 {
@@ -96,7 +104,7 @@ func TestEntryLookup(t *testing.T) {
 func TestResidualsRange(t *testing.T) {
 	l := New(testSys(t), 10)
 	for i := 0; i < 6; i++ {
-		l.Observe(mat.VecOf(float64(i)*2), mat.VecOf(0)) // prediction is prev; residual 2 after first
+		must(l.Observe(mat.VecOf(float64(i)*2), mat.VecOf(0))) // prediction is prev; residual 2 after first
 	}
 	rs, ok := l.Residuals(1, 5)
 	if !ok || len(rs) != 5 {
@@ -118,7 +126,7 @@ func TestResidualsRange(t *testing.T) {
 func TestTrustedEstimate(t *testing.T) {
 	l := New(testSys(t), 10)
 	for i := 0; i < 8; i++ {
-		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(float64(i)), mat.VecOf(0)))
 	}
 	// t = 7, window 3 => trusted step is 7-3-1 = 3.
 	est, ok := l.TrustedEstimate(3)
@@ -135,7 +143,7 @@ func TestTrustedEstimate(t *testing.T) {
 func TestTrustedEstimateReleased(t *testing.T) {
 	l := New(testSys(t), 3)
 	for i := 0; i < 20; i++ {
-		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(float64(i)), mat.VecOf(0)))
 	}
 	// Step t-w-1 with w = wm is the oldest retained entry: must succeed.
 	if _, ok := l.TrustedEstimate(3); !ok {
@@ -150,21 +158,19 @@ func TestTrustedEstimateEmpty(t *testing.T) {
 	}
 }
 
-func TestTrustedEstimateNegativeWindowPanics(t *testing.T) {
+func TestTrustedEstimateNegativeWindow(t *testing.T) {
 	l := New(testSys(t), 3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	l.TrustedEstimate(-1)
+	must(l.Observe(mat.VecOf(0), mat.VecOf(0)))
+	if _, ok := l.TrustedEstimate(-1); ok {
+		t.Error("negative window must report !ok, not a value")
+	}
 }
 
 func TestStatusOf(t *testing.T) {
 	wm := 5
 	l := New(testSys(t), wm)
 	for i := 0; i <= 20; i++ {
-		l.Observe(mat.VecOf(0), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(0), mat.VecOf(0)))
 	}
 	// t = 20, detection window w = 3.
 	w := 3
@@ -197,14 +203,14 @@ func TestStatusString(t *testing.T) {
 func TestObserveDoesNotAliasArguments(t *testing.T) {
 	l := New(testSys(t), 5)
 	est := mat.VecOf(1)
-	l.Observe(est, nil)
+	must(l.Observe(est, nil))
 	est[0] = 99
 	e, _ := l.Entry(0)
 	if e.Estimate[0] != 1 {
 		t.Error("logger aliased estimate")
 	}
 	// The prediction for the next step must use the original estimate 1.
-	next := l.Observe(mat.VecOf(3), mat.VecOf(2))
+	next := must(l.Observe(mat.VecOf(3), mat.VecOf(2)))
 	if next.Residual[0] != 0 {
 		t.Errorf("prediction used aliased estimate; residual = %v", next.Residual[0])
 	}
@@ -212,13 +218,13 @@ func TestObserveDoesNotAliasArguments(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	l := New(testSys(t), 5)
-	l.Observe(mat.VecOf(1), mat.VecOf(1))
-	l.Observe(mat.VecOf(2), mat.VecOf(1))
+	must(l.Observe(mat.VecOf(1), mat.VecOf(1)))
+	must(l.Observe(mat.VecOf(2), mat.VecOf(1)))
 	l.Reset()
 	if l.Current() != -1 || l.Len() != 0 {
 		t.Error("Reset incomplete")
 	}
-	e := l.Observe(mat.VecOf(5), mat.VecOf(0))
+	e := must(l.Observe(mat.VecOf(5), mat.VecOf(0)))
 	if e.Step != 0 || e.Residual[0] != 0 {
 		t.Errorf("post-reset first entry = %+v", e)
 	}
@@ -233,20 +239,29 @@ func TestBadWindowPanics(t *testing.T) {
 	New(testSys(t), 0)
 }
 
-func TestObserveDimensionPanics(t *testing.T) {
+func TestObserveDimensionErrors(t *testing.T) {
 	l := New(testSys(t), 5)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	l.Observe(mat.VecOf(1, 2), mat.VecOf(0))
+	if _, err := l.Observe(mat.VecOf(1, 2), mat.VecOf(0)); err == nil {
+		t.Error("mismatched estimate dimension must error")
+	}
+	if _, err := l.Observe(mat.VecOf(1), mat.VecOf(0, 0)); err == nil {
+		t.Error("mismatched input dimension must error")
+	}
+	// A rejected observation must not advance the log.
+	if l.Current() != -1 || l.Len() != 0 {
+		t.Errorf("rejected observation mutated the log: current=%d len=%d", l.Current(), l.Len())
+	}
+	// The logger still works after rejected observations.
+	e := must(l.Observe(mat.VecOf(1), mat.VecOf(0)))
+	if e.Step != 0 {
+		t.Errorf("first accepted step = %d, want 0", e.Step)
+	}
 }
 
 func TestObservedReleasedCounts(t *testing.T) {
 	l := New(testSys(t), 3) // retains w_m + 2 = 5 entries
 	for i := 0; i < 8; i++ {
-		l.Observe(mat.VecOf(float64(i)), mat.VecOf(0))
+		must(l.Observe(mat.VecOf(float64(i)), mat.VecOf(0)))
 	}
 	if got := l.Observed(); got != 8 {
 		t.Errorf("Observed = %d, want 8", got)

@@ -1,0 +1,30 @@
+package mat
+
+import "math"
+
+// DefaultTol is the shared absolute tolerance for floating-point
+// comparisons across the numerical packages. Residuals, thresholds, and
+// reachability bounds in this codebase are O(1)-scaled physical
+// quantities, so one absolute tolerance near the square root of the
+// float64 epsilon serves the whole pipeline; callers with calibrated
+// tolerances pass their own.
+const DefaultTol = 1e-9
+
+// ApproxEq reports |a−b| <= tol. NaN compares unequal to everything,
+// matching IEEE semantics. This is the comparison the detector's
+// guarantees assume: the paper's no-false-alarm argument (Theorem 1)
+// breaks if two mathematically equal quantities are distinguished by
+// rounding noise. Exact `==` on computed floats is flagged by the
+// floateq analyzer; use this instead.
+func ApproxEq(a, b, tol float64) bool {
+	//awdlint:allow floateq -- identical-value fast path: equal infinities must compare equal (Inf−Inf is NaN)
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxZero reports |x| <= tol.
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}

@@ -154,6 +154,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		mrow := m.data[i*m.cols : (i+1)*m.cols]
 		orow := out.data[i*b.cols : (i+1)*b.cols]
 		for k, a := range mrow {
+			//awdlint:allow floateq -- sparsity fast path: skipping exact zeros changes no result bit
 			if a == 0 {
 				continue
 			}
@@ -190,6 +191,7 @@ func (m *Dense) VecMul(v Vec) Vec {
 	}
 	out := make(Vec, m.cols)
 	for i, a := range v {
+		//awdlint:allow floateq -- sparsity fast path: skipping exact zeros changes no result bit
 		if a == 0 {
 			continue
 		}
@@ -289,7 +291,7 @@ func (m *Dense) Equal(b *Dense, tol float64) bool {
 		return false
 	}
 	for i := range m.data {
-		if math.Abs(m.data[i]-b.data[i]) > tol {
+		if !ApproxEq(m.data[i], b.data[i], tol) {
 			return false
 		}
 	}

@@ -31,6 +31,7 @@ func FactorQR(a *Dense) (*QR, error) {
 		for i := k; i < m; i++ {
 			norm = math.Hypot(norm, qr.At(i, k))
 		}
+		//awdlint:allow floateq -- exact: the column norm vanishes only for an exactly zero column (true rank deficiency)
 		if norm == 0 {
 			return nil, fmt.Errorf("mat: QR rank-deficient at column %d", k)
 		}
@@ -111,7 +112,7 @@ func JacobiEigen(a *Dense, symTol float64) (Vec, *Dense, error) {
 	scale := 1 + a.NormInf()
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*scale {
+			if !ApproxEq(a.At(i, j), a.At(j, i), symTol*scale) {
 				return nil, nil, fmt.Errorf("mat: JacobiEigen input not symmetric at (%d,%d)", i, j)
 			}
 		}
@@ -140,7 +141,7 @@ func JacobiEigen(a *Dense, symTol float64) (Vec, *Dense, error) {
 		for p := 0; p < n; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := w.At(p, q)
-				if math.Abs(apq) < 1e-300 {
+				if ApproxZero(apq, 1e-300) {
 					continue
 				}
 				app, aqq := w.At(p, p), w.At(q, q)

@@ -113,6 +113,7 @@ func (v Vec) Norm2() float64 {
 			maxAbs = a
 		}
 	}
+	//awdlint:allow floateq -- exact: the norm is zero only when every entry is exactly zero
 	if maxAbs == 0 {
 		return 0
 	}
@@ -143,8 +144,10 @@ func (v Vec) Norm(k float64) float64 {
 	switch {
 	case math.IsInf(k, 1):
 		return v.NormInf()
+	//awdlint:allow floateq -- exact fast-path dispatch; the general branch below is correct for any k
 	case k == 1:
 		return v.Norm1()
+	//awdlint:allow floateq -- exact fast-path dispatch; the general branch below is correct for any k
 	case k == 2:
 		return v.Norm2()
 	case k < 1:
@@ -163,7 +166,7 @@ func (v Vec) Equal(w Vec, tol float64) bool {
 		return false
 	}
 	for i := range v {
-		if math.Abs(v[i]-w[i]) > tol {
+		if !ApproxEq(v[i], w[i], tol) {
 			return false
 		}
 	}

@@ -1,0 +1,125 @@
+package reach
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// FuzzSupportFunction fuzzes the geometric primitives the reachability
+// core is built on (Sec. 3.2): support functions of boxes and zonotopes
+// and the precomputed reach bound. Checked invariants:
+//
+//   - positive homogeneity: h(k·l) = k·h(l) for k > 0;
+//   - translation covariance: h_{Z+v}(l) = h_Z(l) + l·v;
+//   - box/zonotope agreement: a box and its zonotope form have identical
+//     support in every direction;
+//   - no NaN/Inf escapes from finite inputs — a single rogue non-finite
+//     support value corrupts the deadline search silently.
+func FuzzSupportFunction(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 0.5, -0.5)
+	f.Add(1.0, -2.0, 0.5, 0.25, -0.1, 0.3, -1.0, 0.5, 0.1, 3.0, 4.0)
+	f.Add(-5.0, 5.0, 0.0, 0.0, 2.0, -2.0, 0.0, -1.0, 10.0, -1.0, 1.0)
+
+	f.Fuzz(func(t *testing.T, cx, cy, g1x, g1y, g2x, g2y, lx, ly, k, vx, vy float64) {
+		for _, v := range []float64{cx, cy, g1x, g1y, g2x, g2y, lx, ly, k, vx, vy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip("inputs constrained to finite, overflow-safe range")
+			}
+		}
+		z := geom.NewZonotope(mat.VecOf(cx, cy), mat.VecOf(g1x, g1y), mat.VecOf(g2x, g2y))
+		l := mat.VecOf(lx, ly)
+		v := mat.VecOf(vx, vy)
+
+		h := z.Support(l)
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("support escaped to %v for finite zonotope and direction", h)
+		}
+
+		// Positive homogeneity. Scale k into (0, 1e3] to keep products finite.
+		scale := math.Abs(k)
+		if scale > 1e3 {
+			scale = 1e3
+		}
+		if scale > 0 {
+			got := z.Support(l.Scale(scale))
+			want := scale * h
+			if !mat.ApproxEq(got, want, 1e-6*(1+math.Abs(want))) {
+				t.Fatalf("homogeneity: h(%v·l) = %v, want %v", scale, got, want)
+			}
+		}
+
+		// Translation covariance.
+		got := z.Translate(v).Support(l)
+		want := h + l.Dot(v)
+		if !mat.ApproxEq(got, want, 1e-6*(1+math.Abs(want))) {
+			t.Fatalf("translation: h = %v, want %v", got, want)
+		}
+
+		// A box and its zonotope form agree in every fuzzed direction.
+		lo := mat.VecOf(math.Min(cx, cy), math.Min(g1x, g1y))
+		hi := mat.VecOf(math.Max(cx, cy)+math.Abs(vx), math.Max(g1x, g1y)+math.Abs(vy))
+		box := geom.BoxFromBounds(lo, hi)
+		hb := box.Support(l)
+		hz := geom.ZonotopeFromBox(box).Support(l)
+		if !mat.ApproxEq(hb, hz, 1e-6*(1+math.Abs(hb))) {
+			t.Fatalf("box support %v != zonotope-from-box support %v", hb, hz)
+		}
+	})
+}
+
+// FuzzReachBoundFinite fuzzes the precomputed reach bound (Eq. 4/5):
+// for any finite plant in the contraction regime, initial state, and
+// direction, SupportAt must stay finite, agree with the incremental
+// SupportSweep, and grow monotonically with the initial-set radius.
+func FuzzReachBoundFinite(f *testing.F) {
+	f.Add(0.9, 0.1, 0.5, 1.0, 0.5, 0.25)
+	f.Add(-0.5, 0.3, -1.0, 0.0, 1.0, 0.0)
+	f.Fuzz(func(t *testing.T, a11, a12, x1, x2, lx, r float64) {
+		for _, v := range []float64{a11, a12, x1, x2, lx, r} {
+			if math.IsNaN(v) || math.Abs(v) > 1e3 {
+				t.Skip("inputs constrained")
+			}
+		}
+		// Keep A a contraction so the horizon sums stay bounded.
+		clamp := func(v float64) float64 { return math.Mod(v, 1) * 0.95 }
+		A := mat.FromRows([][]float64{{clamp(a11), clamp(a12)}, {0, 0.5}})
+		sys, err := lti.New(A, mat.ColVec(mat.VecOf(0.1, 0.2)), nil, 1)
+		if err != nil {
+			t.Skip(err)
+		}
+		an, err := New(sys, geom.UniformBox(1, -1, 1), 0.01, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := mat.VecOf(x1, x2)
+		l := mat.VecOf(lx, 1-lx)
+		radius := math.Abs(math.Mod(r, 10))
+
+		sweep := an.SupportSweep(x0, radius, l)
+		for ti := 0; ti <= an.Horizon(); ti++ {
+			direct := an.SupportAt(x0, radius, l, ti)
+			if math.IsNaN(direct) || math.IsInf(direct, 0) {
+				t.Fatalf("SupportAt(t=%d) escaped to %v", ti, direct)
+			}
+			if sweep.Step() != ti {
+				t.Fatalf("sweep step %d, want %d", sweep.Step(), ti)
+			}
+			if !mat.ApproxEq(sweep.Value(), direct, 1e-6*(1+math.Abs(direct))) {
+				t.Fatalf("sweep value %v != SupportAt %v at t=%d", sweep.Value(), direct, ti)
+			}
+			// Monotone in the initial-set radius: a bigger trusted ball can
+			// only widen the over-approximation.
+			wider := an.SupportAt(x0, radius+1, l, ti)
+			if wider < direct-1e-9 {
+				t.Fatalf("radius monotonicity violated at t=%d: %v < %v", ti, wider, direct)
+			}
+			if ti < an.Horizon() && !sweep.Advance() {
+				t.Fatalf("sweep refused to advance at t=%d", ti)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 func TestCampaignParallelMatchesSerial(t *testing.T) {
@@ -64,5 +65,44 @@ func TestCampaignParallelPropagatesAttackError(t *testing.T) {
 	)
 	if !errors.Is(err, wantErr) {
 		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestCampaignParallelSharedObserver(t *testing.T) {
+	// All workers funnel telemetry into one Observer: atomic instruments
+	// and the mutex-guarded ring sink. Run under -race (make check / CI)
+	// this doubles as the concurrency-safety proof for the shared path;
+	// the accounting below proves no event was lost on the way.
+	m := models.VehicleTurning()
+	sink := obs.NewRingSink(64)
+	observer := obs.NewObserver(nil, sink)
+	res, err := CampaignParallel(
+		Config{Model: m, Strategy: Adaptive, Seed: 77, Observer: observer}, 12, 4,
+		func() (attack.Attack, error) { return BuildAttack(m, "bias") },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 12 {
+		t.Fatalf("runs = %d, want 12", res.Runs)
+	}
+
+	reg := observer.Registry()
+	steps := reg.Counter(obs.MetricSteps, "").Value()
+	if steps == 0 {
+		t.Fatal("shared observer saw no steps")
+	}
+	// Ring-sink conservation: every counted step was emitted, and every
+	// emitted event is either retained or accounted as dropped.
+	if got := int64(len(sink.Events())) + sink.Dropped(); got != steps {
+		t.Errorf("sink retained+dropped = %d, steps counter = %d", got, steps)
+	}
+	runs := reg.Counter(obs.MetricRuns, "").Value()
+	detected := reg.Counter(obs.MetricRunsDetected, "").Value()
+	if runs != 12 {
+		t.Errorf("observer runs counter = %d, want 12", runs)
+	}
+	if want := 12 - int64(res.FNExperiments); detected != want {
+		t.Errorf("observer detected counter = %d, want %d", detected, want)
 	}
 }

@@ -87,7 +87,10 @@ func RunWithRecovery(cfg Config) (*RecoveryOutcome, error) {
 		} else {
 			measured := x.Add(sensNoise.Sample(t))
 			estimate := att.Apply(t, measured)
-			dec := det.Step(estimate, u)
+			dec, err := det.Step(estimate, u)
+			if err != nil {
+				return out, fmt.Errorf("sim: step %d: %w", t, err)
+			}
 
 			if dec.Alarmed() && out.AttackStart >= 0 && t >= out.AttackStart {
 				out.AlarmStep = t

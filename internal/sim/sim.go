@@ -180,7 +180,10 @@ func Run(cfg Config) (*Trace, error) {
 		measured := x.Add(sensNoise.Sample(t))
 		estimate := att.Apply(t, measured)
 
-		dec := det.Step(estimate, u)
+		dec, err := det.Step(estimate, u)
+		if err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", t, err)
+		}
 		entry, _ := det.Log().Entry(t)
 
 		ref := m.Ref.At(t)
