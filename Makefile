@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test test-race fuzz-smoke bench-obs clean
+.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf clean
 
 # The full gate: what CI (and every PR) must pass.
 check: vet lint build test-race
@@ -29,10 +29,19 @@ fuzz-smoke:
 	$(GO) test ./internal/logger/ -run '^$$' -fuzz '^FuzzBufferHoldRelease$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzSupportFunction$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzReachBoundFinite$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzStepperMatchesReachBox$$' -fuzztime $(FUZZTIME)
 
 # Re-measure the detector-step overhead numbers recorded in BENCH_obs.json.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'DetectorStepObservability|ObserveStep' -benchmem -count 3 .
+
+# Re-measure the hot-path numbers ledgered in BENCH_perf.json. Updates only
+# the "after" section; the committed "before" baseline (pre-optimization
+# tree) is preserved by cmd/awdbench.
+bench-perf:
+	$(GO) test -run '^$$' -bench 'DetectorStep$$|DeadlineEstimation|Table2Campaign' -benchmem -count 3 . \
+		| $(GO) run ./cmd/awdbench -out BENCH_perf.json -phase after \
+			-note "this PR (zero-alloc hot path, warm-started deadline search, shared Analysis cache)"
 
 clean:
 	$(GO) clean ./...

@@ -35,6 +35,7 @@ import (
 // BenchmarkTable1Models regenerates Table 1: construct (and discretize)
 // all five plants and render their settings.
 func BenchmarkTable1Models(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if out := exp.Table1(); len(out) == 0 {
 			b.Fatal("empty table")
@@ -45,6 +46,7 @@ func BenchmarkTable1Models(b *testing.B) {
 // BenchmarkFig6Traces regenerates the Fig. 6 panels: vehicle turning and
 // series RLC under bias/delay/replay, adaptive vs fixed.
 func BenchmarkFig6Traces(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		panels, err := exp.Fig6(exp.Fig6Config{Seed: uint64(i + 1)})
 		if err != nil {
@@ -59,6 +61,7 @@ func BenchmarkFig6Traces(b *testing.B) {
 // BenchmarkFig7WindowSweep regenerates a reduced Fig. 7 profile (3 runs per
 // window, stride 25); scale Runs/Step up for the paper's 100×1 sweep.
 func BenchmarkFig7WindowSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := exp.Fig7(exp.Fig7Config{Runs: 3, MaxWindow: 100, Step: 25, Seed: uint64(i + 1)})
 		if err != nil {
@@ -73,6 +76,7 @@ func BenchmarkFig7WindowSweep(b *testing.B) {
 // BenchmarkTable2Campaign regenerates a reduced Table 2 (1 run per case;
 // the paper uses 100). All 30 (simulator, attack, strategy) cases execute.
 func BenchmarkTable2Campaign(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.Table2(exp.Table2Config{Runs: 1, Seed: uint64(i + 1)})
 		if err != nil {
@@ -86,6 +90,7 @@ func BenchmarkTable2Campaign(b *testing.B) {
 
 // BenchmarkFig8Testbed regenerates the Fig. 8 testbed scenario.
 func BenchmarkFig8Testbed(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.Fig8(exp.Fig8Config{Seed: uint64(i + 1)})
 		if err != nil {
@@ -111,15 +116,25 @@ func BenchmarkReachPrecomputedVsNaive(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		s, err := an.Stepper(x0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo := make([]float64, m.Sys.StateDim())
+		hi := make([]float64, m.Sys.StateDim())
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s := an.Stepper(x0, 0)
+			if err := s.Reset(x0, 0); err != nil {
+				b.Fatal(err)
+			}
 			for s.Advance() {
-				_ = s.Box()
+				s.Bounds(lo, hi)
 			}
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for t := 1; t <= horizon; t++ {
 				_ = reach.NaiveReachBox(m.Sys, m.U, m.Eps, x0, t)
@@ -140,6 +155,7 @@ func BenchmarkDetectorStep(b *testing.B) {
 			}
 			est := m.X0.Clone()
 			u := mat.NewVec(m.Sys.InputDim())
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det.Step(est, u)
@@ -211,6 +227,7 @@ func BenchmarkDeadlineEstimation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = est.FromState(m.X0)
@@ -223,6 +240,7 @@ func BenchmarkDeadlineEstimation(b *testing.B) {
 // comparison (1 run per case here; see cmd/awdexp -exp ablations for the
 // full campaign).
 func BenchmarkAblationComplementary(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.AblationComplementary(1, uint64(i+1))
 		if err != nil {
@@ -236,6 +254,7 @@ func BenchmarkAblationComplementary(b *testing.B) {
 
 // BenchmarkAblationMaxWindow sweeps the maximum window design knob.
 func BenchmarkAblationMaxWindow(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.AblationMaxWindow(1, uint64(i+1), []int{10, 40, 80})
 		if err != nil {
@@ -249,6 +268,7 @@ func BenchmarkAblationMaxWindow(b *testing.B) {
 
 // BenchmarkBaselineCUSUM compares the adaptive detector against CUSUM.
 func BenchmarkBaselineCUSUM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.AblationCUSUM(1, uint64(i+1))
 		if err != nil {
@@ -263,6 +283,7 @@ func BenchmarkBaselineCUSUM(b *testing.B) {
 // BenchmarkExtendedScenarios runs the freeze/ramp/noise threat-model
 // extension campaign (1 run per case).
 func BenchmarkExtendedScenarios(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.ExtendedScenarios(1, uint64(i+1))
 		if err != nil {
@@ -276,6 +297,7 @@ func BenchmarkExtendedScenarios(b *testing.B) {
 
 // BenchmarkRecoveryStudy couples detection to LQR recovery (1 run/case).
 func BenchmarkRecoveryStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.RecoveryStudy(1, uint64(i+1))
 		if err != nil {
@@ -289,6 +311,7 @@ func BenchmarkRecoveryStudy(b *testing.B) {
 
 // BenchmarkThresholdSweep profiles the τ knob (3 multipliers, 2 runs each).
 func BenchmarkThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := exp.ThresholdSweep(2, uint64(i+1), []float64{0.5, 1, 2})
 		if err != nil {
@@ -303,6 +326,7 @@ func BenchmarkThresholdSweep(b *testing.B) {
 // BenchmarkDeadlineValidation runs the Definition 3.1 conservativeness
 // check (reduced scale).
 func BenchmarkDeadlineValidation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.DeadlineValidation(4, 3, uint64(i+1))
 		if err != nil {
@@ -318,6 +342,7 @@ func BenchmarkDeadlineValidation(b *testing.B) {
 
 // BenchmarkMagnitudeSweep maps the detectability boundary (reduced scale).
 func BenchmarkMagnitudeSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := exp.MagnitudeSweep(2, uint64(i+1), []float64{0.5, 1, 2})
 		if err != nil {
@@ -331,6 +356,7 @@ func BenchmarkMagnitudeSweep(b *testing.B) {
 
 // BenchmarkStealthyImpact runs the stealthy-adversary limit study (reduced).
 func BenchmarkStealthyImpact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.StealthyImpact(1, uint64(i+1), []float64{0.5})
 		if err != nil {

@@ -1,0 +1,123 @@
+// awdbench turns `go test -bench` output into the committed benchmark
+// ledgers (BENCH_perf.json). It reads benchmark lines from stdin, collects
+// ns/op, B/op, and allocs/op per benchmark (multiple -count runs become a
+// list of ns/op samples), and writes them under one phase of the output
+// file, preserving whatever the other phase already records — so the
+// "before" numbers measured on the pre-optimization tree survive every
+// "after" re-measurement.
+//
+// Usage:
+//
+//	go test -run '^$' -bench X -benchmem -count 3 . | \
+//	    go run ./cmd/awdbench -out BENCH_perf.json -phase after -note "this PR"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsPerOp     []float64 `json:"ns_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkDetectorStep/quadrotor-8   123   877.2 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_perf.json", "ledger file to update")
+	phase := flag.String("phase", "after", `ledger section to (re)write: "before" or "after"`)
+	note := flag.String("note", "", "commit/context note recorded in the section")
+	title := flag.String("title", "", "top-level benchmark description (set on first write)")
+	flag.Parse()
+	if *phase != "before" && *phase != "after" {
+		fmt.Fprintf(os.Stderr, "awdbench: -phase must be before or after, got %q\n", *phase)
+		os.Exit(2)
+	}
+
+	section := map[string]any{}
+	if *note != "" {
+		section["commit"] = *note
+	}
+	results := map[string]*result{}
+	host := ""
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if strings.HasPrefix(line, "cpu:") {
+			host = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := results[name]
+		if r == nil {
+			r = &result{}
+			results[name] = r
+		}
+		r.NsPerOp = append(r.NsPerOp, ns)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "awdbench: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "awdbench: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	for name, r := range results {
+		section[name] = r
+	}
+
+	ledger := map[string]any{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "awdbench: %s exists but is not JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if *title != "" {
+		ledger["benchmark"] = *title
+	}
+	if host != "" {
+		ledger["host"] = host
+	}
+	ledger[*phase] = section
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "awdbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "awdbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "awdbench: wrote %d benchmarks to %s (%s)\n", len(results), *out, *phase)
+}

@@ -52,9 +52,18 @@ func main() {
 	for _, x0 := range []mat.Vec{
 		{0, 0}, {1, 1}, {1.3, 1.3}, {2.4, 0.2}, {0.2, 2.4}, {1.45, 1.45},
 	} {
-		dp := an.DeadlinePolytope(x0, 0, diag)
-		dt := an.Deadline(x0, 0, tightBox)
-		dl := an.Deadline(x0, 0, looseBox)
+		dp, err := an.DeadlinePolytope(x0, 0, diag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt, err := an.Deadline(x0, 0, tightBox)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dl, err := an.Deadline(x0, 0, looseBox)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("(%4.2f, %4.2f)    %-10d  %-12d  %-12d\n", x0[0], x0[1], dp, dt, dl)
 	}
 

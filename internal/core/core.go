@@ -153,7 +153,10 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	an, err := reach.New(cfg.Sys, cfg.Inputs, cfg.Eps, cfg.MaxWindow)
+	// Shared memoizes the O(horizon·n³) coefficient tables per plant, so
+	// Monte-Carlo campaigns that build one System per run pay for the
+	// reachability precomputation once per process instead of once per run.
+	an, err := reach.Shared(cfg.Sys, cfg.Inputs, cfg.Eps, cfg.MaxWindow)
 	if err != nil {
 		return nil, err
 	}
@@ -358,8 +361,7 @@ func (s *System) residualAvg(t, w int) []float64 {
 	if from < 0 {
 		from = 0
 	}
-	rs, ok := s.log.Residuals(from, t)
-	if !ok {
+	if from > t {
 		return nil
 	}
 	n := s.cfg.Sys.StateDim()
@@ -370,12 +372,18 @@ func (s *System) residualAvg(t, w int) []float64 {
 	for i := range avg {
 		avg[i] = 0
 	}
-	for _, r := range rs {
+	// Accumulate straight off the logger ring — no intermediate residual
+	// slice, so trace emission stays allocation-free.
+	for step := from; step <= t; step++ {
+		e, ok := s.log.Entry(step)
+		if !ok {
+			return nil
+		}
 		for i := range avg {
-			avg[i] += r[i]
+			avg[i] += e.Residual[i]
 		}
 	}
-	inv := 1 / float64(len(rs))
+	inv := 1 / float64(t-from+1)
 	for i := range avg {
 		avg[i] *= inv
 	}

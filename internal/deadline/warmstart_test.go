@@ -1,0 +1,112 @@
+package deadline
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/noise"
+	"repro/internal/reach"
+)
+
+// The warm-start contract: FromState must return exactly the value a cold
+// reach.Analysis.Deadline scan returns, for every query in a correlated
+// sequence — nearby states exercise the certified-prefix skip, occasional
+// jumps force re-anchoring full scans. Run over all six evaluation plants
+// so every table shape (n = 1..6) is covered.
+func TestWarmStartMatchesFullScanAllPlants(t *testing.T) {
+	for _, m := range models.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			an, err := reach.New(m.Sys, m.U, m.Eps, m.MaxWindow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := m.EstimatorRadius()
+			est, err := New(an, m.Safe, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := noise.NewSource(0xD0D0 + uint64(len(m.Name)))
+			n := m.Sys.StateDim()
+			x := m.X0.Clone()
+			for q := 0; q < 400; q++ {
+				switch {
+				case q%97 == 0:
+					// Occasional teleport: forces a full-scan re-anchor.
+					for i := 0; i < n; i++ {
+						x[i] = m.X0[i] + src.Uniform(-1, 1)
+					}
+				default:
+					// Small correlated drift: the warm-start regime.
+					for i := 0; i < n; i++ {
+						x[i] += src.Uniform(-0.01, 0.01)
+					}
+				}
+				want, err := an.Deadline(x, r, m.Safe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := est.FromState(x); got != want {
+					t.Fatalf("query %d, x=%v: warm-started deadline %d != full scan %d",
+						q, x, got, want)
+				}
+			}
+		})
+	}
+}
+
+// Near the safe-set boundary the deadline changes on tiny state moves; the
+// certificate must never skip a step whose verdict the move could flip.
+func TestWarmStartExactNearBoundary(t *testing.T) {
+	_, an := fixture(t, 30)
+	safe := geom.UniformBox(1, -10, 10)
+	est, err := New(an, safe, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// March the state toward the bound in sub-slack increments, then back.
+	for _, dir := range []float64{1, -1} {
+		x := 0.0
+		for i := 0; i < 200; i++ {
+			x += dir * 0.045
+			if x > 9.4 || x < -9.4 {
+				break
+			}
+			xv := mat.VecOf(x)
+			want, err := an.Deadline(xv, 0.05, safe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := est.FromState(xv); got != want {
+				t.Fatalf("x=%v: warm %d != cold %d", x, got, want)
+			}
+		}
+	}
+}
+
+// Steady-state FromState must not allocate: the estimator owns all search
+// scratch (tentpole part 2's zero-allocation contract).
+func TestFromStateNoAllocsSteadyState(t *testing.T) {
+	_, an := fixture(t, 25)
+	est, err := New(an, geom.UniformBox(1, -10, 10), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.VecOf(3)
+	est.FromState(x) // anchor
+	if allocs := testing.AllocsPerRun(200, func() {
+		x[0] += 0.001
+		est.FromState(x)
+	}); allocs != 0 {
+		t.Fatalf("warm FromState allocates %v per call, want 0", allocs)
+	}
+	// Re-anchoring full scans must be allocation-free too.
+	if allocs := testing.AllocsPerRun(200, func() {
+		x[0] = -x[0]
+		est.FromState(x)
+	}); allocs != 0 {
+		t.Fatalf("full-scan FromState allocates %v per call, want 0", allocs)
+	}
+}

@@ -31,9 +31,13 @@ var ErrEmptyWindow = errors.New("detect: empty residual window")
 // any sample.
 var ErrNoObservation = errors.New("detect: step before any logged observation")
 
-// Window is the basic window-based detection rule of Sec. 4.1.
+// Window is the basic window-based detection rule of Sec. 4.1. It owns a
+// reusable accumulator so the per-step CheckAtDims path does not allocate;
+// a Window is therefore not safe for concurrent use (each detector owns
+// its own, as the constructors arrange).
 type Window struct {
 	tau mat.Vec
+	avg mat.Vec // scratch: windowed residual sum / average
 }
 
 // NewWindow returns a detector with the per-dimension threshold τ.
@@ -46,7 +50,7 @@ func NewWindow(tau mat.Vec) *Window {
 			panic(fmt.Sprintf("detect: negative threshold %v in dimension %d", v, i))
 		}
 	}
-	return &Window{tau: tau.Clone()}
+	return &Window{tau: tau.Clone(), avg: mat.NewVec(len(tau))}
 }
 
 // Tau returns a copy of the threshold vector.
@@ -108,6 +112,11 @@ func (w *Window) CheckAt(log *logger.Logger, s, win int) (alarm, ok bool, err er
 // CheckAtDims is CheckAt with alarm attribution: the dimensions whose
 // windowed average exceeded τ. A negative win clamps to 0 (the degenerate
 // single-sample window), mirroring Adaptive.Step's deadline clamping.
+//
+// The residuals are accumulated straight off the logger's ring into the
+// Window's scratch, so a silent check (the steady state) performs zero
+// heap allocations; dims is only allocated when a dimension actually
+// fires.
 func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok bool, err error) {
 	if win < 0 {
 		win = 0
@@ -116,13 +125,31 @@ func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok boo
 	if from < 0 {
 		from = 0
 	}
-	rs, ok := log.Residuals(from, s)
-	if !ok {
+	if from > s {
 		return nil, false, nil
 	}
-	dims, err = w.Exceeding(rs)
-	if err != nil {
-		return nil, false, err
+	n := len(w.tau)
+	for i := range w.avg {
+		w.avg[i] = 0
+	}
+	for step := from; step <= s; step++ {
+		e, retained := log.Entry(step)
+		if !retained {
+			return nil, false, nil
+		}
+		if len(e.Residual) != n {
+			return nil, false, fmt.Errorf("detect: residual dimension %d, want %d", len(e.Residual), n)
+		}
+		for i, r := range e.Residual {
+			w.avg[i] += r
+		}
+	}
+	inv := 1 / float64(s-from+1)
+	for i := range w.avg {
+		w.avg[i] *= inv
+		if w.avg[i] > w.tau[i] {
+			dims = append(dims, i)
+		}
 	}
 	return dims, true, nil
 }

@@ -182,6 +182,22 @@ func (b Box) ContainsBox(o Box) bool {
 	return true
 }
 
+// ContainsBounds reports whether the box with the given lower/upper bounds
+// lies entirely inside b — ContainsBox without materializing a Box, for the
+// allocation-free deadline search. The semantics (and comparison directions)
+// match ContainsBox exactly.
+func (b Box) ContainsBounds(lo, hi []float64) bool {
+	if len(lo) != len(b.ivs) || len(hi) != len(b.ivs) {
+		panic(fmt.Sprintf("geom: ContainsBounds dimension mismatch %d/%d vs %d", len(lo), len(hi), len(b.ivs)))
+	}
+	for i := range b.ivs {
+		if lo[i] < b.ivs[i].Lo || hi[i] > b.ivs[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
 // Bounded reports whether every dimension is bounded.
 func (b Box) Bounded() bool {
 	for _, iv := range b.ivs {

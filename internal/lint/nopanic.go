@@ -20,6 +20,7 @@ var noPanicScope = []string{
 	"repro/internal/logger",
 	"repro/internal/estim",
 	"repro/internal/deadline",
+	"repro/internal/reach",
 }
 
 // NoPanic forbids panic calls on the runtime hot path outside

@@ -54,12 +54,25 @@ func (s Status) String() string {
 }
 
 // Logger records estimates and residuals over the sliding window.
+//
+// Storage is a fixed ring of w_m+2 entries whose Estimate/Residual vectors
+// are preallocated once at construction and written in place, so the
+// steady-state Observe path performs zero heap allocations. Entries handed
+// out by Entry, Observe, and Residuals alias this ring storage: they stay
+// valid exactly as long as the protocol retains the step (i.e. until it is
+// Released) — callers that need a sample beyond its release point must
+// clone it.
 type Logger struct {
 	sys      *lti.System
-	maxWin   int // w_m
-	entries  []Entry
+	maxWin   int     // w_m
+	ring     []Entry // fixed capacity maxWin+2, vectors preallocated
+	start    int     // ring index of the oldest retained entry
+	count    int     // retained entries
 	nextStep int
-	prevEst  mat.Vec
+	prevEst  mat.Vec // owned copy of the last estimate (prediction input)
+	pred     mat.Vec // scratch: one-step model prediction
+	zeroU    mat.Vec // all-zero input for nil transitionU (never written)
+	hasPrev  bool
 	released int
 }
 
@@ -68,14 +81,27 @@ func New(sys *lti.System, maxWin int) *Logger {
 	if maxWin < 1 {
 		panic(fmt.Sprintf("logger: maximum window %d must be >= 1", maxWin))
 	}
-	return &Logger{sys: sys, maxWin: maxWin}
+	n := sys.StateDim()
+	ring := make([]Entry, maxWin+2)
+	for i := range ring {
+		ring[i].Estimate = mat.NewVec(n)
+		ring[i].Residual = mat.NewVec(n)
+	}
+	return &Logger{
+		sys:     sys,
+		maxWin:  maxWin,
+		ring:    ring,
+		prevEst: mat.NewVec(n),
+		pred:    mat.NewVec(n),
+		zeroU:   mat.NewVec(sys.InputDim()),
+	}
 }
 
 // MaxWindow returns w_m.
 func (l *Logger) MaxWindow() int { return l.maxWin }
 
 // Len returns the number of retained entries.
-func (l *Logger) Len() int { return len(l.entries) }
+func (l *Logger) Len() int { return l.count }
 
 // Observe logs the state estimate received at the next control step together
 // with the control input that drove the transition into it — i.e. at step t
@@ -94,26 +120,42 @@ func (l *Logger) Observe(estimate, transitionU mat.Vec) (Entry, error) {
 	if transitionU != nil && len(transitionU) != l.sys.InputDim() {
 		return Entry{}, fmt.Errorf("logger: input dimension %d, want %d", len(transitionU), l.sys.InputDim())
 	}
-	residual := mat.NewVec(l.sys.StateDim())
-	if l.prevEst != nil {
+	// Release: keep exactly the sliding window [t − w_m − 1, t] by
+	// recycling the oldest ring slot once the ring is full.
+	idx := l.start + l.count
+	if idx >= len(l.ring) {
+		idx -= len(l.ring)
+	}
+	if l.count == len(l.ring) {
+		idx = l.start
+		l.start++
+		if l.start == len(l.ring) {
+			l.start = 0
+		}
+		l.count--
+		l.released++
+	}
+
+	e := &l.ring[idx]
+	e.Step = l.nextStep
+	estimate.CopyTo(e.Estimate)
+	if l.hasPrev {
 		u := transitionU
 		if u == nil {
-			u = mat.NewVec(l.sys.InputDim())
+			u = l.zeroU
 		}
-		predicted := l.sys.Predict(l.prevEst, u)
-		residual = estimate.Sub(predicted).Abs()
+		l.sys.PredictTo(l.pred, l.prevEst, u)
+		mat.AbsDiffTo(e.Residual, estimate, l.pred)
+	} else {
+		for i := range e.Residual {
+			e.Residual[i] = 0
+		}
 	}
-	e := Entry{Step: l.nextStep, Estimate: estimate.Clone(), Residual: residual}
-	l.entries = append(l.entries, e)
-	l.prevEst = estimate.Clone()
+	estimate.CopyTo(l.prevEst)
+	l.hasPrev = true
+	l.count++
 	l.nextStep++
-
-	// Release: keep exactly the sliding window [t − w_m − 1, t].
-	if excess := len(l.entries) - (l.maxWin + 2); excess > 0 {
-		l.entries = l.entries[excess:]
-		l.released += excess
-	}
-	return e, nil
+	return *e, nil
 }
 
 // Observed returns the lifetime number of samples logged this run — the
@@ -130,8 +172,9 @@ func (l *Logger) Released() int { return l.released }
 // held as trusted history — the live split of the Buffer/Hold protocol.
 func (l *Logger) Counts(w int) (buffered, held int) {
 	t := l.Current()
-	for _, e := range l.entries {
-		if e.Step >= t-w {
+	first := l.nextStep - l.count
+	for s := first; s < l.nextStep; s++ {
+		if s >= t-w {
 			buffered++
 		} else {
 			held++
@@ -144,21 +187,25 @@ func (l *Logger) Counts(w int) (buffered, held int) {
 func (l *Logger) Current() int { return l.nextStep - 1 }
 
 // Entry returns the logged entry for an absolute step, if still retained.
+// The entry's vectors alias the logger's ring storage (see Logger).
 func (l *Logger) Entry(step int) (Entry, bool) {
-	if len(l.entries) == 0 {
-		return Entry{}, false
-	}
-	first := l.entries[0].Step
+	first := l.nextStep - l.count
 	idx := step - first
-	if idx < 0 || idx >= len(l.entries) {
+	if idx < 0 || idx >= l.count {
 		return Entry{}, false
 	}
-	return l.entries[idx], true
+	ri := l.start + idx
+	if ri >= len(l.ring) {
+		ri -= len(l.ring)
+	}
+	return l.ring[ri], true
 }
 
 // Residuals returns the residual vectors for the inclusive step range
 // [from, to]. It returns false if any step in the range is no longer (or not
-// yet) retained.
+// yet) retained. The vectors alias ring storage (see Logger); callers on
+// the per-step hot path iterate Entry directly instead to avoid the slice
+// allocation.
 func (l *Logger) Residuals(from, to int) ([]mat.Vec, bool) {
 	if from > to {
 		return nil, false
@@ -212,10 +259,11 @@ func (l *Logger) StatusOf(s, w int) Status {
 	}
 }
 
-// Reset clears all state for a fresh run.
+// Reset clears all state for a fresh run; the ring storage is retained.
 func (l *Logger) Reset() {
-	l.entries = l.entries[:0]
+	l.start = 0
+	l.count = 0
 	l.nextStep = 0
-	l.prevEst = nil
+	l.hasPrev = false
 	l.released = 0
 }

@@ -91,6 +91,15 @@ func (s *System) Output(x mat.Vec) mat.Vec { return s.C.MulVec(x) }
 // Logger when forming residuals.
 func (s *System) Predict(x mat.Vec, u mat.Vec) mat.Vec { return s.Step(x, u, nil) }
 
+// PredictTo computes the nominal one-step prediction A x + B u into dst
+// without allocating — the Data Logger's per-step kernel. dst must not
+// alias x or u; dimension mismatches panic exactly like Step (callers
+// validate at configuration time).
+func (s *System) PredictTo(dst, x, u mat.Vec) {
+	s.A.MulVecTo(dst, x)
+	s.B.MulVecAddTo(dst, u)
+}
+
 // Discretize converts a continuous-time system ẋ = Ac x + Bc u into the
 // exact zero-order-hold discrete system over step dt, using the standard
 // augmented-exponential identity:

@@ -184,6 +184,53 @@ func (m *Dense) MulVec(v Vec) Vec {
 	return out
 }
 
+// MulVecTo computes m * v into dst without allocating. The summation order
+// matches MulVec exactly, so results are bit-identical to the allocating
+// kernel. dst must not alias v; shape mismatches and aliasing panic
+// (programmer error, caught at construction time by every caller in this
+// repo).
+func (m *Dense) MulVecTo(dst, v Vec) {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVecTo shape mismatch %dx%d * %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecTo dst length %d, want %d", len(dst), m.rows))
+	}
+	if len(dst) > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("mat: MulVecTo dst aliases v")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecAddTo accumulates dst += m * v without allocating; the per-row dot
+// product uses the same summation order as MulVec. dst must not alias v.
+func (m *Dense) MulVecAddTo(dst, v Vec) {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVecAddTo shape mismatch %dx%d * %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecAddTo dst length %d, want %d", len(dst), m.rows))
+	}
+	if len(dst) > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("mat: MulVecAddTo dst aliases v")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] += s
+	}
+}
+
 // VecMul returns vᵀ * m as a vector (equivalently mᵀ v).
 func (m *Dense) VecMul(v Vec) Vec {
 	if m.rows != len(v) {

@@ -35,6 +35,24 @@ func (v Vec) Clone() Vec {
 	return w
 }
 
+// CopyTo copies v into dst without allocating. It panics if lengths differ,
+// following the package's constructor-time validation convention.
+func (v Vec) CopyTo(dst Vec) {
+	mustSameLen(v, dst)
+	copy(dst, v)
+}
+
+// AbsDiffTo writes |a - b| element-wise into dst — the residual kernel of
+// the Data Logger's hot path. dst may alias a or b. It panics on length
+// mismatch.
+func AbsDiffTo(dst, a, b Vec) {
+	mustSameLen(a, b)
+	mustSameLen(dst, a)
+	for i := range dst {
+		dst[i] = math.Abs(a[i] - b[i])
+	}
+}
+
 // Len returns the dimension of v.
 func (v Vec) Len() int { return len(v) }
 

@@ -1,0 +1,49 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// A Stepper allocates only at construction: the reset / advance / contain
+// cycle that the deadline search runs every control period must be free of
+// heap allocations.
+func TestStepperNoAllocsSteadyState(t *testing.T) {
+	ac := mat.FromRows([][]float64{{0.96, 0.1, 0}, {-0.07, 0.93, 0.05}, {0.01, 0, 0.9}})
+	bc := mat.ColVec(mat.VecOf(0.1, 0.05, 0.02))
+	sys, err := lti.New(ac, bc, nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(sys, geom.UniformBox(1, -1, 1), 0.02, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(3, -50, 50)
+	x0 := mat.VecOf(0.3, -0.2, 0.1)
+	s, err := an.Stepper(x0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := make([]float64, 3), make([]float64, 3)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Reset(x0, 0.05); err != nil {
+			t.Fatal(err)
+		}
+		for s.Advance() {
+			if !s.InsideBox(safe) {
+				t.Fatal("unexpectedly outside the roomy safe set")
+			}
+			s.Bounds(lo, hi)
+			_ = s.SafeSlack(safe)
+		}
+		if err := s.JumpTo(15); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Stepper cycle allocates %v per run, want 0", allocs)
+	}
+}

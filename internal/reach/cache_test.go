@@ -1,0 +1,105 @@
+package reach
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+)
+
+// Shared must hand every concurrent caller the same *Analysis for the same
+// key, build it exactly once, and the shared tables must match a private
+// New. Run under -race in CI: the sync.Once handoff is the interesting part.
+func TestSharedConcurrentCallersGetOneAnalysis(t *testing.T) {
+	sys := scalar(t, 0.95, 0.5)
+	u := geom.UniformBox(1, -1, 1)
+	const workers = 16
+	got := make([]*Analysis, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			an, err := Shared(sys, u, 0.02, 25)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Exercise the shared tables concurrently too.
+			if _, err := an.ReachBox(mat.VecOf(0.1), 25); err != nil {
+				t.Error(err)
+			}
+			got[w] = an
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatalf("worker %d got a different Analysis pointer", w)
+		}
+	}
+
+	private, err := New(sys, u, 0.02, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt <= 25; tt++ {
+		a, err := got[0].ReachBox(mat.VecOf(0.3), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := private.ReachBox(mat.VecOf(0.3), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Interval(0) != b.Interval(0) {
+			t.Fatalf("t=%d: shared %v != private %v", tt, a.Interval(0), b.Interval(0))
+		}
+	}
+}
+
+func TestSharedKeyDiscriminates(t *testing.T) {
+	sys := scalar(t, 0.9, 1)
+	sys2 := scalar(t, 0.9, 1) // same values, distinct pointer
+	u := geom.UniformBox(1, -1, 1)
+	base, err := Shared(sys, u, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Shared(sys, u, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Error("identical key did not hit the cache")
+	}
+	cases := []struct {
+		name string
+		call func() (*Analysis, error)
+	}{
+		{"horizon", func() (*Analysis, error) { return Shared(sys, u, 0.01, 11) }},
+		{"eps", func() (*Analysis, error) { return Shared(sys, u, 0.02, 10) }},
+		{"inputs", func() (*Analysis, error) { return Shared(sys, geom.UniformBox(1, -2, 2), 0.01, 10) }},
+		{"system pointer", func() (*Analysis, error) { return Shared(sys2, u, 0.01, 10) }},
+	}
+	for _, c := range cases {
+		an, err := c.call()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an == base {
+			t.Errorf("%s change reused the cached Analysis", c.name)
+		}
+	}
+}
+
+func TestSharedPropagatesConstructionErrors(t *testing.T) {
+	sys := scalar(t, 1, 1)
+	if _, err := Shared(sys, geom.UniformBox(2, -1, 1), 0, 5); err == nil {
+		t.Error("wrong input dimension accepted")
+	}
+	if _, err := Shared(sys, geom.UniformBox(1, -1, 1), -1, 5); err == nil {
+		t.Error("negative eps accepted")
+	}
+}

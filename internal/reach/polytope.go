@@ -35,16 +35,18 @@ type SupportSweep struct {
 }
 
 // SupportSweep returns a sweep for direction l positioned at step 0.
-func (a *Analysis) SupportSweep(x0 mat.Vec, initRadius float64, l mat.Vec) *SupportSweep {
+// Dimension mismatches and negative radii are configuration faults
+// returned as errors.
+func (a *Analysis) SupportSweep(x0 mat.Vec, initRadius float64, l mat.Vec) (*SupportSweep, error) {
 	n := a.sys.StateDim()
 	if len(x0) != n {
-		panic(fmt.Sprintf("reach: x0 dimension %d, want %d", len(x0), n))
+		return nil, fmt.Errorf("reach: x0 dimension %d, want %d", len(x0), n)
 	}
 	if len(l) != n {
-		panic(fmt.Sprintf("reach: direction dimension %d, want %d", len(l), n))
+		return nil, fmt.Errorf("reach: direction dimension %d, want %d", len(l), n)
 	}
 	if initRadius < 0 {
-		panic("reach: negative initial radius")
+		return nil, fmt.Errorf("reach: negative initial radius %v", initRadius)
 	}
 	return &SupportSweep{
 		a:     a,
@@ -54,7 +56,7 @@ func (a *Analysis) SupportSweep(x0 mat.Vec, initRadius float64, l mat.Vec) *Supp
 		v:     l.Clone(),
 		bc:    a.sys.B.MulVec(a.inputs.Center()),
 		gamma: a.inputs.HalfWidths(),
-	}
+	}, nil
 }
 
 // Step returns the current step index.
@@ -92,46 +94,56 @@ func (s *SupportSweep) Advance() bool {
 // SupportAt evaluates ρ_R(l) of the reachable set t steps from x0 (with an
 // optional initial ball of radius initRadius). t must be within the
 // horizon.
-func (a *Analysis) SupportAt(x0 mat.Vec, initRadius float64, l mat.Vec, t int) float64 {
+func (a *Analysis) SupportAt(x0 mat.Vec, initRadius float64, l mat.Vec, t int) (float64, error) {
 	if t < 0 || t > a.horizon {
-		panic(fmt.Sprintf("reach: step %d outside horizon [0, %d]", t, a.horizon))
+		return 0, fmt.Errorf("reach: step %d outside horizon [0, %d]", t, a.horizon)
 	}
-	s := a.SupportSweep(x0, initRadius, l)
+	s, err := a.SupportSweep(x0, initRadius, l)
+	if err != nil {
+		return 0, err
+	}
 	for s.Step() < t {
 		s.Advance()
 	}
-	return s.Value()
+	return s.Value(), nil
 }
 
 // FirstUnsafePolytope searches steps 1..Horizon for the first step at which
 // the reachable set's support exceeds any face of the polytopic safe set
 // (Definition 3.1 for general convex safe regions). It returns that step
 // and true, or Horizon and false when conservatively safe throughout.
-func (a *Analysis) FirstUnsafePolytope(x0 mat.Vec, initRadius float64, safe geom.Polytope) (int, bool) {
+func (a *Analysis) FirstUnsafePolytope(x0 mat.Vec, initRadius float64, safe geom.Polytope) (int, bool, error) {
 	if safe.Dim() != a.sys.StateDim() {
-		panic(fmt.Sprintf("reach: polytope dimension %d, want %d", safe.Dim(), a.sys.StateDim()))
+		return 0, false, fmt.Errorf("reach: polytope dimension %d, want %d", safe.Dim(), a.sys.StateDim())
 	}
 	sweeps := make([]*SupportSweep, safe.NumFaces())
 	for i := range sweeps {
-		sweeps[i] = a.SupportSweep(x0, initRadius, safe.Face(i).Normal)
+		s, err := a.SupportSweep(x0, initRadius, safe.Face(i).Normal)
+		if err != nil {
+			return 0, false, err
+		}
+		sweeps[i] = s
 	}
 	for t := 1; t <= a.horizon; t++ {
 		for i, s := range sweeps {
 			s.Advance()
 			if s.Value() > safe.Face(i).Offset {
-				return t, true
+				return t, true, nil
 			}
 		}
 	}
-	return a.horizon, false
+	return a.horizon, false, nil
 }
 
 // DeadlinePolytope is the polytopic-safe-set deadline: the last step before
 // the reachable set can cross any face, clamped to the horizon.
-func (a *Analysis) DeadlinePolytope(x0 mat.Vec, initRadius float64, safe geom.Polytope) int {
-	t, found := a.FirstUnsafePolytope(x0, initRadius, safe)
-	if !found {
-		return a.horizon
+func (a *Analysis) DeadlinePolytope(x0 mat.Vec, initRadius float64, safe geom.Polytope) (int, error) {
+	t, found, err := a.FirstUnsafePolytope(x0, initRadius, safe)
+	if err != nil {
+		return 0, err
 	}
-	return t - 1
+	if !found {
+		return a.horizon, nil
+	}
+	return t - 1, nil
 }

@@ -33,10 +33,20 @@ func TestSupportAtMatchesBoxOnAxisDirections(t *testing.T) {
 	x0 := mat.VecOf(0.4, -0.2)
 	const r = 0.05
 	for tt := 0; tt <= 15; tt++ {
-		box := an.ReachBoxFromBall(x0, r, tt)
+		box, err := an.ReachBoxFromBall(x0, r, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for dim := 0; dim < 2; dim++ {
-			up := an.SupportAt(x0, r, mat.Basis(2, dim), tt)
-			lo := -an.SupportAt(x0, r, mat.Basis(2, dim).Scale(-1), tt)
+			up, err := an.SupportAt(x0, r, mat.Basis(2, dim), tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			down, err := an.SupportAt(x0, r, mat.Basis(2, dim).Scale(-1), tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo := -down
 			if math.Abs(up-box.Interval(dim).Hi) > 1e-9 || math.Abs(lo-box.Interval(dim).Lo) > 1e-9 {
 				t.Errorf("t=%d dim=%d: support [%v,%v] vs box %v", tt, dim, lo, up, box.Interval(dim))
 			}
@@ -52,9 +62,15 @@ func TestSupportSweepMatchesSupportAt(t *testing.T) {
 	}
 	x0 := mat.VecOf(1, 1)
 	l := mat.VecOf(0.6, -0.8)
-	s := an.SupportSweep(x0, 0.01, l)
+	s, err := an.SupportSweep(x0, 0.01, l)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for {
-		want := an.SupportAt(x0, 0.01, l, s.Step())
+		want, err := an.SupportAt(x0, 0.01, l, s.Step())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(s.Value()-want) > 1e-9 {
 			t.Fatalf("step %d: sweep %v vs direct %v", s.Step(), s.Value(), want)
 		}
@@ -84,7 +100,11 @@ func TestSupportSoundnessProperty(t *testing.T) {
 			uv := mat.VecOf(src.Uniform(-1, 1), src.Uniform(-1, 1))
 			x = sys.Step(x, uv, ball.Sample(tt))
 			for _, l := range dirs {
-				if l.Dot(x) > an.SupportAt(x0, 0, l, tt)+1e-9 {
+				sup, err := an.SupportAt(x0, 0, l, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if l.Dot(x) > sup+1e-9 {
 					t.Fatalf("trial %d step %d: support violated along %v", trial, tt, l)
 				}
 			}
@@ -101,8 +121,14 @@ func TestFirstUnsafePolytopeMatchesBoxForBoxSafeSets(t *testing.T) {
 	safeBox := geom.UniformBox(2, -2, 2)
 	safePoly := geom.PolytopeFromBox(safeBox)
 	for _, x0 := range []mat.Vec{{0, 0}, {1.5, 0}, {1.2, -1.2}, {1.95, 1.95}} {
-		tb, fb := an.FirstUnsafe(x0, 0.01, safeBox)
-		tp, fp := an.FirstUnsafePolytope(x0, 0.01, safePoly)
+		tb, fb, err := an.FirstUnsafe(x0, 0.01, safeBox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, fp, err := an.FirstUnsafePolytope(x0, 0.01, safePoly)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if tb != tp || fb != fp {
 			t.Errorf("x0=%v: box (%d,%v) vs polytope (%d,%v)", x0, tb, fb, tp, fp)
 		}
@@ -130,8 +156,14 @@ func TestPolytopeDeadlineTighterForDiagonalFaces(t *testing.T) {
 	diag := geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1, 1), 3))
 	near := mat.VecOf(1.45, 1.45) // x+y = 2.9, close to the face
 	far := mat.VecOf(-1, -1)
-	dn := an.DeadlinePolytope(near, 0, diag)
-	df := an.DeadlinePolytope(far, 0, diag)
+	dn, err := an.DeadlinePolytope(near, 0, diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := an.DeadlinePolytope(far, 0, diag)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dn >= df {
 		t.Errorf("near-face deadline %d should be tighter than far %d", dn, df)
 	}
@@ -147,30 +179,26 @@ func TestDeadlinePolytopeClampsToHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 	roomy := geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1, 0), 1e6))
-	if d := an.DeadlinePolytope(mat.VecOf(0, 0), 0, roomy); d != 10 {
-		t.Errorf("deadline = %d, want horizon 10", d)
+	if d, err := an.DeadlinePolytope(mat.VecOf(0, 0), 0, roomy); err != nil || d != 10 {
+		t.Errorf("deadline = %d (err %v), want horizon 10", d, err)
 	}
 }
 
 func TestSupportSweepValidation(t *testing.T) {
 	sys := twoDimSystem(t)
 	an, _ := New(sys, geom.UniformBox(2, -1, 1), 0, 5)
-	for i, fn := range []func(){
-		func() { an.SupportSweep(mat.VecOf(1), 0, mat.VecOf(1, 0)) },
-		func() { an.SupportSweep(mat.VecOf(1, 0), 0, mat.VecOf(1)) },
-		func() { an.SupportSweep(mat.VecOf(1, 0), -1, mat.VecOf(1, 0)) },
-		func() { an.SupportAt(mat.VecOf(1, 0), 0, mat.VecOf(1, 0), 6) },
-		func() {
-			an.FirstUnsafePolytope(mat.VecOf(1, 0), 0, geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1), 0)))
+	for i, fn := range []func() error{
+		func() error { _, err := an.SupportSweep(mat.VecOf(1), 0, mat.VecOf(1, 0)); return err },
+		func() error { _, err := an.SupportSweep(mat.VecOf(1, 0), 0, mat.VecOf(1)); return err },
+		func() error { _, err := an.SupportSweep(mat.VecOf(1, 0), -1, mat.VecOf(1, 0)); return err },
+		func() error { _, err := an.SupportAt(mat.VecOf(1, 0), 0, mat.VecOf(1, 0), 6); return err },
+		func() error {
+			_, _, err := an.FirstUnsafePolytope(mat.VecOf(1, 0), 0, geom.NewPolytope(geom.NewHalfspace(mat.VecOf(1), 0)))
+			return err
 		},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+		if err := fn(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
 	}
 }

@@ -51,7 +51,8 @@ func TestQuickReachSoundnessRandomSystems(t *testing.T) {
 		for tt := 1; tt <= horizon; tt++ {
 			uv := mat.VecOf(src.Uniform(uLo, uHi+1e-300))
 			x = sys.Step(x, uv, ball.Sample(tt))
-			if !an.ReachBox(x0, tt).Inflate(1e-9).Contains(x) {
+			box, err := an.ReachBox(x0, tt)
+			if err != nil || !box.Inflate(1e-9).Contains(x) {
 				return false
 			}
 		}
@@ -90,7 +91,10 @@ func TestQuickZonotopeBoxAgreementRandomSystems(t *testing.T) {
 		}
 		for tt := 1; tt <= horizon; tt++ {
 			zs.Advance()
-			want := an.ReachBox(x0, tt)
+			want, err := an.ReachBox(x0, tt)
+			if err != nil {
+				return false
+			}
 			got := zs.Box()
 			for d := 0; d < 2; d++ {
 				if diff := got.Interval(d).Lo - want.Interval(d).Lo; diff > 1e-8 || diff < -1e-8 {

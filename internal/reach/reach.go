@@ -113,25 +113,30 @@ func (a *Analysis) Eps() float64 { return a.eps }
 // Inputs returns the control-input box U.
 func (a *Analysis) Inputs() geom.Box { return a.inputs }
 
+// StateDim returns the plant's state dimension n.
+func (a *Analysis) StateDim() int { return a.sys.StateDim() }
+
 // ReachBox returns the box over-approximation of the reachable set t steps
 // after starting exactly at x0 (Eq. 4/5). t must be in [0, Horizon].
-func (a *Analysis) ReachBox(x0 mat.Vec, t int) geom.Box {
+func (a *Analysis) ReachBox(x0 mat.Vec, t int) (geom.Box, error) {
 	return a.ReachBoxFromBall(x0, 0, t)
 }
 
 // ReachBoxFromBall is ReachBox with the initial state known only up to a
 // Euclidean ball of radius r around x0 (Sec. 3.3.1, noisy estimates). The
 // ball's image under A^t contributes r‖(A^t)ᵀe_i‖₂ per dimension.
-func (a *Analysis) ReachBoxFromBall(x0 mat.Vec, r float64, t int) geom.Box {
+// Out-of-horizon steps, negative radii, and dimension mismatches are
+// configuration faults returned as errors so the control loop survives.
+func (a *Analysis) ReachBoxFromBall(x0 mat.Vec, r float64, t int) (geom.Box, error) {
 	if t < 0 || t > a.horizon {
-		panic(fmt.Sprintf("reach: step %d outside precomputed horizon [0, %d]", t, a.horizon))
+		return geom.Box{}, fmt.Errorf("reach: step %d outside precomputed horizon [0, %d]", t, a.horizon)
 	}
 	if r < 0 {
-		panic(fmt.Sprintf("reach: negative initial radius %v", r))
+		return geom.Box{}, fmt.Errorf("reach: negative initial radius %v", r)
 	}
 	n := a.sys.StateDim()
 	if len(x0) != n {
-		panic(fmt.Sprintf("reach: x0 dimension %d, want %d", len(x0), n))
+		return geom.Box{}, fmt.Errorf("reach: x0 dimension %d, want %d", len(x0), n)
 	}
 	center := a.powers[t].MulVec(x0)
 	lo := make([]float64, n)
@@ -142,45 +147,125 @@ func (a *Analysis) ReachBoxFromBall(x0 mat.Vec, r float64, t int) geom.Box {
 		lo[i] = mid - spread
 		hi[i] = mid + spread
 	}
-	return geom.BoxFromBounds(lo, hi)
+	return geom.BoxFromBounds(lo, hi), nil
 }
 
 // Stepper walks the reachable-set bounds forward one step at a time from a
-// fixed x0, amortizing the A^t x0 products into a single mat-vec per step.
-// This is the inner loop of the deadline search (Fig. 2).
+// fixed x0 — the inner loop of the deadline search (Fig. 2). The position
+// A^t x0 is evaluated against the precomputed power table with one
+// destination-passing mat-vec per step into owned scratch, so a Stepper
+// allocates only at construction and is bit-identical to ReachBoxFromBall
+// at every step. Reset re-arms the same scratch for a new start state,
+// which is what keeps the per-control-period deadline search
+// allocation-free.
 type Stepper struct {
 	a    *Analysis
-	x    mat.Vec // A^t x0
+	x0   mat.Vec // start state (owned copy)
+	x    mat.Vec // A^step · x0 (owned scratch)
 	r    float64
 	step int
 }
 
 // Stepper returns a fresh stepper positioned at step 0 (the initial set).
-func (a *Analysis) Stepper(x0 mat.Vec, initRadius float64) *Stepper {
-	if len(x0) != a.sys.StateDim() {
-		panic(fmt.Sprintf("reach: x0 dimension %d, want %d", len(x0), a.sys.StateDim()))
+// Dimension mismatches and negative radii are returned as errors.
+func (a *Analysis) Stepper(x0 mat.Vec, initRadius float64) (*Stepper, error) {
+	n := a.sys.StateDim()
+	s := &Stepper{a: a, x0: mat.NewVec(n), x: mat.NewVec(n)}
+	if err := s.Reset(x0, initRadius); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset repositions the stepper at step 0 with a new start state and
+// radius, reusing the owned scratch so steady-state searches do not
+// allocate.
+func (s *Stepper) Reset(x0 mat.Vec, initRadius float64) error {
+	if len(x0) != len(s.x0) {
+		return fmt.Errorf("reach: x0 dimension %d, want %d", len(x0), len(s.x0))
 	}
 	if initRadius < 0 {
-		panic("reach: negative initial radius")
+		return fmt.Errorf("reach: negative initial radius %v", initRadius)
 	}
-	return &Stepper{a: a, x: x0.Clone(), r: initRadius}
+	copy(s.x0, x0)
+	copy(s.x, x0)
+	s.r = initRadius
+	s.step = 0
+	return nil
 }
 
 // Step returns the current step index.
 func (s *Stepper) Step() int { return s.step }
 
-// Box returns the reachable-set box at the current step.
+// Box returns the reachable-set box at the current step. It materializes a
+// fresh geom.Box; the search loops use InsideBox / SafeSlack / Bounds
+// instead to stay allocation-free.
 func (s *Stepper) Box() geom.Box {
 	n := len(s.x)
 	lo := make([]float64, n)
 	hi := make([]float64, n)
+	s.Bounds(lo, hi)
+	return geom.BoxFromBounds(lo, hi)
+}
+
+// Bounds writes the current step's lower/upper reach bounds into the
+// caller's slices (each of length ≥ StateDim) without allocating.
+func (s *Stepper) Bounds(lo, hi []float64) {
+	n := len(s.x)
+	lo, hi = lo[:n], hi[:n]
 	for i := 0; i < n; i++ {
 		mid := s.x[i] + s.a.drift[s.step][i]
 		spread := s.a.inputSpread[s.step][i] + s.a.noiseSpread[s.step][i] + s.r*s.a.initSpread[s.step][i]
 		lo[i] = mid - spread
 		hi[i] = mid + spread
 	}
-	return geom.BoxFromBounds(lo, hi)
+}
+
+// InsideBox reports whether the current step's reach box is contained in b
+// without materializing a geom.Box. The comparisons mirror
+// Box.ContainsBounds exactly, so the result is bit-identical to
+// b.ContainsBox(s.Box()) for finite bounds; non-finite arithmetic (NaN from
+// a corrupt start state) conservatively reports "outside".
+func (s *Stepper) InsideBox(b geom.Box) bool {
+	for i := range s.x {
+		mid := s.x[i] + s.a.drift[s.step][i]
+		spread := s.a.inputSpread[s.step][i] + s.a.noiseSpread[s.step][i] + s.r*s.a.initSpread[s.step][i]
+		iv := b.Interval(i)
+		if !(mid-spread >= iv.Lo && mid+spread <= iv.Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// SafeSlack returns the largest Euclidean distance δ the start state x0 may
+// move while the current step's reach box provably remains inside b, or a
+// negative value when the box is not contained (matching InsideBox). The
+// bound is per-dimension Cauchy–Schwarz: moving x0 by δ shifts the step-t
+// center in dimension i by at most ‖(A^t)ᵀe_i‖₂·δ = initSpread[t][i]·δ,
+// so a containment margin m_i tolerates any δ ≤ m_i / initSpread[t][i].
+// This is the warm-start certificate of the deadline estimator.
+func (s *Stepper) SafeSlack(b geom.Box) float64 {
+	slack := math.Inf(1)
+	t := s.step
+	for i := range s.x {
+		mid := s.x[i] + s.a.drift[t][i]
+		spread := s.a.inputSpread[t][i] + s.a.noiseSpread[t][i] + s.r*s.a.initSpread[t][i]
+		iv := b.Interval(i)
+		m := mid - spread - iv.Lo
+		if up := iv.Hi - (mid + spread); up < m {
+			m = up
+		}
+		if !(m >= 0) {
+			return -1
+		}
+		if isp := s.a.initSpread[t][i]; isp > 0 {
+			if sl := m / isp; sl < slack {
+				slack = sl
+			}
+		}
+	}
+	return slack
 }
 
 // Advance moves to the next step; it reports false once the horizon is
@@ -189,38 +274,62 @@ func (s *Stepper) Advance() bool {
 	if s.step >= s.a.horizon {
 		return false
 	}
-	s.x = s.a.sys.A.MulVec(s.x)
 	s.step++
+	s.a.powers[s.step].MulVecTo(s.x, s.x0)
 	return true
+}
+
+// JumpTo positions the stepper directly at step t via the precomputed power
+// table — bit-identical to Advancing t times from a fresh Reset, at the
+// cost of a single mat-vec. This is what lets the warm-started deadline
+// search skip its provably-safe prefix.
+func (s *Stepper) JumpTo(t int) error {
+	if t < 0 || t > s.a.horizon {
+		return fmt.Errorf("reach: jump step %d outside horizon [0, %d]", t, s.a.horizon)
+	}
+	s.step = t
+	if t == 0 {
+		copy(s.x, s.x0)
+		return nil
+	}
+	s.a.powers[t].MulVecTo(s.x, s.x0)
+	return nil
 }
 
 // FirstUnsafe searches steps 1..Horizon for the first step at which the
 // reachable-set over-approximation is no longer contained in the safe box
 // (equivalently, intersects the unsafe complement F — Definition 3.1). It
 // returns that step and true, or Horizon and false if the system remains
-// conservatively safe over the whole horizon.
-func (a *Analysis) FirstUnsafe(x0 mat.Vec, initRadius float64, safe geom.Box) (int, bool) {
+// conservatively safe over the whole horizon. Dimension mismatches are
+// returned as errors.
+func (a *Analysis) FirstUnsafe(x0 mat.Vec, initRadius float64, safe geom.Box) (int, bool, error) {
 	if safe.Dim() != a.sys.StateDim() {
-		panic(fmt.Sprintf("reach: safe set dimension %d, want %d", safe.Dim(), a.sys.StateDim()))
+		return 0, false, fmt.Errorf("reach: safe set dimension %d, want %d", safe.Dim(), a.sys.StateDim())
 	}
-	s := a.Stepper(x0, initRadius)
+	s, err := a.Stepper(x0, initRadius)
+	if err != nil {
+		return 0, false, err
+	}
 	for s.Advance() {
-		if !safe.ContainsBox(s.Box()) {
-			return s.Step(), true
+		if !s.InsideBox(safe) {
+			return s.Step(), true, nil
 		}
 	}
-	return a.horizon, false
+	return a.horizon, false, nil
 }
 
 // Deadline returns the detection deadline t_d from x0 (Sec. 3.3.2): the last
 // step before the reachable set can leave the safe box, clamped to the
 // horizon. A deadline of 0 means the very next step may already be unsafe.
-func (a *Analysis) Deadline(x0 mat.Vec, initRadius float64, safe geom.Box) int {
-	t, found := a.FirstUnsafe(x0, initRadius, safe)
-	if !found {
-		return a.horizon
+func (a *Analysis) Deadline(x0 mat.Vec, initRadius float64, safe geom.Box) (int, error) {
+	t, found, err := a.FirstUnsafe(x0, initRadius, safe)
+	if err != nil {
+		return 0, err
 	}
-	return t - 1
+	if !found {
+		return a.horizon, nil
+	}
+	return t - 1, nil
 }
 
 // NaiveReachBox evaluates Eq. (2) directly — rebuilding every Minkowski-sum

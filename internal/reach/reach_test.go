@@ -43,7 +43,10 @@ func TestReachBoxStepZeroIsPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := a.ReachBox(mat.VecOf(3), 0)
+	b, err := a.ReachBox(mat.VecOf(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.Interval(0).Lo != 3 || b.Interval(0).Hi != 3 {
 		t.Errorf("step-0 box = %v, want point {3}", b)
 	}
@@ -58,7 +61,10 @@ func TestReachBoxScalarHandComputed(t *testing.T) {
 		t.Fatal(err)
 	}
 	for tt := 1; tt <= 10; tt++ {
-		b := a.ReachBox(mat.VecOf(0), tt)
+		b, err := a.ReachBox(mat.VecOf(0), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(b.Interval(0).Lo+float64(tt)) > 1e-12 || math.Abs(b.Interval(0).Hi-float64(tt)) > 1e-12 {
 			t.Errorf("t=%d: box = %v, want [-%d, %d]", tt, b, tt, tt)
 		}
@@ -73,7 +79,10 @@ func TestReachBoxOffsetInputBox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := a.ReachBox(mat.VecOf(0), 4)
+	b, err := a.ReachBox(mat.VecOf(0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(b.Interval(0).Lo-4) > 1e-12 || math.Abs(b.Interval(0).Hi-12) > 1e-12 {
 		t.Errorf("box = %v, want [4, 12]", b)
 	}
@@ -86,7 +95,10 @@ func TestReachBoxUncertaintyAccumulates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := a.ReachBox(mat.VecOf(1), 6)
+	b, err := a.ReachBox(mat.VecOf(1), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(b.Interval(0).Lo-(1-3)) > 1e-12 || math.Abs(b.Interval(0).Hi-(1+3)) > 1e-12 {
 		t.Errorf("box = %v, want [-2, 4]", b)
 	}
@@ -99,7 +111,10 @@ func TestReachBoxContractionStaysBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := a.ReachBox(mat.VecOf(0), 50)
+	b, err := a.ReachBox(mat.VecOf(0), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.Interval(0).Hi > 0.21 {
 		t.Errorf("stable system spread = %v, want < 0.21", b.Interval(0).Hi)
 	}
@@ -112,7 +127,10 @@ func TestReachBoxFromBallAddsInitialSpread(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Initial ball radius 0.1; after 3 steps of doubling: ±0.8.
-	b := a.ReachBoxFromBall(mat.VecOf(0), 0.1, 3)
+	b, err := a.ReachBoxFromBall(mat.VecOf(0), 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(b.Interval(0).Hi-0.8) > 1e-12 {
 		t.Errorf("ball spread = %v, want 0.8", b.Interval(0).Hi)
 	}
@@ -133,7 +151,10 @@ func TestReachMatchesNaiveOracle(t *testing.T) {
 	}
 	x0 := mat.VecOf(1, -0.5, 0.25)
 	for tt := 0; tt <= 12; tt++ {
-		fast := a.ReachBox(x0, tt)
+		fast, err := a.ReachBox(x0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		slow := NaiveReachBox(sys, u, eps, x0, tt)
 		for i := 0; i < 3; i++ {
 			if math.Abs(fast.Interval(i).Lo-slow.Interval(i).Lo) > 1e-9 ||
@@ -150,12 +171,20 @@ func TestStepperMatchesReachBox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := a.Stepper(mat.VecOf(0.7), 0.05)
+	s, err := a.Stepper(mat.VecOf(0.7), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for {
-		want := a.ReachBoxFromBall(mat.VecOf(0.7), 0.05, s.Step())
+		want, err := a.ReachBoxFromBall(mat.VecOf(0.7), 0.05, s.Step())
+		if err != nil {
+			t.Fatal(err)
+		}
 		got := s.Box()
-		if math.Abs(got.Interval(0).Lo-want.Interval(0).Lo) > 1e-9 ||
-			math.Abs(got.Interval(0).Hi-want.Interval(0).Hi) > 1e-9 {
+		// The stepper evaluates powers[t]·x0 exactly like ReachBoxFromBall,
+		// so agreement is bit-exact, not merely within tolerance.
+		if got.Interval(0).Lo != want.Interval(0).Lo ||
+			got.Interval(0).Hi != want.Interval(0).Hi {
 			t.Fatalf("step %d: stepper=%v direct=%v", s.Step(), got, want)
 		}
 		if !s.Advance() {
@@ -164,6 +193,128 @@ func TestStepperMatchesReachBox(t *testing.T) {
 	}
 	if s.Step() != 20 {
 		t.Errorf("stepper stopped at %d, want horizon 20", s.Step())
+	}
+}
+
+func TestStepperJumpToMatchesAdvance(t *testing.T) {
+	ac := mat.FromRows([][]float64{{0.97, 0.12, -0.03}, {-0.08, 0.91, 0.06}, {0.02, -0.01, 0.88}})
+	bc := mat.ColVec(mat.VecOf(0.1, 0.05, 0.02))
+	sys, err := lti.New(ac, bc, nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(sys, geom.UniformBox(1, -2, 2), 0.03, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mat.VecOf(0.4, -0.9, 0.2)
+	walk, err := a.Stepper(x0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jump, err := a.Stepper(x0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := make([]float64, 3), make([]float64, 3)
+	lo2, hi2 := make([]float64, 3), make([]float64, 3)
+	for walk.Advance() {
+		if err := jump.JumpTo(walk.Step()); err != nil {
+			t.Fatal(err)
+		}
+		walk.Bounds(lo1, hi1)
+		jump.Bounds(lo2, hi2)
+		for i := range lo1 {
+			if lo1[i] != lo2[i] || hi1[i] != hi2[i] {
+				t.Fatalf("step %d dim %d: advance=[%v,%v] jump=[%v,%v]",
+					walk.Step(), i, lo1[i], hi1[i], lo2[i], hi2[i])
+			}
+		}
+	}
+	if err := jump.JumpTo(99); err == nil {
+		t.Error("JumpTo past horizon accepted")
+	}
+	if err := jump.JumpTo(-1); err == nil {
+		t.Error("negative JumpTo accepted")
+	}
+}
+
+func TestStepperInsideBoxMatchesContainsBox(t *testing.T) {
+	sys := scalar(t, 1.08, 0.6)
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0.02, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(1, -6, 6)
+	s, err := a.Stepper(mat.VecOf(0.3), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		want := safe.ContainsBox(s.Box())
+		if got := s.InsideBox(safe); got != want {
+			t.Fatalf("step %d: InsideBox=%v ContainsBox=%v", s.Step(), got, want)
+		}
+		sl := s.SafeSlack(safe)
+		if want && sl < 0 {
+			t.Fatalf("step %d: contained but SafeSlack=%v", s.Step(), sl)
+		}
+		if !want && sl >= 0 {
+			t.Fatalf("step %d: outside but SafeSlack=%v", s.Step(), sl)
+		}
+		if !s.Advance() {
+			break
+		}
+	}
+}
+
+// SafeSlack's certificate: moving x0 by strictly less than the reported
+// slack must keep the same step's reach box inside the safe set.
+func TestSafeSlackCertificateProperty(t *testing.T) {
+	ac := mat.FromRows([][]float64{{1.01, 0.1}, {-0.05, 0.98}})
+	bc := mat.ColVec(mat.VecOf(0.1, 0.06))
+	sys, err := lti.New(ac, bc, nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(sys, geom.UniformBox(1, -1, 1), 0.01, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := geom.UniformBox(2, -8, 8)
+	x0 := mat.VecOf(0.5, -0.3)
+	s, err := a.Stepper(x0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := a.Stepper(x0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		sl := s.SafeSlack(safe)
+		if sl > 0 && !math.IsInf(sl, 1) {
+			// Perturb x0 by 0.9·slack along each axis; containment must hold.
+			for dim := 0; dim < 2; dim++ {
+				for _, sign := range []float64{1, -1} {
+					moved := x0.Clone()
+					moved[dim] += sign * 0.9 * sl
+					if err := probe.Reset(moved, 0.02); err != nil {
+						t.Fatal(err)
+					}
+					if err := probe.JumpTo(s.Step()); err != nil {
+						t.Fatal(err)
+					}
+					if !probe.InsideBox(safe) {
+						t.Fatalf("step %d: slack %v violated by move %v along dim %d",
+							s.Step(), sl, sign*0.9*sl, dim)
+					}
+				}
+			}
+		}
+		if !s.Advance() {
+			break
+		}
 	}
 }
 
@@ -192,7 +343,10 @@ func TestReachSoundnessProperty(t *testing.T) {
 		for tt := 1; tt <= horizon; tt++ {
 			uval := mat.VecOf(src.Uniform(-3, 3))
 			x = sys.Step(x, uval, ball.Sample(tt))
-			box := a.ReachBox(x0, tt)
+			box, err := a.ReachBox(x0, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !box.Contains(x) {
 				t.Fatalf("trial %d step %d: state %v escapes over-approximation %v", trial, tt, x, box)
 			}
@@ -213,7 +367,14 @@ func TestReachMonotonicityProperty(t *testing.T) {
 	}
 	x0 := mat.VecOf(0.3)
 	for tt := 0; tt <= 15; tt++ {
-		bs, bb := small.ReachBox(x0, tt), big.ReachBox(x0, tt)
+		bs, err := small.ReachBox(x0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := big.ReachBox(x0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !bb.ContainsBox(bs) {
 			t.Errorf("t=%d: larger uncertainty produced smaller box", tt)
 		}
@@ -229,12 +390,15 @@ func TestFirstUnsafeAndDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	safe := geom.UniformBox(1, -4.5, 4.5)
-	first, found := a.FirstUnsafe(mat.VecOf(0), 0, safe)
+	first, found, err := a.FirstUnsafe(mat.VecOf(0), 0, safe)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !found || first != 5 {
 		t.Errorf("FirstUnsafe = %d found=%v, want 5 true", first, found)
 	}
-	if d := a.Deadline(mat.VecOf(0), 0, safe); d != 4 {
-		t.Errorf("Deadline = %d, want 4", d)
+	if d, err := a.Deadline(mat.VecOf(0), 0, safe); err != nil || d != 4 {
+		t.Errorf("Deadline = %d (err %v), want 4", d, err)
 	}
 }
 
@@ -246,8 +410,8 @@ func TestDeadlineZeroWhenAlreadyMarginal(t *testing.T) {
 		t.Fatal(err)
 	}
 	safe := geom.UniformBox(1, -4.5, 4.5)
-	if d := a.Deadline(mat.VecOf(4.4), 0, safe); d != 0 {
-		t.Errorf("Deadline at boundary = %d, want 0", d)
+	if d, err := a.Deadline(mat.VecOf(4.4), 0, safe); err != nil || d != 0 {
+		t.Errorf("Deadline at boundary = %d (err %v), want 0", d, err)
 	}
 }
 
@@ -259,12 +423,15 @@ func TestDeadlineClampsToHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 	safe := geom.UniformBox(1, -100, 100)
-	first, found := a.FirstUnsafe(mat.VecOf(0), 0, safe)
+	first, found, err := a.FirstUnsafe(mat.VecOf(0), 0, safe)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if found {
 		t.Errorf("unexpected unsafe at %d", first)
 	}
-	if d := a.Deadline(mat.VecOf(0), 0, safe); d != 30 {
-		t.Errorf("Deadline = %d, want horizon 30", d)
+	if d, err := a.Deadline(mat.VecOf(0), 0, safe); err != nil || d != 30 {
+		t.Errorf("Deadline = %d (err %v), want horizon 30", d, err)
 	}
 }
 
@@ -278,7 +445,10 @@ func TestDeadlineMonotoneInDistanceProperty(t *testing.T) {
 	safe := geom.UniformBox(1, -10, 10)
 	prev := math.MaxInt
 	for x := 0.0; x <= 9.5; x += 0.5 {
-		d := a.Deadline(mat.VecOf(x), 0, safe)
+		d, err := a.Deadline(mat.VecOf(x), 0, safe)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if d > prev {
 			t.Errorf("deadline increased from %d to %d as state moved toward unsafe (x=%v)", prev, d, x)
 		}
@@ -299,21 +469,39 @@ func TestDeadlineWithUnboundedSafeDims(t *testing.T) {
 		t.Fatal(err)
 	}
 	safe := geom.NewBox(geom.NewInterval(-2, 2), geom.Whole())
-	d := a.Deadline(mat.VecOf(0, 0), 0, safe)
+	d, err := a.Deadline(mat.VecOf(0, 0), 0, safe)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d <= 0 || d >= 50 {
 		t.Errorf("deadline = %d, want interior value", d)
 	}
 }
 
-func TestReachBoxOutOfHorizonPanics(t *testing.T) {
+func TestReachBoxConfigFaultsReturnErrors(t *testing.T) {
 	sys := scalar(t, 1, 1)
 	a, _ := New(sys, geom.UniformBox(1, -1, 1), 0, 5)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	a.ReachBox(mat.VecOf(0), 6)
+	if _, err := a.ReachBox(mat.VecOf(0), 6); err == nil {
+		t.Error("out-of-horizon step accepted")
+	}
+	if _, err := a.ReachBox(mat.VecOf(0), -1); err == nil {
+		t.Error("negative step accepted")
+	}
+	if _, err := a.ReachBoxFromBall(mat.VecOf(0), -0.1, 2); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := a.ReachBox(mat.VecOf(0, 0), 2); err == nil {
+		t.Error("wrong x0 dimension accepted")
+	}
+	if _, err := a.Stepper(mat.VecOf(0, 0), 0); err == nil {
+		t.Error("Stepper with wrong x0 dimension accepted")
+	}
+	if _, err := a.Stepper(mat.VecOf(0), -1); err == nil {
+		t.Error("Stepper with negative radius accepted")
+	}
+	if _, _, err := a.FirstUnsafe(mat.VecOf(0), 0, geom.UniformBox(2, -1, 1)); err == nil {
+		t.Error("FirstUnsafe with wrong safe-set dimension accepted")
+	}
 }
 
 func TestAccessors(t *testing.T) {

@@ -25,7 +25,10 @@ func TestZonotopeStepperMatchesBoxBoundsWithoutNoise(t *testing.T) {
 	}
 	for tt := 1; tt <= 12; tt++ {
 		zs.Advance()
-		want := an.ReachBox(x0, tt)
+		want, err := an.ReachBox(x0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		got := zs.Box()
 		for d := 0; d < 2; d++ {
 			if math.Abs(got.Interval(d).Lo-want.Interval(d).Lo) > 1e-9 ||
@@ -55,7 +58,10 @@ func TestZonotopeStepperConservativeForBallNoise(t *testing.T) {
 	}
 	for tt := 1; tt <= 10; tt++ {
 		zs.Advance()
-		exact := an.ReachBox(x0, tt)
+		exact, err := an.ReachBox(x0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !zs.Box().ContainsBox(exact) {
 			t.Fatalf("t=%d: zonotope box %v does not contain support bounds %v", tt, zs.Box(), exact)
 		}
@@ -120,7 +126,10 @@ func TestFirstUnsafeZonotopeAgreesWithBoxSearch(t *testing.T) {
 	}
 	safe := geom.UniformBox(2, -2, 2)
 	for _, x0 := range []mat.Vec{{0, 0}, {1.5, 1.5}, {-1.9, 0}} {
-		tb, fb := an.FirstUnsafe(x0, 0, safe)
+		tb, fb, err := an.FirstUnsafe(x0, 0, safe)
+		if err != nil {
+			t.Fatal(err)
+		}
 		tz, fz, err := FirstUnsafeZonotope(sys, u, 0, x0, safe, 30, 200)
 		if err != nil {
 			t.Fatal(err)

@@ -97,7 +97,12 @@ func RunWithRecovery(cfg Config) (*RecoveryOutcome, error) {
 				// Hand off: trusted estimate from just outside the window,
 				// then catch up over the inputs applied since.
 				trusted, ok := det.Log().TrustedEstimate(dec.Window)
-				if !ok {
+				if ok {
+					// The logger hands out a view into its ring storage;
+					// the recovery controller outlives the entry's
+					// retention, so take a copy.
+					trusted = trusted.Clone()
+				} else {
 					trusted = estimate.Clone()
 				}
 				trustedStep := t - dec.Window - 1

@@ -195,7 +195,7 @@ func Run(cfg Config) (*Trace, error) {
 			Step:          t,
 			TrueState:     x.Clone(),
 			Estimate:      estimate.Clone(),
-			Residual:      entry.Residual,
+			Residual:      entry.Residual.Clone(),
 			Ref:           ref,
 			Input:         u.Clone(),
 			Window:        dec.Window,
