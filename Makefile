@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf clean
+.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf bench-fleet clean
 
 # The full gate: what CI (and every PR) must pass.
 check: vet lint build test-race
@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzSupportFunction$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzReachBoundFinite$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzStepperMatchesReachBox$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzBatchMatchesSerial$$' -fuzztime $(FUZZTIME)
 
 # Re-measure the detector-step overhead numbers recorded in BENCH_obs.json.
 bench-obs:
@@ -42,6 +43,20 @@ bench-perf:
 	$(GO) test -run '^$$' -bench 'DetectorStep$$|DeadlineEstimation|Table2Campaign' -benchmem -count 3 . \
 		| $(GO) run ./cmd/awdbench -out BENCH_perf.json -phase after \
 			-note "this PR (zero-alloc hot path, warm-started deadline search, shared Analysis cache)"
+
+# Re-measure the fleet-vs-baseline throughput ledgered in BENCH_fleet.json.
+# Unlike BENCH_perf.json, both phases measure the same tree: "before" is
+# the naive goroutine-per-stream baseline, "after" the sharded batch-kernel
+# fleet engine, so the ratio is the engine's speedup at equal detection
+# semantics (the differential tests pin the two bit-identical).
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'NaiveSteps' -benchmem -benchtime 2s -count 3 ./internal/fleet/ \
+		| $(GO) run ./cmd/awdbench -out BENCH_fleet.json -phase before \
+			-title "one fleet tick: every stream ingests a sample and gets its decision (aircraft-pitch, adaptive)" \
+			-note "naive baseline: one goroutine per stream, channel per sample"
+	$(GO) test -run '^$$' -bench 'FleetSteps' -benchmem -benchtime 2s -count 3 ./internal/fleet/ \
+		| $(GO) run ./cmd/awdbench -out BENCH_fleet.json -phase after \
+			-note "fleet engine: sharded batch-kernel execution (this PR)"
 
 clean:
 	$(GO) clean ./...

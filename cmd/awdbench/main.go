@@ -1,10 +1,11 @@
 // awdbench turns `go test -bench` output into the committed benchmark
-// ledgers (BENCH_perf.json). It reads benchmark lines from stdin, collects
-// ns/op, B/op, and allocs/op per benchmark (multiple -count runs become a
-// list of ns/op samples), and writes them under one phase of the output
-// file, preserving whatever the other phase already records — so the
-// "before" numbers measured on the pre-optimization tree survive every
-// "after" re-measurement.
+// ledgers (BENCH_perf.json, BENCH_fleet.json). It reads benchmark lines
+// from stdin, collects ns/op, B/op, and allocs/op per benchmark (multiple
+// -count runs become a list of ns/op samples), records any custom
+// b.ReportMetric units (e.g. the fleet benchmarks' steps/sec) alongside
+// them, and writes everything under one phase of the output file,
+// preserving whatever the other phase already records — so the "before"
+// numbers measured on the baseline survive every "after" re-measurement.
 //
 // Usage:
 //
@@ -24,22 +25,22 @@ import (
 )
 
 type result struct {
-	NsPerOp     []float64 `json:"ns_per_op"`
-	BytesPerOp  int64     `json:"bytes_per_op"`
-	AllocsPerOp int64     `json:"allocs_per_op"`
+	NsPerOp     []float64            `json:"ns_per_op"`
+	BytesPerOp  int64                `json:"bytes_per_op"`
+	AllocsPerOp int64                `json:"allocs_per_op"`
+	Metrics     map[string][]float64 `json:"metrics,omitempty"`
 }
 
-// benchLine matches e.g.
-//
-//	BenchmarkDetectorStep/quadrotor-8   123   877.2 ns/op   0 B/op   0 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// procsSuffix is the -GOMAXPROCS suffix go test appends to benchmark names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("out", "BENCH_perf.json", "ledger file to update")
 	phase := flag.String("phase", "after", `ledger section to (re)write: "before" or "after"`)
 	note := flag.String("note", "", "commit/context note recorded in the section")
 	title := flag.String("title", "", "top-level benchmark description (set on first write)")
+	keepprocs := flag.Bool("keepprocs", false,
+		"keep the -GOMAXPROCS suffix in benchmark names (for -cpu sweeps, so runs at different parallelism stay separate)")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintf(os.Stderr, "awdbench: -phase must be before or after, got %q\n", *phase)
@@ -61,26 +62,44 @@ func main() {
 			host = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		// A result line is "BenchmarkName-P  <iters>  <value> <unit> ...",
+		// the value/unit pairs being whatever the benchmark reported
+		// (ns/op, -benchmem's B/op and allocs/op, plus custom
+		// b.ReportMetric units like the fleet benchmarks' steps/sec).
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := m[1]
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
+		if _, err := strconv.Atoi(fields[1]); err != nil {
 			continue
+		}
+		name := fields[0]
+		if !*keepprocs {
+			name = procsSuffix.ReplaceAllString(name, "")
 		}
 		r := results[name]
 		if r == nil {
 			r = &result{}
 			results[name] = r
 		}
-		r.NsPerOp = append(r.NsPerOp, ns)
-		if m[3] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
-		}
-		if m[4] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = append(r.NsPerOp, v)
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string][]float64{}
+				}
+				r.Metrics[unit] = append(r.Metrics[unit], v)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -129,9 +129,31 @@ type System struct {
 	cusum    *detect.CUSUM       // cusum only
 	ewma     *detect.EWMA        // ewma only
 
+	// dlSrc, when non-nil, replaces est.FromState for the adaptive
+	// deadline query (see DeadlineSource). The logger interaction — which
+	// trusted estimate is selected, and the max-deadline fallback when none
+	// is available — stays in decide, identical for both paths.
+	dlSrc DeadlineSource
+
 	obs    *obs.Observer // nil = observability disabled
 	resAvg []float64     // scratch buffer for StepEvent residual averages
 }
+
+// DeadlineSource supplies detection deadlines for explicit trusted states.
+// *deadline.Estimator and *deadline.Certificate both implement it. An
+// implementation must return exactly the deadline the system's own
+// estimator would compute — the seam exists so the fleet engine can swap
+// in a shard-shared certificate that amortizes the search across streams,
+// not to change detection semantics.
+type DeadlineSource interface {
+	FromState(x0 mat.Vec) int
+}
+
+// SetDeadlineSource routes the adaptive detector's deadline queries
+// through src; nil restores the system's own estimator. Only meaningful
+// for adaptive systems (no-op queries otherwise). Not safe to call
+// concurrently with Step.
+func (s *System) SetDeadlineSource(src DeadlineSource) { s.dlSrc = src }
 
 func (m mode) String() string {
 	switch m {
@@ -273,6 +295,11 @@ func NewEWMA(cfg Config) (*System, error) {
 // Log exposes the Data Logger (read access for traces and experiments).
 func (s *System) Log() *logger.Logger { return s.log }
 
+// Plant exposes the LTI plant model this system detects over. The fleet
+// engine uses it to group content-identical plants into shards that share
+// one batched prediction kernel.
+func (s *System) Plant() *lti.System { return s.cfg.Sys }
+
 // Estimator exposes the deadline estimator; nil for non-adaptive systems.
 func (s *System) Estimator() *deadline.Estimator { return s.est }
 
@@ -288,7 +315,29 @@ func (s *System) Step(estimate, appliedU mat.Vec) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
+	return s.decide(entry)
+}
+
+// StepPredicted is Step for callers that already computed this step's model
+// prediction A x̂_{t−1} + B u_{t−1} externally — the fleet engine's batch
+// kernels produce it for a whole shard of streams at once. Because the
+// logger residual and everything downstream consume the prediction values
+// rather than how they were produced, a pred bit-identical to the serial
+// computation yields a bit-identical Decision sequence (see
+// logger.ObservePredicted for the contract on pred).
+func (s *System) StepPredicted(estimate, pred mat.Vec) (Decision, error) {
+	entry, err := s.log.ObservePredicted(estimate, pred)
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.decide(entry)
+}
+
+// decide runs the per-step detection pipeline on a freshly logged entry:
+// deadline estimation, the (adaptive) window rule, and telemetry.
+func (s *System) decide(entry *logger.Entry) (Decision, error) {
 	dec := Decision{Step: entry.Step, ComplementaryStep: -1}
+	var err error
 
 	var reachMicros float64
 	reachTimed := false
@@ -298,7 +347,18 @@ func (s *System) Step(estimate, appliedU mat.Vec) (Decision, error) {
 		if s.obs.Enabled() {
 			reachStart = time.Now()
 		}
-		td, _ := s.est.FromLogger(s.log, s.adaptive.CurrentWindow())
+		// Inlined deadline.Estimator.FromLogger, with the FromState query
+		// routed through the injected source when one is set: same trusted
+		// estimate, same max-deadline fallback, so the two paths are
+		// decision-identical by construction.
+		var td int
+		if x0, ok := s.log.TrustedEstimate(s.adaptive.CurrentWindow()); !ok {
+			td = s.est.MaxDeadline()
+		} else if s.dlSrc != nil {
+			td = s.dlSrc.FromState(x0)
+		} else {
+			td = s.est.FromState(x0)
+		}
 		if s.obs.Enabled() {
 			reachMicros = float64(time.Since(reachStart)) / float64(time.Microsecond)
 			reachTimed = true

@@ -286,3 +286,60 @@ func TestSystemStepDimensionError(t *testing.T) {
 		t.Errorf("post-error step = %d, want 0", dec.Step)
 	}
 }
+
+// TestStepPredictedMatchesStep pins the batch-friendly accessor: feeding the
+// externally computed prediction must reproduce Step's decision sequence
+// exactly — the per-stream contract the fleet engine is built on.
+func TestStepPredictedMatchesStep(t *testing.T) {
+	c := cfg(t)
+	serial := must(New(c))
+	batched := must(New(c))
+
+	prev := mat.NewVec(c.Sys.StateDim())
+	pred := mat.NewVec(c.Sys.StateDim())
+	hasPrev := false
+	for i := 0; i < 30; i++ {
+		// Drift toward the safe boundary with occasional jumps so windows
+		// shrink, complementary passes run, and alarms fire.
+		est := mat.VecOf(float64(i) * 0.4)
+		if i%7 == 0 {
+			est[0] += 1.5
+		}
+		u := mat.VecOf(float64(i%2) - 0.5)
+
+		want, errA := serial.Step(est, u)
+		if hasPrev {
+			c.Sys.PredictTo(pred, prev, u)
+		}
+		got, errB := batched.StepPredicted(est, pred)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("step %d: error mismatch %v vs %v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if want.Step != got.Step || want.Window != got.Window || want.Deadline != got.Deadline ||
+			want.Alarm != got.Alarm || want.Complementary != got.Complementary ||
+			want.ComplementaryStep != got.ComplementaryStep || len(want.Dims) != len(got.Dims) {
+			t.Fatalf("step %d: predicted %+v != serial %+v", i, got, want)
+		}
+		for d := range want.Dims {
+			if want.Dims[d] != got.Dims[d] {
+				t.Fatalf("step %d: dims %v != %v", i, got.Dims, want.Dims)
+			}
+		}
+		est.CopyTo(prev)
+		hasPrev = true
+	}
+	if serial.Log().Observed() == 0 {
+		t.Fatal("no observations made")
+	}
+}
+
+func TestPlantAccessor(t *testing.T) {
+	c := cfg(t)
+	s := must(New(c))
+	if s.Plant() != c.Sys {
+		t.Error("Plant() does not expose the configured system")
+	}
+}

@@ -45,6 +45,7 @@ func (a *Adaptive) CurrentWindow() int { return a.prevW }
 func (a *Adaptive) Reset() {
 	a.prevW = 0
 	a.primed = false
+	a.win.Reset()
 }
 
 // Step runs one detection round at the logger's current step with the given
@@ -149,5 +150,5 @@ func (f *Fixed) Step(log *logger.Logger) (Result, error) {
 	return res, nil
 }
 
-// Reset is a no-op; the fixed detector is stateless across steps.
-func (f *Fixed) Reset() {}
+// Reset clears the window rule's incremental sum for a fresh run.
+func (f *Fixed) Reset() { f.win.Reset() }

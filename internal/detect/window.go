@@ -37,8 +37,25 @@ var ErrNoObservation = errors.New("detect: step before any logged observation")
 // its own, as the constructors arrange).
 type Window struct {
 	tau mat.Vec
-	avg mat.Vec // scratch: windowed residual sum / average
+	avg mat.Vec // scratch: windowed residual average
+
+	// Incremental window-sum state (see CheckAtDims): the residual sum over
+	// steps [sumFrom, sumStep], maintained across consecutive sliding checks
+	// so the steady state touches two ring entries instead of re-reading the
+	// whole window. sumValid gates it; sinceRefresh forces a periodic exact
+	// recompute that bounds float drift.
+	sum              mat.Vec
+	sumFrom, sumStep int
+	sumValid         bool
+	sinceRefresh     int
 }
+
+// sumRefreshEvery caps the number of consecutive incremental window-sum
+// updates before an exact recompute. Each increment adds two roundings, so
+// the sum never drifts more than ~128 ulp-scale errors from the exact
+// windowed sum — far below any meaningful threshold margin — while the
+// amortized recompute cost stays negligible.
+const sumRefreshEvery = 64
 
 // NewWindow returns a detector with the per-dimension threshold τ.
 func NewWindow(tau mat.Vec) *Window {
@@ -50,8 +67,13 @@ func NewWindow(tau mat.Vec) *Window {
 			panic(fmt.Sprintf("detect: negative threshold %v in dimension %d", v, i))
 		}
 	}
-	return &Window{tau: tau.Clone(), avg: mat.NewVec(len(tau))}
+	return &Window{tau: tau.Clone(), avg: mat.NewVec(len(tau)), sum: mat.NewVec(len(tau))}
 }
+
+// Reset discards the incremental window-sum state. Detectors call it when
+// their run restarts, so a stale sum from the previous run can never be
+// slid forward into the new one.
+func (w *Window) Reset() { w.sumValid = false }
 
 // Tau returns a copy of the threshold vector.
 func (w *Window) Tau() mat.Vec { return w.tau.Clone() }
@@ -113,10 +135,20 @@ func (w *Window) CheckAt(log *logger.Logger, s, win int) (alarm, ok bool, err er
 // windowed average exceeded τ. A negative win clamps to 0 (the degenerate
 // single-sample window), mirroring Adaptive.Step's deadline clamping.
 //
-// The residuals are accumulated straight off the logger's ring into the
-// Window's scratch, so a silent check (the steady state) performs zero
-// heap allocations; dims is only allocated when a dimension actually
-// fires.
+// The windowed sum is maintained incrementally: when this check's window
+// [from, s] is the previous check's window slid forward by one step — the
+// silent steady state of every detector — the sum is updated by adding the
+// entering residual and subtracting the leaving one, touching two ring
+// entries instead of the whole window. Any other shape (window resize,
+// complementary checks at historical steps, run restart) recomputes the
+// sum exactly, as does every sumRefreshEvery-th slide, which keeps the
+// incremental sum within a hair of the exact one. Whether a given check
+// slides or recomputes depends only on the sequence of (step, window)
+// pairs — never on timing — so two detectors fed the same samples make
+// bit-identical decisions regardless of which engine drives them.
+//
+// A silent check performs zero heap allocations; dims is only allocated
+// when a dimension actually fires.
 func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok bool, err error) {
 	if win < 0 {
 		win = 0
@@ -129,25 +161,62 @@ func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok boo
 		return nil, false, nil
 	}
 	n := len(w.tau)
-	for i := range w.avg {
-		w.avg[i] = 0
+	sum := w.sum
+	if w.sumValid && s == w.sumStep+1 && from == w.sumFrom+1 && w.sinceRefresh < sumRefreshEvery {
+		// The leaving step from−1 = s−win−1 ≥ t−w_m−1 is always still
+		// retained (the logger's ring is sized exactly so it is); the
+		// lookups only miss on a logic bug upstream, and then we just fall
+		// back to the exact recompute.
+		eNew, okN := log.Entry(s)
+		eOld, okO := log.Entry(from - 1)
+		if okN && okO && len(eNew.Residual) == n && len(eOld.Residual) == n {
+			rn, ro := eNew.Residual, eOld.Residual
+			for i := range sum {
+				sum[i] += rn[i] - ro[i]
+			}
+			w.sumFrom, w.sumStep = from, s
+			w.sinceRefresh++
+			return w.threshold(s, from)
+		}
 	}
-	for step := from; step <= s; step++ {
-		e, retained := log.Entry(step)
-		if !retained {
-			return nil, false, nil
-		}
-		if len(e.Residual) != n {
-			return nil, false, fmt.Errorf("detect: residual dimension %d, want %d", len(e.Residual), n)
-		}
-		for i, r := range e.Residual {
-			w.avg[i] += r
+	// Exact recompute, walking the logger's ring segments directly: same
+	// entries, same step-outer/dimension-inner summation order as summing
+	// Entry by Entry, none of the per-step call overhead. Invalidate the
+	// sum first so an early return can never leave a half-built sum marked
+	// valid.
+	w.sumValid = false
+	for i := range sum {
+		sum[i] = 0
+	}
+	seg1, seg2, retained := log.EntryRange(from, s)
+	if !retained {
+		return nil, false, nil
+	}
+	for _, seg := range [2][]logger.Entry{seg1, seg2} {
+		for k := range seg {
+			r := seg[k].Residual
+			if len(r) != n {
+				return nil, false, fmt.Errorf("detect: residual dimension %d, want %d", len(r), n)
+			}
+			for i, v := range r {
+				sum[i] += v
+			}
 		}
 	}
+	w.sumFrom, w.sumStep = from, s
+	w.sumValid = true
+	w.sinceRefresh = 0
+	return w.threshold(s, from)
+}
+
+// threshold derives the windowed average from the current sum and compares
+// it against τ, allocating dims only on an exceedance.
+func (w *Window) threshold(s, from int) (dims []int, ok bool, err error) {
 	inv := 1 / float64(s-from+1)
-	for i := range w.avg {
-		w.avg[i] *= inv
-		if w.avg[i] > w.tau[i] {
+	avg, tau := w.avg, w.tau
+	for i := range avg {
+		avg[i] = w.sum[i] * inv
+		if avg[i] > tau[i] {
 			dims = append(dims, i)
 		}
 	}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// benchStreamCounts are the fleet sizes the committed ledger records. 1000
+// is the acceptance point; the ends show scaling below and above it.
+var benchStreamCounts = []int{100, 1000, 4000}
+
+// benchDetector builds one adaptive detector for the benchmark plant. The
+// aircraft-pitch model is the paper's first simulator and the cheapest
+// per-step, which makes it the hardest case for the fleet engine: the less
+// detection work a step does, the more scheduling overhead dominates.
+func benchDetector(b *testing.B) *core.System {
+	b.Helper()
+	det, err := sim.Detector(sim.Config{Model: models.AircraftPitch(), Strategy: sim.Adaptive})
+	if err != nil {
+		b.Fatalf("Detector: %v", err)
+	}
+	return det
+}
+
+// BenchmarkFleetSteps measures aggregate fleet throughput: one op is one
+// tick of the whole fleet (every stream ingests one sample and has its
+// decision delivered). Samples follow the residual-zero steady state —
+// silent monitoring, the regime a fleet spends its life in — so per-op
+// allocations must be zero.
+func BenchmarkFleetSteps(b *testing.B) {
+	m := models.AircraftPitch()
+	for _, streams := range benchStreamCounts {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			eng := New(Config{Workers: runtime.GOMAXPROCS(0)})
+			defer func() {
+				if err := eng.Close(); err != nil {
+					b.Fatalf("Close: %v", err)
+				}
+			}()
+			var wg sync.WaitGroup
+			onDecision := func(core.Decision, error) { wg.Done() }
+			hs := make([]*Stream, streams)
+			for i := range hs {
+				h, err := eng.AddStream(fmt.Sprintf("s%d", i), benchDetector(b), onDecision)
+				if err != nil {
+					b.Fatalf("AddStream: %v", err)
+				}
+				hs[i] = h
+			}
+			est := mat.NewVec(m.Sys.StateDim())
+			u := mat.NewVec(m.Sys.InputDim())
+			tick := func() {
+				wg.Add(streams)
+				for _, h := range hs {
+					if err := h.Post(est, u); err != nil {
+						b.Fatalf("Post: %v", err)
+					}
+				}
+				wg.Wait()
+			}
+			for i := 0; i < 30; i++ { // warm the deadline search
+				tick()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tick()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(streams)/b.Elapsed().Seconds(), "steps/sec")
+		})
+	}
+}
+
+// BenchmarkNaiveSteps is the baseline the fleet is judged against: the
+// obvious one-goroutine-per-stream design, each stream goroutine stepping
+// its own detector behind a pair of channels, ticked in lockstep. One op
+// is one tick of all streams, exactly as in BenchmarkFleetSteps. Like the
+// fleet's ingest, each message carries its own copy of the sample — the
+// producer owns its buffers and the consumer reads asynchronously, so a
+// channel design has to copy on send (the idiomatic value-through-channel
+// transfer); reusing a shared slot instead would require exactly the
+// token protocol the fleet engine implements, which is no longer naive.
+func BenchmarkNaiveSteps(b *testing.B) {
+	m := models.AircraftPitch()
+	type sample struct {
+		est, u mat.Vec
+	}
+	for _, streams := range benchStreamCounts {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			est := mat.NewVec(m.Sys.StateDim())
+			u := mat.NewVec(m.Sys.InputDim())
+			in := make([]chan sample, streams)
+			out := make([]chan core.Decision, streams)
+			var wg sync.WaitGroup
+			for i := 0; i < streams; i++ {
+				det := benchDetector(b)
+				in[i] = make(chan sample, 1)
+				out[i] = make(chan core.Decision, 1)
+				wg.Add(1)
+				go func(in chan sample, out chan core.Decision) {
+					defer wg.Done()
+					for smp := range in {
+						dec, err := det.Step(smp.est, smp.u)
+						if err != nil {
+							b.Errorf("Step: %v", err)
+							return
+						}
+						out <- dec
+					}
+				}(in[i], out[i])
+			}
+			defer func() {
+				for _, c := range in {
+					close(c)
+				}
+				wg.Wait()
+			}()
+			tick := func() {
+				for i := 0; i < streams; i++ {
+					in[i] <- sample{est: est.Clone(), u: u.Clone()}
+				}
+				for i := 0; i < streams; i++ {
+					<-out[i]
+				}
+			}
+			for i := 0; i < 30; i++ {
+				tick()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tick()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(streams)/b.Elapsed().Seconds(), "steps/sec")
+		})
+	}
+}

@@ -65,7 +65,7 @@ func (b Box) Support(l mat.Vec) float64 {
 // support function sup. This is the identity the paper uses to push A^i and
 // A^iB through the ball/box terms of Eq. (3).
 func SupportOfLinearImage(m *mat.Dense, sup func(mat.Vec) float64, l mat.Vec) float64 {
-	return sup(m.VecMul(l))
+	return sup(m.MulVecTrans(l))
 }
 
 // SupportSum is the Minkowski-sum identity ρ_{X⊕Y}(l) = ρ_X(l) + ρ_Y(l).

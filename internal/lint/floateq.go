@@ -25,6 +25,7 @@ var floatEqScope = []string{
 	"repro/internal/mat",
 	"repro/internal/estim",
 	"repro/internal/stats",
+	"repro/internal/fleet",
 }
 
 // FloatEq flags == and != between floating-point expressions. The paper's

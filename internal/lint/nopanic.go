@@ -21,6 +21,7 @@ var noPanicScope = []string{
 	"repro/internal/estim",
 	"repro/internal/deadline",
 	"repro/internal/reach",
+	"repro/internal/fleet",
 }
 
 // NoPanic forbids panic calls on the runtime hot path outside

@@ -69,7 +69,7 @@ type Logger struct {
 	start    int     // ring index of the oldest retained entry
 	count    int     // retained entries
 	nextStep int
-	prevEst  mat.Vec // owned copy of the last estimate (prediction input)
+	prevEst  mat.Vec // last estimate (prediction input); aliases its ring slot
 	pred     mat.Vec // scratch: one-step model prediction
 	zeroU    mat.Vec // all-zero input for nil transitionU (never written)
 	hasPrev  bool
@@ -83,17 +83,24 @@ func New(sys *lti.System, maxWin int) *Logger {
 	}
 	n := sys.StateDim()
 	ring := make([]Entry, maxWin+2)
+	// The ring's vectors live in two flat backing arrays, so the windowed
+	// residual walks of the detection hot path stream over contiguous
+	// memory instead of chasing per-entry allocations — with thousands of
+	// detector streams the residual history is the bulk of the per-step
+	// memory traffic. The capped subslices keep an accidental append from
+	// bleeding into the neighboring entry.
+	estFlat := make([]float64, len(ring)*n)
+	resFlat := make([]float64, len(ring)*n)
 	for i := range ring {
-		ring[i].Estimate = mat.NewVec(n)
-		ring[i].Residual = mat.NewVec(n)
+		ring[i].Estimate = estFlat[i*n : (i+1)*n : (i+1)*n]
+		ring[i].Residual = resFlat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return &Logger{
-		sys:     sys,
-		maxWin:  maxWin,
-		ring:    ring,
-		prevEst: mat.NewVec(n),
-		pred:    mat.NewVec(n),
-		zeroU:   mat.NewVec(sys.InputDim()),
+		sys:    sys,
+		maxWin: maxWin,
+		ring:   ring,
+		pred:   mat.NewVec(n),
+		zeroU:  mat.NewVec(sys.InputDim()),
 	}
 }
 
@@ -113,12 +120,34 @@ func (l *Logger) Len() int { return l.count }
 // A mismatched estimate or input dimension is a configuration fault: it is
 // returned as an error without logging anything, so the control loop can
 // surface it instead of dying mid-flight.
-func (l *Logger) Observe(estimate, transitionU mat.Vec) (Entry, error) {
-	if len(estimate) != l.sys.StateDim() {
-		return Entry{}, fmt.Errorf("logger: estimate dimension %d, want %d", len(estimate), l.sys.StateDim())
-	}
+func (l *Logger) Observe(estimate, transitionU mat.Vec) (*Entry, error) {
 	if transitionU != nil && len(transitionU) != l.sys.InputDim() {
-		return Entry{}, fmt.Errorf("logger: input dimension %d, want %d", len(transitionU), l.sys.InputDim())
+		return nil, fmt.Errorf("logger: input dimension %d, want %d", len(transitionU), l.sys.InputDim())
+	}
+	return l.observe(estimate, transitionU, nil)
+}
+
+// ObservePredicted is Observe for callers that already computed the
+// one-step model prediction x̃_t = A x̂_{t−1} + B u_{t−1} externally — the
+// fleet engine's batch kernels produce it for a whole shard at once. pred
+// must be exactly that prediction for this logger's previous estimate;
+// handing in anything else silently corrupts the residual stream. Before
+// the first observation pred is ignored (there is no prediction yet and
+// the residual is zero), so callers may pass scratch.
+func (l *Logger) ObservePredicted(estimate, pred mat.Vec) (*Entry, error) {
+	if len(pred) != l.sys.StateDim() {
+		return nil, fmt.Errorf("logger: prediction dimension %d, want %d", len(pred), l.sys.StateDim())
+	}
+	return l.observe(estimate, nil, pred)
+}
+
+// observe is the shared logging path: a nil pred is computed in place from
+// the retained previous estimate, a non-nil pred is trusted as the model
+// prediction. Keeping one implementation guarantees the batched and the
+// standalone paths can never drift apart.
+func (l *Logger) observe(estimate, transitionU, pred mat.Vec) (*Entry, error) {
+	if len(estimate) != l.sys.StateDim() {
+		return nil, fmt.Errorf("logger: estimate dimension %d, want %d", len(estimate), l.sys.StateDim())
 	}
 	// Release: keep exactly the sliding window [t − w_m − 1, t] by
 	// recycling the oldest ring slot once the ring is full.
@@ -140,22 +169,29 @@ func (l *Logger) Observe(estimate, transitionU mat.Vec) (Entry, error) {
 	e.Step = l.nextStep
 	estimate.CopyTo(e.Estimate)
 	if l.hasPrev {
-		u := transitionU
-		if u == nil {
-			u = l.zeroU
+		if pred == nil {
+			u := transitionU
+			if u == nil {
+				u = l.zeroU
+			}
+			l.sys.PredictTo(l.pred, l.prevEst, u)
+			pred = l.pred
 		}
-		l.sys.PredictTo(l.pred, l.prevEst, u)
-		mat.AbsDiffTo(e.Residual, estimate, l.pred)
+		mat.AbsDiffTo(e.Residual, estimate, pred)
 	} else {
 		for i := range e.Residual {
 			e.Residual[i] = 0
 		}
 	}
-	estimate.CopyTo(l.prevEst)
+	// The new entry's estimate IS the next step's prediction input; alias
+	// its ring slot instead of keeping a second copy. The alias stays valid
+	// because the ring holds maxWin+2 ≥ 3 entries, so the most recent slot
+	// is never the one recycled by the next observation.
+	l.prevEst = e.Estimate
 	l.hasPrev = true
 	l.count++
 	l.nextStep++
-	return *e, nil
+	return e, nil
 }
 
 // Observed returns the lifetime number of samples logged this run — the
@@ -199,6 +235,47 @@ func (l *Logger) Entry(step int) (Entry, bool) {
 		ri -= len(l.ring)
 	}
 	return l.ring[ri], true
+}
+
+// EntryRange returns the retained entries for the inclusive step range
+// [from, to] as up to two contiguous segments of the ring (the range may
+// wrap the ring's backing array once). Iterating a then b visits the
+// entries in ascending step order. ok is false if any step in the range is
+// no longer (or not yet) retained. The entries alias ring storage (see
+// Logger); the per-step detection hot path uses this instead of repeated
+// Entry calls so the windowed residual sum runs over contiguous memory.
+func (l *Logger) EntryRange(from, to int) (a, b []Entry, ok bool) {
+	if from > to {
+		return nil, nil, false
+	}
+	first := l.nextStep - l.count
+	lo := from - first
+	hi := to - first
+	if lo < 0 || hi >= l.count {
+		return nil, nil, false
+	}
+	ri := l.start + lo
+	if ri >= len(l.ring) {
+		ri -= len(l.ring)
+	}
+	span := hi - lo + 1
+	if tail := len(l.ring) - ri; span > tail {
+		return l.ring[ri:], l.ring[:span-tail], true
+	}
+	return l.ring[ri : ri+span], nil, true
+}
+
+// PrevEstimate returns the logger's retained copy of the last observed
+// estimate — the prediction input x̂_{t−1} — or nil before the first
+// observation. The vector aliases the logger's internal storage and is
+// overwritten by the next Observe; callers must treat it as read-only.
+// The fleet engine gathers it into the batch prediction kernels instead
+// of mirroring its own copy of every stream's last estimate.
+func (l *Logger) PrevEstimate() mat.Vec {
+	if !l.hasPrev {
+		return nil
+	}
+	return l.prevEst
 }
 
 // Residuals returns the residual vectors for the inclusive step range
@@ -265,5 +342,6 @@ func (l *Logger) Reset() {
 	l.count = 0
 	l.nextStep = 0
 	l.hasPrev = false
+	l.prevEst = nil
 	l.released = 0
 }

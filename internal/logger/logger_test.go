@@ -284,3 +284,42 @@ func TestObservedReleasedCounts(t *testing.T) {
 		t.Errorf("after Reset: observed=%d released=%d", l.Observed(), l.Released())
 	}
 }
+
+// TestObservePredictedMatchesObserve pins the fleet-engine contract: feeding
+// the externally computed model prediction produces an entry stream
+// bit-identical to the internal Observe path.
+func TestObservePredictedMatchesObserve(t *testing.T) {
+	sys := testSys(t)
+	serial := New(sys, 5)
+	batched := New(sys, 5)
+	prev := mat.NewVec(1)
+	pred := mat.NewVec(1)
+	hasPrev := false
+	for i := 0; i < 12; i++ {
+		est := mat.VecOf(float64(i%4) + 0.125*float64(i))
+		u := mat.VecOf(float64(i % 3))
+		want := must(serial.Observe(est, u))
+		if hasPrev {
+			sys.PredictTo(pred, prev, u)
+		}
+		got := must(batched.ObservePredicted(est, pred))
+		if want.Step != got.Step || want.Residual[0] != got.Residual[0] || want.Estimate[0] != got.Estimate[0] {
+			t.Fatalf("step %d: predicted entry %+v != serial %+v", i, got, want)
+		}
+		est.CopyTo(prev)
+		hasPrev = true
+	}
+}
+
+func TestObservePredictedDimensionErrors(t *testing.T) {
+	l := New(testSys(t), 5)
+	if _, err := l.ObservePredicted(mat.VecOf(1), mat.VecOf(1, 2)); err == nil {
+		t.Error("bad prediction dimension not rejected")
+	}
+	if _, err := l.ObservePredicted(mat.VecOf(1, 2), mat.VecOf(1)); err == nil {
+		t.Error("bad estimate dimension not rejected")
+	}
+	if l.Len() != 0 {
+		t.Errorf("failed observes must not log; len = %d", l.Len())
+	}
+}

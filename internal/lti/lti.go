@@ -100,6 +100,19 @@ func (s *System) PredictTo(dst, x, u mat.Vec) {
 	s.B.MulVecAddTo(dst, u)
 }
 
+// PredictBatchTo computes the nominal one-step prediction A x + B u for a
+// whole block of states and inputs at once (column s of dst, x, and u
+// belong to stream s), loading the shared plant matrices through cache once
+// per batch instead of once per stream. Column-wise the summation order is
+// exactly PredictTo's — MulVecTo then a grouped MulVecAddTo — so every
+// column is bit-identical to a standalone PredictTo call (the fleet
+// engine's differential tests pin this). dst must alias neither x nor u;
+// shape mismatches panic exactly like PredictTo.
+func (s *System) PredictBatchTo(dst, x, u *mat.Batch) {
+	s.A.MulBatchTo(dst, x)
+	s.B.MulBatchAddTo(dst, u)
+}
+
 // Discretize converts a continuous-time system ẋ = Ac x + Bc u into the
 // exact zero-order-hold discrete system over step dt, using the standard
 // augmented-exponential identity:

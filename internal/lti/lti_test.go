@@ -200,3 +200,46 @@ func TestMustNewPanicsOnBad(t *testing.T) {
 	}()
 	MustNew(mat.NewDense(2, 3), mat.NewDense(2, 1), nil, 1)
 }
+
+// TestPredictBatchToBitIdenticalToPredictTo pins the fleet batch-kernel
+// contract on a real discretized plant: every column of the batched
+// prediction must carry exactly the bits of a standalone PredictTo call.
+func TestPredictBatchToBitIdenticalToPredictTo(t *testing.T) {
+	ac := mat.FromRows([][]float64{
+		{-0.313, 56.7, 0},
+		{-0.0139, -0.426, 0},
+		{0, 56.7, 0},
+	})
+	bc := mat.ColVec(mat.VecOf(0.232, 0.0203, 0))
+	sys := MustDiscretize(ac, bc, nil, 0.02)
+
+	const n = 300 // crosses the kernels' internal cache tile
+	xb := mat.NewBatch(sys.StateDim(), n)
+	ub := mat.NewBatch(sys.InputDim(), n)
+	for s := 0; s < n; s++ {
+		for j := 0; j < sys.StateDim(); j++ {
+			xb.Set(j, s, math.Sin(float64(7*s+j))*float64(j+1))
+		}
+		for j := 0; j < sys.InputDim(); j++ {
+			ub.Set(j, s, math.Cos(float64(3*s+j)))
+		}
+	}
+	pb := mat.NewBatch(sys.StateDim(), n)
+	sys.PredictBatchTo(pb, xb, ub)
+
+	x := mat.NewVec(sys.StateDim())
+	u := mat.NewVec(sys.InputDim())
+	want := mat.NewVec(sys.StateDim())
+	got := mat.NewVec(sys.StateDim())
+	for s := 0; s < n; s++ {
+		xb.ColTo(x, s)
+		ub.ColTo(u, s)
+		sys.PredictTo(want, x, u)
+		pb.ColTo(got, s)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("col %d dim %d: batch %v != serial %v", s, j, got[j], want[j])
+			}
+		}
+	}
+}

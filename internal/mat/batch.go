@@ -1,0 +1,213 @@
+package mat
+
+import "fmt"
+
+// batchTile is the stream-tile width (columns per cache block) the batch
+// kernels process at a time: 256 float64s = 2 KiB per component row, so a
+// full x-tile plus dst-tile for the bundled plants (state dimension ≤ 8)
+// stays resident in L1 while every matrix row streams over it.
+const batchTile = 256
+
+// Batch is a struct-of-arrays block of n vectors sharing dimension dim:
+// component j of every vector is contiguous in row j (data[j*n : (j+1)*n]).
+// It is the memory layout the fleet batch kernels use so one plant matrix
+// is streamed through cache once per batch instead of once per stream.
+//
+// A Batch is a plain buffer with no synchronization; concurrent use
+// requires external coordination (each fleet shard owns its blocks and is
+// processed by one worker at a time).
+type Batch struct {
+	dim, n  int
+	data    []float64
+	scratch []float64 // one tile row for MulBatchAddTo's grouping-preserving accumulator
+}
+
+// NewBatch returns a zeroed dim x n block.
+func NewBatch(dim, n int) *Batch {
+	if dim <= 0 || n <= 0 {
+		panic(fmt.Sprintf("mat: NewBatch with non-positive shape %dx%d", dim, n))
+	}
+	tile := n
+	if tile > batchTile {
+		tile = batchTile
+	}
+	return &Batch{dim: dim, n: n, data: make([]float64, dim*n), scratch: make([]float64, tile)}
+}
+
+// Resize reshapes the block to hold n vectors of the same dimension,
+// reusing the existing storage whenever capacity allows — the fleet shards
+// call this once per batch with the batch's stream count, so steady-state
+// processing never allocates. Contents become unspecified; callers must
+// overwrite every column they read back.
+func (b *Batch) Resize(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mat: Batch Resize to non-positive count %d", n))
+	}
+	if need := b.dim * n; cap(b.data) < need {
+		b.data = make([]float64, need)
+	} else {
+		b.data = b.data[:need]
+	}
+	b.n = n
+	tile := n
+	if tile > batchTile {
+		tile = batchTile
+	}
+	if len(b.scratch) < tile {
+		b.scratch = make([]float64, tile)
+	}
+}
+
+// Dim returns the vector dimension (rows).
+func (b *Batch) Dim() int { return b.dim }
+
+// Len returns the number of vectors in the block (columns).
+func (b *Batch) Len() int { return b.n }
+
+// Row returns component j across all vectors, aliasing the block's storage.
+func (b *Batch) Row(j int) []float64 {
+	if j < 0 || j >= b.dim {
+		panic(fmt.Sprintf("mat: Batch row %d out of range for dimension %d", j, b.dim))
+	}
+	return b.data[j*b.n : (j+1)*b.n]
+}
+
+// At returns component j of vector s.
+func (b *Batch) At(j, s int) float64 {
+	b.boundsCheck(j, s)
+	return b.data[j*b.n+s]
+}
+
+// Set assigns component j of vector s.
+func (b *Batch) Set(j, s int, v float64) {
+	b.boundsCheck(j, s)
+	b.data[j*b.n+s] = v
+}
+
+func (b *Batch) boundsCheck(j, s int) {
+	if j < 0 || j >= b.dim || s < 0 || s >= b.n {
+		panic(fmt.Sprintf("mat: Batch index (%d,%d) out of range for %dx%d block", j, s, b.dim, b.n))
+	}
+}
+
+// SetCol scatters v into column s (vector s of the block).
+func (b *Batch) SetCol(s int, v Vec) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("mat: Batch SetCol dimension %d, want %d", len(v), b.dim))
+	}
+	if s < 0 || s >= b.n {
+		panic(fmt.Sprintf("mat: Batch column %d out of range for %d vectors", s, b.n))
+	}
+	for j, x := range v {
+		b.data[j*b.n+s] = x
+	}
+}
+
+// ColTo gathers column s (vector s of the block) into dst.
+func (b *Batch) ColTo(dst Vec, s int) {
+	if len(dst) != b.dim {
+		panic(fmt.Sprintf("mat: Batch ColTo dimension %d, want %d", len(dst), b.dim))
+	}
+	if s < 0 || s >= b.n {
+		panic(fmt.Sprintf("mat: Batch column %d out of range for %d vectors", s, b.n))
+	}
+	for j := range dst {
+		dst[j] = b.data[j*b.n+s]
+	}
+}
+
+// ZeroCol clears column s.
+func (b *Batch) ZeroCol(s int) {
+	if s < 0 || s >= b.n {
+		panic(fmt.Sprintf("mat: Batch column %d out of range for %d vectors", s, b.n))
+	}
+	for j := 0; j < b.dim; j++ {
+		b.data[j*b.n+s] = 0
+	}
+}
+
+// MulBatchTo computes m * x column-wise into dst: dst[:,s] = m * x[:,s] for
+// every vector s, cache-blocked over stream tiles. The per-column summation
+// order is exactly MulVecTo's (accumulate over j = 0..cols-1 starting from
+// zero), so each column is bit-identical to a standalone MulVecTo call —
+// the property the fleet engine's differential tests pin. dst must not
+// alias x; shape mismatches and aliasing panic (programmer error, caught at
+// construction time by every caller in this repo).
+func (m *Dense) MulBatchTo(dst, x *Batch) {
+	if x.dim != m.cols {
+		panic(fmt.Sprintf("mat: MulBatchTo shape mismatch %dx%d * %dx%d", m.rows, m.cols, x.dim, x.n))
+	}
+	if dst.dim != m.rows {
+		panic(fmt.Sprintf("mat: MulBatchTo dst dimension %d, want %d", dst.dim, m.rows))
+	}
+	if dst.n != x.n {
+		panic(fmt.Sprintf("mat: MulBatchTo dst has %d vectors, x has %d", dst.n, x.n))
+	}
+	if &dst.data[0] == &x.data[0] {
+		panic("mat: MulBatchTo dst aliases x")
+	}
+	n := x.n
+	for s0 := 0; s0 < n; s0 += batchTile {
+		s1 := s0 + batchTile
+		if s1 > n {
+			s1 = n
+		}
+		for i := 0; i < m.rows; i++ {
+			out := dst.data[i*n+s0 : i*n+s1]
+			for k := range out {
+				out[k] = 0
+			}
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			for j, a := range row {
+				xr := x.data[j*n+s0 : j*n+s1]
+				for k, v := range xr {
+					out[k] += a * v
+				}
+			}
+		}
+	}
+}
+
+// MulBatchAddTo accumulates dst[:,s] += m * x[:,s] for every vector s.
+// Like MulVecAddTo, the product for each output component is summed into a
+// private accumulator first (dst's scratch tile) and added to dst in one
+// operation, so the floating-point grouping — dst + (sum over j) — matches
+// MulVecAddTo bit-for-bit per column. dst must not alias x.
+func (m *Dense) MulBatchAddTo(dst, x *Batch) {
+	if x.dim != m.cols {
+		panic(fmt.Sprintf("mat: MulBatchAddTo shape mismatch %dx%d * %dx%d", m.rows, m.cols, x.dim, x.n))
+	}
+	if dst.dim != m.rows {
+		panic(fmt.Sprintf("mat: MulBatchAddTo dst dimension %d, want %d", dst.dim, m.rows))
+	}
+	if dst.n != x.n {
+		panic(fmt.Sprintf("mat: MulBatchAddTo dst has %d vectors, x has %d", dst.n, x.n))
+	}
+	if &dst.data[0] == &x.data[0] {
+		panic("mat: MulBatchAddTo dst aliases x")
+	}
+	n := x.n
+	for s0 := 0; s0 < n; s0 += batchTile {
+		s1 := s0 + batchTile
+		if s1 > n {
+			s1 = n
+		}
+		tmp := dst.scratch[:s1-s0]
+		for i := 0; i < m.rows; i++ {
+			for k := range tmp {
+				tmp[k] = 0
+			}
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			for j, a := range row {
+				xr := x.data[j*n+s0 : j*n+s1]
+				for k, v := range xr {
+					tmp[k] += a * v
+				}
+			}
+			out := dst.data[i*n+s0 : i*n+s1]
+			for k, v := range tmp {
+				out[k] += v
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestBatchAccessors(t *testing.T) {
+	b := NewBatch(3, 4)
+	if b.Dim() != 3 || b.Len() != 4 {
+		t.Fatalf("shape = %dx%d", b.Dim(), b.Len())
+	}
+	b.Set(2, 1, 7)
+	if b.At(2, 1) != 7 {
+		t.Errorf("At(2,1) = %v", b.At(2, 1))
+	}
+	v := VecOf(1, 2, 3)
+	b.SetCol(3, v)
+	got := NewVec(3)
+	b.ColTo(got, 3)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("ColTo[%d] = %v, want %v", i, got[i], v[i])
+		}
+	}
+	if b.Row(1)[3] != 2 {
+		t.Errorf("Row(1)[3] = %v", b.Row(1)[3])
+	}
+	b.ZeroCol(3)
+	b.ColTo(got, 3)
+	for i := range got {
+		if got[i] != 0 {
+			t.Errorf("after ZeroCol, col[%d] = %v", i, got[i])
+		}
+	}
+}
+
+// TestMulBatchToBitIdentical pins the fleet-engine contract: every column of
+// a batched product must carry exactly the bits MulVecTo produces for that
+// stream alone — including counts that exercise the cache-tiling boundary.
+func TestMulBatchToBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{1, 2, 3, 6} {
+		for _, n := range []int{1, 7, batchTile - 1, batchTile, batchTile + 3, 2*batchTile + 5} {
+			m := randDense(rng, dim, dim)
+			x := NewBatch(dim, n)
+			for s := 0; s < n; s++ {
+				for j := 0; j < dim; j++ {
+					x.Set(j, s, rng.NormFloat64())
+				}
+			}
+			dst := NewBatch(dim, n)
+			m.MulBatchTo(dst, x)
+
+			xs, want, got := NewVec(dim), NewVec(dim), NewVec(dim)
+			for s := 0; s < n; s++ {
+				x.ColTo(xs, s)
+				m.MulVecTo(want, xs)
+				dst.ColTo(got, s)
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("dim=%d n=%d col %d row %d: batch %v != serial %v", dim, n, s, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulBatchAddToBitIdentical pins the accumulate kernel against
+// MulVecAddTo, whose grouping (dst + full private dot product) differs from
+// a naive in-place axpy — the difference the scratch-tile accumulator
+// exists to avoid.
+func TestMulBatchAddToBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, shape := range [][2]int{{1, 1}, {3, 1}, {3, 2}, {6, 4}} {
+		rows, cols := shape[0], shape[1]
+		for _, n := range []int{1, 5, batchTile, batchTile + 9} {
+			m := randDense(rng, rows, cols)
+			x := NewBatch(cols, n)
+			dst := NewBatch(rows, n)
+			serial := make([]Vec, n)
+			for s := 0; s < n; s++ {
+				for j := 0; j < cols; j++ {
+					x.Set(j, s, rng.NormFloat64())
+				}
+				serial[s] = NewVec(rows)
+				for i := 0; i < rows; i++ {
+					v := rng.NormFloat64()
+					dst.Set(i, s, v)
+					serial[s][i] = v
+				}
+			}
+			m.MulBatchAddTo(dst, x)
+
+			xs, got := NewVec(cols), NewVec(rows)
+			for s := 0; s < n; s++ {
+				x.ColTo(xs, s)
+				m.MulVecAddTo(serial[s], xs)
+				dst.ColTo(got, s)
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(serial[s][i]) {
+						t.Fatalf("%dx%d n=%d col %d row %d: batch %v != serial %v", rows, cols, n, s, i, got[i], serial[s][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Non-finite inputs must flow through the batch kernels exactly as through
+// the vector kernels (no zero-skip shortcuts that would turn 0*Inf into 0).
+func TestMulBatchToNonFinite(t *testing.T) {
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	x := NewBatch(2, 2)
+	x.SetCol(0, VecOf(math.Inf(1), 2))
+	x.SetCol(1, VecOf(math.NaN(), -1))
+	dst := NewBatch(2, 2)
+	m.MulBatchTo(dst, x)
+	xs, want, got := NewVec(2), NewVec(2), NewVec(2)
+	for s := 0; s < 2; s++ {
+		x.ColTo(xs, s)
+		m.MulVecTo(want, xs)
+		dst.ColTo(got, s)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("col %d row %d: batch %x != serial %x", s, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+			}
+		}
+	}
+}
+
+func TestMulBatchToShapePanics(t *testing.T) {
+	m := Identity(3)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"x dim", func() { m.MulBatchTo(NewBatch(3, 2), NewBatch(2, 2)) }},
+		{"dst dim", func() { m.MulBatchTo(NewBatch(2, 2), NewBatch(3, 2)) }},
+		{"count", func() { m.MulBatchTo(NewBatch(3, 2), NewBatch(3, 3)) }},
+		{"alias", func() { b := NewBatch(3, 2); m.MulBatchTo(b, b) }},
+		{"add x dim", func() { m.MulBatchAddTo(NewBatch(3, 2), NewBatch(2, 2)) }},
+		{"add alias", func() { b := NewBatch(3, 2); m.MulBatchAddTo(b, b) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func TestMulBatchToAllocFree(t *testing.T) {
+	m := randDense(rand.New(rand.NewSource(7)), 4, 4)
+	x, dst := NewBatch(4, 300), NewBatch(4, 300)
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.MulBatchTo(dst, x)
+		m.MulBatchAddTo(dst, x)
+	}); allocs != 0 {
+		t.Errorf("batch kernels allocate %v per run, want 0", allocs)
+	}
+}

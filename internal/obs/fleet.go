@@ -1,0 +1,25 @@
+package obs
+
+import "fmt"
+
+// Fleet-engine metric names (see internal/fleet). The per-shard batch
+// latency series is suffixed with the shard index at registration time via
+// FleetShardBatchMetric, keeping the catalogue here in one place.
+const (
+	MetricFleetStreams      = "awd_fleet_streams"
+	MetricFleetShards       = "awd_fleet_shards"
+	MetricFleetSteps        = "awd_fleet_steps_total"
+	MetricFleetBatches      = "awd_fleet_batches_total"
+	MetricFleetQueueDepth   = "awd_fleet_runq_depth"
+	MetricFleetShardBatchUS = "awd_fleet_shard_batch_us" // prefix; see FleetShardBatchMetric
+)
+
+// FleetBatchLatencyBuckets are the µs buckets for one shard batch step:
+// a batch spans one stream (a few µs with deadline search) up to hundreds.
+var FleetBatchLatencyBuckets = []float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+
+// FleetShardBatchMetric returns the per-shard batch-latency histogram name
+// for a shard index, e.g. awd_fleet_shard_batch_us_3.
+func FleetShardBatchMetric(shard int) string {
+	return fmt.Sprintf("%s_%d", MetricFleetShardBatchUS, shard)
+}

@@ -75,7 +75,7 @@ func (s *SupportSweep) Advance() bool {
 	// Fold the step-j terms (j = current step) into the sums, then advance
 	// v to (Aᵀ)^{j+1} l.
 	s.drift += s.v.Dot(s.bc)
-	btv := s.a.sys.B.VecMul(s.v) // Bᵀ v
+	btv := s.a.sys.B.MulVecTrans(s.v) // Bᵀ v
 	acc := 0.0
 	for k, g := range s.gamma {
 		if btv[k] < 0 {
@@ -86,7 +86,7 @@ func (s *SupportSweep) Advance() bool {
 	}
 	s.s1 += acc
 	s.s2 += s.a.eps * s.v.Norm2()
-	s.v = s.a.sys.A.VecMul(s.v) // Aᵀ v
+	s.v = s.a.sys.A.MulVecTrans(s.v) // Aᵀ v
 	s.step++
 	return true
 }

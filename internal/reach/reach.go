@@ -268,6 +268,47 @@ func (s *Stepper) SafeSlack(b geom.Box) float64 {
 	return slack
 }
 
+// UnsafeSlack is the dual of SafeSlack: the largest Euclidean distance δ
+// the start state x0 may move while the current step's reach box provably
+// remains NOT contained in b, or a negative value when the box is contained
+// (no violation to preserve). The bound is the same per-dimension
+// Cauchy–Schwarz argument: moving x0 by δ shifts the step-t center in
+// dimension i by at most initSpread[t][i]·δ, so a face violated by v_i
+// stays violated for any δ < v_i / initSpread[t][i]; the box stays outside
+// b as long as one violated face survives, hence the max over faces. A
+// dimension with zero initSpread keeps its violation for every δ
+// (+Inf slack). Non-finite bounds (NaN from a corrupt start state) report
+// no preservable violation, the conservative answer for certificate use.
+func (s *Stepper) UnsafeSlack(b geom.Box) float64 {
+	worst := -1.0
+	t := s.step
+	for i := range s.x {
+		mid := s.x[i] + s.a.drift[t][i]
+		spread := s.a.inputSpread[t][i] + s.a.noiseSpread[t][i] + s.r*s.a.initSpread[t][i]
+		iv := b.Interval(i)
+		isp := s.a.initSpread[t][i]
+		if v := iv.Lo - (mid - spread); v > 0 {
+			sl := math.Inf(1)
+			if isp > 0 {
+				sl = v / isp
+			}
+			if sl > worst {
+				worst = sl
+			}
+		}
+		if v := (mid + spread) - iv.Hi; v > 0 {
+			sl := math.Inf(1)
+			if isp > 0 {
+				sl = v / isp
+			}
+			if sl > worst {
+				worst = sl
+			}
+		}
+	}
+	return worst
+}
+
 // Advance moves to the next step; it reports false once the horizon is
 // exhausted.
 func (s *Stepper) Advance() bool {

@@ -9,22 +9,42 @@ import (
 	"repro/internal/obs"
 )
 
+// TestCampaignParallelMatchesSerial pins the parallel campaign runner to
+// the serial one bit-for-bit across plants and strategies: same seeds,
+// same attacks, same workers-irrelevant aggregate. Any scheduling
+// dependence in the per-run pipeline would show up here as a result diff.
 func TestCampaignParallelMatchesSerial(t *testing.T) {
-	m := models.VehicleTurning()
-	att, _ := BuildAttack(m, "bias")
-	serial, err := Campaign(Config{Model: m, Attack: att, Strategy: Adaptive, Seed: 77}, 8)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		model    func() *models.Model
+		strategy Strategy
+	}{
+		{models.VehicleTurning, Adaptive},
+		{models.VehicleTurning, FixedWindow},
+		{models.AircraftPitch, Adaptive},
+		{models.DCMotorPosition, FixedWindow},
 	}
-	parallel, err := CampaignParallel(
-		Config{Model: m, Strategy: Adaptive, Seed: 77}, 8, 4,
-		func() (attack.Attack, error) { return BuildAttack(m, "bias") },
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if serial != parallel {
-		t.Errorf("serial %+v != parallel %+v", serial, parallel)
+	for _, tc := range cases {
+		m := tc.model()
+		t.Run(m.Name+"/"+tc.strategy.String(), func(t *testing.T) {
+			att, err := BuildAttack(m, "bias")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := Campaign(Config{Model: m, Attack: att, Strategy: tc.strategy, Seed: 77}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := CampaignParallel(
+				Config{Model: m, Strategy: tc.strategy, Seed: 77}, 8, 4,
+				func() (attack.Attack, error) { return BuildAttack(m, "bias") },
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != parallel {
+				t.Errorf("serial %+v != parallel %+v", serial, parallel)
+			}
+		})
 	}
 }
 
