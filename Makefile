@@ -32,9 +32,12 @@ fuzz-smoke:
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzStepperMatchesReachBox$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzBatchMatchesSerial$$' -fuzztime $(FUZZTIME)
 
-# Re-measure the detector-step overhead numbers recorded in BENCH_obs.json.
+# Re-measure the detector-step overhead numbers recorded in BENCH_obs.json:
+# per-step observation cost plus the snapshot/rollup read path the console
+# polls (must stay O(shards), see internal/obs/snapshot_test.go).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'DetectorStepObservability|ObserveStep' -benchmem -count 3 .
+	$(GO) test -run '^$$' -bench 'RegistrySnapshot|FleetRollup' -benchmem -count 3 ./internal/obs/
 
 # Re-measure the hot-path numbers ledgered in BENCH_perf.json. Updates only
 # the "after" section; the committed "before" baseline (pre-optimization

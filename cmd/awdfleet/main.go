@@ -3,12 +3,16 @@
 // lockstep ticks with per-stream noisy estimates, and reports aggregate
 // throughput. With -metrics-addr the run exposes the fleet's live
 // telemetry (stream/shard gauges, step counters, per-shard batch latency
-// histograms, run-queue depth) on Prometheus /metrics plus pprof.
+// and rollup counters, the deadline-pressure histogram, run-queue depth)
+// on Prometheus /metrics and JSON /snapshot, plus a /stream drill-down
+// endpoint tailing one stream's trace — the surface cmd/awdtop renders.
 //
 // Usage:
 //
 //	awdfleet -streams 4000 -steps 500
 //	awdfleet -model quadrotor -streams 1000 -workers 4 -metrics-addr :9090
+//	awdfleet -streams 2000 -steps 100000 -tick 10ms -metrics-addr :9090   # live demo for awdtop
+//	awdfleet -streams 500 -steps 200 -metrics-dump fleet.prom             # post-run inspection
 package main
 
 import (
@@ -35,12 +39,29 @@ func main() {
 		streams     = flag.Int("streams", 1000, "number of concurrent detector streams")
 		workers     = flag.Int("workers", 0, "shard-processing goroutines (0 = GOMAXPROCS)")
 		steps       = flag.Int("steps", 200, "lockstep ticks to drive the fleet")
+		tick        = flag.Duration("tick", 0, "sleep between lockstep ticks (paces a live demo; 0 = full speed)")
 		seed        = flag.Uint64("seed", 1, "fleet seed; per-stream seeds derive via fleet.StreamSeed")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /snapshot, /stream drill-down, expvar, and pprof on this address (e.g. :9090)")
+		metricsDump = flag.String("metrics-dump", "", "write a final Prometheus-text metrics snapshot to this file on exit (- = stdout)")
+		traceOut    = flag.String("trace-out", "", "write per-step JSONL trace events, stream-attributed, to this file (- = stdout)")
+		tailStream  = flag.String("tail-stream", "", "initial /stream drill-down target (default: the first stream)")
 	)
 	flag.Parse()
 
-	obsrv, boundAddr, shutdownObs, err := obs.Bootstrap(*metricsAddr, "")
+	// The drill-down tail rides on the metrics mux; without an endpoint it
+	// has nothing to serve, so it is only wired up when -metrics-addr is
+	// set. -metrics-dump alone still enables a (serverless) registry below.
+	var tail *obs.StreamTail
+	bootOpts := []obs.Option{}
+	if *metricsAddr != "" {
+		target := *tailStream
+		if target == "" && *streams > 0 {
+			target = streamID(0)
+		}
+		tail = obs.NewStreamTail(512, target)
+		bootOpts = append(bootOpts, obs.WithStreamTail(tail))
+	}
+	obsrv, boundAddr, shutdownObs, err := obs.Bootstrap(*metricsAddr, *traceOut, bootOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "awdfleet:", err)
 		os.Exit(1)
@@ -50,8 +71,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "awdfleet: telemetry:", err)
 		}
 	}()
+	if obsrv == nil && *metricsDump != "" {
+		// Metrics-only observer: no endpoint, no trace sink, but the run is
+		// still inspectable post-hoc through the dump.
+		obsrv = obs.NewObserver(obs.NewRegistry(), nil)
+	}
 	if boundAddr != "" {
-		fmt.Fprintf(os.Stderr, "awdfleet: telemetry on http://%s/metrics\n", boundAddr)
+		fmt.Fprintf(os.Stderr, "awdfleet: telemetry on http://%s/metrics (JSON: /snapshot, drill-down: /stream)\n", boundAddr)
 	}
 
 	m := models.ByName(*modelName)
@@ -82,12 +108,14 @@ func main() {
 
 	// Every stream runs the paper's adaptive detector over its own copy of
 	// the plant; the engine groups them into shards itself because the
-	// model matrices are bit-identical.
+	// model matrices are bit-identical. The shared observer makes each
+	// stream's steps visible on /metrics and its stream-stamped trace
+	// events flow to the /stream tail and -trace-out sink.
 	hs := make([]*fleet.Stream, *streams)
 	gens := make([]noise.Gen, *streams)
 	for i := range hs {
-		id := fmt.Sprintf("stream-%04d", i)
-		det, err := sim.Detector(sim.Config{Model: models.ByName(*modelName), Strategy: sim.Adaptive})
+		id := streamID(i)
+		det, err := sim.Detector(sim.Config{Model: models.ByName(*modelName), Strategy: sim.Adaptive, Observer: obsrv})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "awdfleet:", err)
 			os.Exit(1)
@@ -112,6 +140,7 @@ func main() {
 
 	u := make([]float64, m.Sys.InputDim())
 	start := time.Now()
+	var slept time.Duration
 	for t := 0; t < *steps; t++ {
 		wg.Add(*streams)
 		for i, h := range hs {
@@ -121,6 +150,10 @@ func main() {
 			}
 		}
 		wg.Wait()
+		if *tick > 0 && t < *steps-1 {
+			time.Sleep(*tick)
+			slept += *tick
+		}
 	}
 	elapsed := time.Since(start)
 	if err := eng.Close(); err != nil {
@@ -129,8 +162,44 @@ func main() {
 	}
 
 	total := uint64(*streams) * uint64(*steps)
+	busy := elapsed - slept
+	if busy <= 0 {
+		busy = elapsed
+	}
 	fmt.Printf("drove %d stream-steps in %v: %.0f steps/sec\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+		total, elapsed.Round(time.Millisecond), float64(total)/busy.Seconds())
 	fmt.Printf("alarms: %d (%.2f%% of steps), errors: %d\n",
 		alarms.Load(), 100*float64(alarms.Load())/float64(total), failed.Load())
+
+	if *metricsDump != "" && obsrv.Enabled() {
+		if err := dumpMetrics(*metricsDump, obsrv.Registry()); err != nil {
+			fmt.Fprintln(os.Stderr, "awdfleet:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// streamID names stream i the way every awdfleet run does; awdtop relies
+// on the same shape for its default drill-down target.
+func streamID(i int) string { return fmt.Sprintf("stream-%04d", i) }
+
+// dumpMetrics writes the registry's final Prometheus-text state, so a
+// finished fleet run is inspectable without a live scrape.
+func dumpMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "awdfleet: metrics snapshot written to %s\n", path)
+	return nil
 }

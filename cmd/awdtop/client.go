@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// client polls one awdfleet telemetry endpoint: /snapshot for the typed
+// registry view and /stream for the single-stream drill-down tail.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func newClient(addr string, timeout time.Duration) *client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &client{base: base, hc: &http.Client{Timeout: timeout}}
+}
+
+// snapshot fetches the registry snapshot.
+func (c *client) snapshot() (obs.Snapshot, error) {
+	var s obs.Snapshot
+	err := c.getJSON("/snapshot", &s)
+	return s, err
+}
+
+// streamTail fetches the drill-down tail; a non-empty id retargets it.
+func (c *client) streamTail(id string) (obs.StreamTailResponse, error) {
+	path := "/stream"
+	if id != "" {
+		path += "?id=" + url.QueryEscape(id)
+	}
+	var r obs.StreamTailResponse
+	err := c.getJSON(path, &r)
+	return r, err
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,189 @@
+// Command awdtop is a terminal dashboard for a running awdfleet. It polls
+// the fleet's /snapshot JSON endpoint, folds the registry into a
+// per-shard rollup, and renders fleet throughput, batch-latency
+// quantiles, alarm counts, queue depth, the deadline-pressure
+// distribution, and a single-stream drill-down tail — all with the
+// standard library only.
+//
+// Usage:
+//
+//	awdtop -addr 127.0.0.1:9090
+//	awdtop -addr :9090 -stream stream-0042 -interval 500ms
+//	awdtop -addr :9090 -once        # render one frame to stdout and exit
+//
+// Interactive keys: j/k select shard, s enter a stream id for the
+// drill-down, p pause polling, q (or ^C) quit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "awdfleet telemetry address (host:port or URL)")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		stream   = flag.String("stream", "", "initial drill-down stream id (default: server's current target)")
+		once     = flag.Bool("once", false, "render a single frame to stdout and exit (CI / headless mode)")
+	)
+	flag.Parse()
+
+	c := newClient(*addr, *interval)
+	if *once {
+		os.Exit(renderOnce(c, *addr, *interval, *stream))
+	}
+	runInteractive(c, *addr, *interval, *stream)
+}
+
+// poll fetches one snapshot + tail and folds them into the view. Rates
+// come from the previous rollup, so the caller keeps v across polls.
+func poll(c *client, v *view, stream string) {
+	v.now = time.Now()
+	snap, err := c.snapshot()
+	if err != nil {
+		v.pollErr = err.Error()
+		return
+	}
+	v.pollErr = ""
+	if v.haveRoll {
+		v.prevRoll, v.prevAt, v.haveRate = v.roll, v.polledAt, true
+	}
+	v.snap = snap
+	v.roll, v.haveRoll = obs.FleetRollupFromSnapshot(snap)
+	v.polledAt = v.now
+	if v.selShard >= len(v.roll.PerShard) {
+		v.selShard = 0
+	}
+	tail, err := c.streamTail(stream)
+	if err != nil {
+		v.tailErr = err.Error()
+	} else {
+		v.tailErr = ""
+		v.tail = tail
+	}
+}
+
+// renderOnce renders a single plain-text frame: 0 when fleet metrics were
+// present, 1 otherwise (so CI can assert the pipeline end to end).
+func renderOnce(c *client, addr string, interval time.Duration, stream string) int {
+	v := &view{addr: addr, interval: interval, width: 100}
+	poll(c, v, stream)
+	fmt.Print(v.render())
+	if !v.haveRoll {
+		if v.pollErr != "" {
+			fmt.Fprintln(os.Stderr, "awdtop:", v.pollErr)
+		} else {
+			fmt.Fprintln(os.Stderr, "awdtop: endpoint up but no fleet metrics in snapshot")
+		}
+		return 1
+	}
+	return 0
+}
+
+func runInteractive(c *client, addr string, interval time.Duration, stream string) {
+	v := &view{addr: addr, interval: interval}
+
+	// Raw mode gives us single-key input; without a TTY (piped output,
+	// exotic platform) fall back to watch mode: redraw on every tick, no
+	// keyboard control.
+	keys := make(chan byte, 8)
+	restore, err := enterRaw(os.Stdin)
+	if err == nil {
+		defer restore()
+		go func() {
+			buf := make([]byte, 1)
+			for {
+				n, err := os.Stdin.Read(buf)
+				if err != nil {
+					close(keys)
+					return
+				}
+				if n == 1 {
+					keys <- buf[0]
+				}
+			}
+		}()
+	} else {
+		fmt.Fprintln(os.Stderr, "awdtop: no TTY, watch mode (^C to quit):", err)
+	}
+
+	draw := func() {
+		if w, _, ok := termSize(os.Stdout); ok {
+			v.width = w
+		}
+		// Home + clear-to-end repaints without the full-screen flash of 2J.
+		fmt.Print("\x1b[H\x1b[J" + v.render())
+	}
+
+	poll(c, v, stream)
+	if v.tail.Stream != "" {
+		stream = v.tail.Stream
+	}
+	fmt.Print("\x1b[2J") // one full clear on entry
+	draw()
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if v.paused {
+				continue
+			}
+			poll(c, v, stream)
+			if v.tail.Stream != "" {
+				stream = v.tail.Stream
+			}
+			draw()
+		case b, ok := <-keys:
+			if !ok {
+				return
+			}
+			if v.entering {
+				switch b {
+				case '\r', '\n':
+					v.entering = false
+					if v.entry != "" {
+						stream = v.entry
+					}
+					v.entry = ""
+				case 0x1b: // ESC cancels
+					v.entering, v.entry = false, ""
+				case 0x7f, 0x08: // backspace
+					if len(v.entry) > 0 {
+						v.entry = v.entry[:len(v.entry)-1]
+					}
+				default:
+					if b >= 0x20 && b < 0x7f {
+						v.entry += string(b)
+					}
+				}
+				draw()
+				continue
+			}
+			switch b {
+			case 'q', 0x03: // q or ^C (raw mode eats ISIG)
+				fmt.Println()
+				return
+			case 'j':
+				if v.selShard < len(v.roll.PerShard)-1 {
+					v.selShard++
+				}
+			case 'k':
+				if v.selShard > 0 {
+					v.selShard--
+				}
+			case 'p':
+				v.paused = !v.paused
+			case 's':
+				v.entering, v.entry = true, ""
+			}
+			draw()
+		}
+	}
+}

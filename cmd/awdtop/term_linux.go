@@ -1,0 +1,46 @@
+//go:build linux
+
+package main
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// enterRaw puts the terminal behind f into raw-ish mode: no echo, no line
+// buffering, no signal keys (awdtop handles ^C itself so the restore always
+// runs). The returned func restores the original state.
+func enterRaw(f *os.File) (restore func(), err error) {
+	fd := int(f.Fd())
+	var old syscall.Termios
+	if err := ioctlTermios(fd, syscall.TCGETS, &old); err != nil {
+		return nil, err
+	}
+	raw := old
+	raw.Lflag &^= syscall.ECHO | syscall.ICANON | syscall.ISIG
+	raw.Cc[syscall.VMIN] = 1
+	raw.Cc[syscall.VTIME] = 0
+	if err := ioctlTermios(fd, syscall.TCSETS, &raw); err != nil {
+		return nil, err
+	}
+	return func() { _ = ioctlTermios(fd, syscall.TCSETS, &old) }, nil
+}
+
+// termSize reports the terminal dimensions behind f.
+func termSize(f *os.File) (w, h int, ok bool) {
+	var ws struct{ Row, Col, X, Y uint16 }
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, f.Fd(), syscall.TIOCGWINSZ, uintptr(unsafe.Pointer(&ws)))
+	if errno != 0 || ws.Col == 0 {
+		return 0, 0, false
+	}
+	return int(ws.Col), int(ws.Row), true
+}
+
+func ioctlTermios(fd int, req uintptr, t *syscall.Termios) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(fd), req, uintptr(unsafe.Pointer(t)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

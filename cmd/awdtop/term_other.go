@@ -1,0 +1,17 @@
+//go:build !linux
+
+package main
+
+import (
+	"errors"
+	"os"
+)
+
+// enterRaw is unavailable off linux; awdtop falls back to watch mode
+// (periodic redraw, no keyboard).
+func enterRaw(*os.File) (func(), error) {
+	return nil, errors.New("raw terminal mode unsupported on this platform")
+}
+
+// termSize is unknown off linux; the renderer uses its default width.
+func termSize(*os.File) (int, int, bool) { return 0, 0, false }

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// view is everything one frame renders from: the latest snapshot-derived
+// rollup, the previous one for rates, the drill-down tail, and UI state.
+type view struct {
+	addr     string
+	interval time.Duration
+	now      time.Time
+	paused   bool
+	pollErr  string
+
+	snap     obs.Snapshot
+	roll     obs.FleetRollup
+	haveRoll bool
+	polledAt time.Time
+
+	prevRoll obs.FleetRollup
+	prevAt   time.Time
+	haveRate bool
+
+	tail    obs.StreamTailResponse
+	tailErr string
+
+	selShard int
+	entering bool
+	entry    string
+
+	width int
+}
+
+const minWidth = 72
+
+// render draws the whole dashboard as one string (no cursor addressing —
+// the caller decides whether to clear the screen first, so -once output is
+// plain text).
+func (v *view) render() string {
+	w := v.width
+	if w < minWidth {
+		w = minWidth
+	}
+	var out []string
+	out = append(out, v.header(w)...)
+	if !v.haveRoll {
+		msg := "waiting for fleet metrics at " + v.addr + "/snapshot"
+		if v.pollErr != "" {
+			msg = v.pollErr
+		}
+		out = append(out, box("fleet", w, []string{msg, "", "start one with: awdfleet -metrics-addr :9090 -tick 10ms -steps 100000"}))
+		return strings.Join(out, "\n") + "\n"
+	}
+
+	half := w / 2
+	left := box("fleet", half, v.fleetLines())
+	right := box("deadline pressure (slack consumed)", w-half, v.pressureLines(w-half-4))
+	out = append(out, sideBySide(left, right))
+	out = append(out, box("shards", w, v.shardLines(w-2)))
+	title := "stream"
+	if v.tail.Stream != "" {
+		title = "stream " + v.tail.Stream
+	}
+	out = append(out, box(title, w, v.streamLines(w-2)))
+	return strings.Join(out, "\n") + "\n"
+}
+
+func (v *view) header(w int) []string {
+	left := fmt.Sprintf("awdtop — %s   %s", v.addr, v.now.Format("2006-01-02 15:04:05"))
+	var right string
+	switch {
+	case v.entering:
+		right = "stream id: " + v.entry + "▏ (enter=go esc=cancel)"
+	case v.paused:
+		right = "PAUSED — [p] resume  [q] quit"
+	default:
+		right = fmt.Sprintf("poll %s  [j/k] shard  [s]tream  [p]ause  [q]uit", v.interval)
+	}
+	line := left + strings.Repeat(" ", max(1, w-runeLen(left)-runeLen(right))) + right
+	if v.pollErr != "" {
+		return []string{line, clipPad("poll error: "+v.pollErr, w)}
+	}
+	return []string{line}
+}
+
+func (v *view) fleetLines() []string {
+	r := v.roll
+	stepsRate, alarmsRate := "-", "-"
+	if v.haveRate {
+		dt := v.now.Sub(v.prevAt).Seconds()
+		if dt > 0 {
+			stepsRate = human(float64(r.Steps-v.prevRoll.Steps)/dt) + "/s"
+			alarmsRate = human(float64(r.Alarms-v.prevRoll.Alarms)/dt) + "/s"
+		}
+	}
+	batchSize := "-"
+	if r.Batches > 0 {
+		batchSize = fmt.Sprintf("%.1f", float64(r.Steps)/float64(r.Batches))
+	}
+	lines := []string{
+		kv2("streams", human(float64(r.Streams)), "shards", fmt.Sprint(r.Shards)),
+		kv2("steps", human(float64(r.Steps)), "rate", stepsRate),
+		kv2("batches", human(float64(r.Batches)), "batch sz", batchSize),
+		kv2("alarms", human(float64(r.Alarms)), "alarm rate", alarmsRate),
+		kv2("queue", fmt.Sprint(r.QueueDepth), "", ""),
+	}
+	// Detector-level extras when the fleet shares its observer with the
+	// per-stream detectors (awdfleet does).
+	if resMax, ok := v.snap.Get(obs.MetricResidualMax); ok {
+		reach := "-"
+		if h, ok := v.snap.HistogramValue(obs.MetricReachLatency); ok {
+			if q, ok := h.Quantile(0.9); ok {
+				reach = fmt.Sprintf("%.1fµs", q)
+			}
+		}
+		lines = append(lines, kv2("res max", fmt.Sprintf("%.4g", resMax.Gauge), "reach p90", reach))
+	}
+	return lines
+}
+
+// pressureLines renders the deadline-pressure histogram as a bar chart:
+// one row per bucket, bar length proportional to the bucket's share.
+func (v *view) pressureLines(w int) []string {
+	h := v.roll.DeadlinePressure
+	if h.Kind != obs.KindHistogram || h.Count == 0 {
+		return []string{"no certified deadline checks yet", "", "(adaptive streams only)"}
+	}
+	counts := h.BucketCounts()
+	maxC := int64(1)
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	barW := w - 22
+	if barW < 8 {
+		barW = 8
+	}
+	var lines []string
+	for i, c := range counts {
+		var label string
+		if i < len(h.Buckets) {
+			label = fmt.Sprintf("≤%.2f", h.Buckets[i].UpperBound)
+		} else {
+			label = fmt.Sprintf(">%.2f", h.Buckets[len(h.Buckets)-1].UpperBound)
+		}
+		share := float64(c) / float64(h.Count)
+		lines = append(lines, fmt.Sprintf("%-6s %s %5.1f%%", label, bar(c, maxC, barW), 100*share))
+	}
+	lines = append(lines, fmt.Sprintf("mean %.3f   n=%s", h.Sum/float64(h.Count), human(float64(h.Count))))
+	return lines
+}
+
+func (v *view) shardLines(w int) []string {
+	r := v.roll
+	lines := []string{fmt.Sprintf("  %5s %8s %12s %9s %8s %8s %8s %8s",
+		"shard", "streams", "steps", "steps/s", "alarms", "p50µs", "p90µs", "p99µs")}
+	dt := 0.0
+	if v.haveRate {
+		dt = v.now.Sub(v.prevAt).Seconds()
+	}
+	for i, sh := range r.PerShard {
+		rate := "-"
+		if dt > 0 && i < len(v.prevRoll.PerShard) {
+			rate = human(float64(sh.Steps-v.prevRoll.PerShard[i].Steps) / dt)
+		}
+		q := func(p float64) string {
+			if val, ok := sh.BatchUS.Quantile(p); ok {
+				return fmt.Sprintf("%.1f", val)
+			}
+			return "-"
+		}
+		cursor := "  "
+		if i == v.selShard {
+			cursor = "▸ "
+		}
+		lines = append(lines, clipPad(fmt.Sprintf("%s%5d %8d %12d %9s %8d %8s %8s %8s",
+			cursor, sh.Shard, sh.Streams, sh.Steps, rate, sh.Alarms, q(0.5), q(0.9), q(0.99)), w))
+	}
+	if v.selShard >= 0 && v.selShard < len(r.PerShard) {
+		sh := r.PerShard[v.selShard]
+		if sh.BatchUS.Count > 0 {
+			counts := sh.BatchUS.BucketCounts()
+			maxC := int64(1)
+			for _, c := range counts {
+				if c > maxC {
+					maxC = c
+				}
+			}
+			spark := make([]rune, 0, len(counts))
+			for _, c := range counts {
+				spark = append(spark, sparkRune(c, maxC))
+			}
+			lines = append(lines, fmt.Sprintf("  shard %d batch latency %s (%s batches, ≤5µs → >25ms)",
+				sh.Shard, string(spark), human(float64(sh.BatchUS.Count))))
+		}
+	}
+	return lines
+}
+
+func (v *view) streamLines(w int) []string {
+	if v.tailErr != "" {
+		return []string{"drill-down unavailable: " + v.tailErr}
+	}
+	if v.tail.Stream == "" {
+		return []string{"no drill-down target — press [s] to enter a stream id"}
+	}
+	evs := v.tail.Events
+	if len(evs) == 0 {
+		return []string{"no events for " + v.tail.Stream + " yet (tail fills on the next steps)"}
+	}
+	const maxRows = 8
+	if len(evs) > maxRows {
+		evs = evs[len(evs)-maxRows:]
+	}
+	var lines []string
+	for _, ev := range evs {
+		ev.StreamID = "" // panel title already names the stream
+		line := ev.String()
+		if n := len(ev.ResidualAvg); n > 0 {
+			maxR := ev.ResidualAvg[0]
+			for _, r := range ev.ResidualAvg[1:] {
+				if r > maxR {
+					maxR = r
+				}
+			}
+			line += fmt.Sprintf("  res=%.4g", maxR)
+		}
+		lines = append(lines, clipPad(line, w))
+	}
+	return lines
+}
+
+// --- drawing primitives -------------------------------------------------
+
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+func sparkRune(c, maxC int64) rune {
+	if c <= 0 {
+		return sparkLevels[0]
+	}
+	idx := 1 + int(float64(c)/float64(maxC)*float64(len(sparkLevels)-2)+0.5)
+	if idx >= len(sparkLevels) {
+		idx = len(sparkLevels) - 1
+	}
+	return sparkLevels[idx]
+}
+
+func bar(c, maxC int64, width int) string {
+	n := int(float64(c) / float64(maxC) * float64(width))
+	if c > 0 && n == 0 {
+		return "▏" + strings.Repeat(" ", width-1)
+	}
+	return strings.Repeat("█", n) + strings.Repeat(" ", width-n)
+}
+
+// box frames content lines with a titled border, clipping and padding each
+// line to the inner width.
+func box(title string, w int, lines []string) string {
+	inner := w - 2
+	top := "┌─ " + title + " "
+	if pad := w - runeLen(top) - 1; pad > 0 {
+		top += strings.Repeat("─", pad)
+	}
+	top += "┐"
+	rows := []string{top}
+	for _, l := range lines {
+		rows = append(rows, "│"+clipPad(l, inner)+"│")
+	}
+	rows = append(rows, "└"+strings.Repeat("─", inner)+"┘")
+	return strings.Join(rows, "\n")
+}
+
+// sideBySide joins two boxed panels horizontally, padding the shorter one.
+func sideBySide(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	wa := 0
+	for _, l := range la {
+		if n := runeLen(l); n > wa {
+			wa = n
+		}
+	}
+	n := len(la)
+	if len(lb) > n {
+		n = len(lb)
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		var x, y string
+		if i < len(la) {
+			x = la[i]
+		}
+		if i < len(lb) {
+			y = lb[i]
+		}
+		out = append(out, clipPad(x, wa)+y)
+	}
+	return strings.Join(out, "\n")
+}
+
+func clipPad(s string, w int) string {
+	r := []rune(s)
+	if len(r) > w {
+		return string(r[:w])
+	}
+	return s + strings.Repeat(" ", w-len(r))
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+func kv2(k1, v1, k2, v2 string) string {
+	if k2 == "" {
+		return fmt.Sprintf("%-9s %12s", k1, v1)
+	}
+	return fmt.Sprintf("%-9s %12s   %-10s %10s", k1, v1, k2, v2)
+}
+
+// human renders a count with k/M/G suffixes for dashboard density.
+func human(v float64) string {
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%s%.2fG", neg, v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%s%.2fM", neg, v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%s%.1fk", neg, v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%s%d", neg, int64(v))
+	default:
+		return fmt.Sprintf("%s%.2f", neg, v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

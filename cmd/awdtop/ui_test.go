@@ -1,0 +1,157 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fleetView builds a view over a synthetic fleet-shaped snapshot, the way
+// poll() would after one successful round trip.
+func fleetView(t *testing.T) *view {
+	t.Helper()
+	r := obs.NewRegistry()
+	r.Gauge(obs.MetricFleetStreams, "").SetInt(500)
+	r.Gauge(obs.MetricFleetShards, "").SetInt(2)
+	r.Counter(obs.MetricFleetSteps, "").Add(120000)
+	r.Counter(obs.MetricFleetBatches, "").Add(600)
+	r.Counter(obs.MetricFleetAlarms, "").Add(9)
+	r.Gauge(obs.MetricFleetQueueDepth, "").SetInt(1)
+	hp := r.Histogram(obs.MetricFleetDeadlinePressure, "", obs.DeadlinePressureBuckets)
+	for i := 0; i < 50; i++ {
+		hp.Observe(float64(i) / 50)
+	}
+	for sh := 0; sh < 2; sh++ {
+		r.Gauge(obs.FleetShardMetric(obs.MetricFleetShardStreams, sh), "").SetInt(250)
+		r.Counter(obs.FleetShardMetric(obs.MetricFleetShardSteps, sh), "").Add(60000)
+		r.Counter(obs.FleetShardMetric(obs.MetricFleetShardAlarms, sh), "").Add(4)
+		hb := r.Histogram(obs.FleetShardBatchMetric(sh), "", obs.FleetBatchLatencyBuckets)
+		hb.Observe(80)
+		hb.Observe(120)
+	}
+	snap := r.Snapshot()
+	roll, ok := obs.FleetRollupFromSnapshot(snap)
+	if !ok {
+		t.Fatal("fixture snapshot did not roll up")
+	}
+	return &view{
+		addr:     "127.0.0.1:9090",
+		interval: time.Second,
+		now:      time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		snap:     snap,
+		roll:     roll,
+		haveRoll: true,
+		width:    100,
+		tail: obs.StreamTailResponse{
+			Stream: "stream-0001",
+			Events: []obs.StepEvent{
+				{Step: 41, StreamID: "stream-0001", Window: 12, Deadline: 12, LoggerLen: 20, ResidualAvg: []float64{0.01, 0.03}},
+				{Step: 42, StreamID: "stream-0001", Window: 12, Deadline: 12, Alarm: true, Dims: []int{1}, LoggerLen: 20},
+			},
+		},
+	}
+}
+
+// TestRenderFullFrame pins the dashboard frame: every panel present, the
+// fleet numbers, per-shard rows, pressure bars, and the drill-down tail.
+func TestRenderFullFrame(t *testing.T) {
+	out := fleetView(t).render()
+	for _, want := range []string{
+		"awdtop — 127.0.0.1:9090",
+		"┌─ fleet ",
+		"streams            500",
+		"shards              2",
+		"alarms               9",
+		"┌─ deadline pressure (slack consumed) ",
+		"mean 0.490   n=50",
+		"┌─ shards ",
+		"▸     0      250        60000",
+		"  1      250        60000",
+		"┌─ stream stream-0001 ",
+		"step   42",
+		"ALARM",
+		"res=0.03",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// One-frame output must not embed cursor addressing — -once pipes it.
+	if strings.Contains(out, "\x1b") {
+		t.Error("render embeds ANSI escapes; positioning is the caller's job")
+	}
+	// The drill-down rows must not repeat the stream id the title carries.
+	if strings.Count(out, "stream-0001") != 1 {
+		t.Errorf("stream id repeated outside the panel title:\n%s", out)
+	}
+}
+
+// TestRenderWaitingFrame covers the no-fleet state: the frame still renders
+// (with the hint) instead of erroring, which is what -once prints before
+// exiting nonzero.
+func TestRenderWaitingFrame(t *testing.T) {
+	v := &view{addr: "127.0.0.1:9090", interval: time.Second, now: time.Unix(0, 0).UTC(), width: 80}
+	out := v.render()
+	if !strings.Contains(out, "waiting for fleet metrics at 127.0.0.1:9090/snapshot") {
+		t.Errorf("waiting frame missing hint:\n%s", out)
+	}
+	v.pollErr = "connection refused"
+	if out := v.render(); !strings.Contains(out, "connection refused") {
+		t.Errorf("waiting frame hides the poll error:\n%s", out)
+	}
+}
+
+// TestRenderRates checks the steps/s derivation from two consecutive
+// rollups.
+func TestRenderRates(t *testing.T) {
+	v := fleetView(t)
+	v.prevRoll = v.roll
+	v.prevRoll.Steps -= 50000
+	v.prevAt = v.now.Add(-time.Second)
+	v.haveRate = true
+	if out := v.render(); !strings.Contains(out, "50.0k/s") {
+		t.Errorf("frame missing derived step rate:\n%s", out)
+	}
+}
+
+func TestBoxClipsAndPads(t *testing.T) {
+	b := box("t", 10, []string{"short", "a line far wider than the box"})
+	for i, l := range strings.Split(b, "\n") {
+		if n := runeLen(l); n != 10 {
+			t.Errorf("row %d width %d, want 10: %q", i, n, l)
+		}
+	}
+}
+
+func TestHuman(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {950, "950"}, {10000, "10.0k"}, {1.5e6, "1.50M"}, {2e9, "2.00G"}, {-10000, "-10.0k"}, {3.14, "3.14"},
+	} {
+		if got := human(tc.in); got != tc.want {
+			t.Errorf("human(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSparkAndBar(t *testing.T) {
+	if r := sparkRune(0, 10); r != ' ' {
+		t.Errorf("zero spark = %q", r)
+	}
+	if r := sparkRune(10, 10); r != '█' {
+		t.Errorf("full spark = %q", r)
+	}
+	if b := bar(0, 10, 4); b != "    " {
+		t.Errorf("zero bar = %q", b)
+	}
+	if b := bar(1, 1000, 4); !strings.HasPrefix(b, "▏") {
+		t.Errorf("nonzero bar invisible: %q", b)
+	}
+	if b := bar(10, 10, 4); b != "████" {
+		t.Errorf("full bar = %q", b)
+	}
+}

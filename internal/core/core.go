@@ -135,8 +135,9 @@ type System struct {
 	// is available — stays in decide, identical for both paths.
 	dlSrc DeadlineSource
 
-	obs    *obs.Observer // nil = observability disabled
-	resAvg []float64     // scratch buffer for StepEvent residual averages
+	obs      *obs.Observer // nil = observability disabled
+	resAvg   []float64     // scratch buffer for StepEvent residual averages
+	streamID string        // stamps StepEvents; see SetStreamID
 }
 
 // DeadlineSource supplies detection deadlines for explicit trusted states.
@@ -154,6 +155,12 @@ type DeadlineSource interface {
 // for adaptive systems (no-op queries otherwise). Not safe to call
 // concurrently with Step.
 func (s *System) SetDeadlineSource(src DeadlineSource) { s.dlSrc = src }
+
+// SetStreamID stamps every subsequent trace event with a stream identity,
+// making fleet-originated events attributable when thousands of detectors
+// share one sink. Empty (the default) omits the field. Not safe to call
+// concurrently with Step.
+func (s *System) SetStreamID(id string) { s.streamID = id }
 
 func (m mode) String() string {
 	switch m {
@@ -394,6 +401,7 @@ func (s *System) decide(entry *logger.Entry) (Decision, error) {
 	if s.obs.Enabled() {
 		s.obs.ObserveStep(obs.StepEvent{
 			Step:              dec.Step,
+			StreamID:          s.streamID,
 			Strategy:          s.mode.String(),
 			Window:            dec.Window,
 			Deadline:          dec.Deadline,

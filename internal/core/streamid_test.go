@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// TestSetStreamIDStampsEvents checks the fleet attribution hook: after
+// SetStreamID every emitted StepEvent carries the id, and a standalone
+// (unstamped) system keeps the field empty so single-detector traces stay
+// noise-free.
+func TestSetStreamIDStampsEvents(t *testing.T) {
+	ring := obs.NewRingSink(8)
+	o := obs.NewObserver(nil, ring)
+	c := cfg(t)
+	c.Observer = o
+	sys, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mat.VecOf(0)
+	must(sys.Step(mat.VecOf(0), u))
+	sys.SetStreamID("stream-0001")
+	must(sys.Step(mat.VecOf(0), u))
+
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("sink saw %d events, want 2", len(evs))
+	}
+	if evs[0].StreamID != "" {
+		t.Errorf("pre-stamp event carries stream id %q", evs[0].StreamID)
+	}
+	if evs[1].StreamID != "stream-0001" {
+		t.Errorf("post-stamp event stream id = %q, want stream-0001", evs[1].StreamID)
+	}
+}

@@ -40,6 +40,15 @@ type Certificate struct {
 	// bound, so the hot query is a squared-distance compare with no sqrt.
 	// Negative means the anchor can never be hit (both budgets vanished).
 	thr2 float64
+
+	// lastPressure records the most recent query's deadline pressure —
+	// the fraction of the anchor's hit radius the query state had consumed
+	// (see Pressure semantics on TakePressure). hasPressure gates staleness:
+	// TakePressure consumes it, so a reader interleaving queries from many
+	// streams (the fleet worker) can attribute each value to the stream
+	// whose query produced it.
+	lastPressure float64
+	hasPressure  bool
 }
 
 // NewCertificate returns an unanchored certificate over est. The first
@@ -64,10 +73,32 @@ func (c *Certificate) FromState(x0 mat.Vec) int {
 			d2 += diff * diff
 		}
 		if d2 <= c.thr2 {
+			// thr2 > 0 here: d2 >= 0, so a non-positive thr2 cannot admit a
+			// hit. The ratio is the slack consumed by this stream's drift
+			// from the shared anchor.
+			c.lastPressure = math.Sqrt(d2 / c.thr2)
+			c.hasPressure = true
 			return c.safeSteps
 		}
 	}
 	return c.anchor(x0)
+}
+
+// TakePressure returns and consumes the deadline pressure of the most
+// recent FromState query: the fraction of the certificate's proven slack
+// radius (the folded distance-to-unsafe budget, see thr2) the query state
+// had consumed. 0 is a fresh anchor with the whole budget ahead; values
+// approaching 1 mean the state is drifting to the edge of the certified
+// ball, where the one-compare deadline check fails and the next query pays
+// a full reachability re-scan — pressure building ahead of any alarm. A
+// query that re-anchored onto a dead certificate (no budget at all)
+// records pressure 1. The consuming read keeps interleaved per-stream
+// queries attributable; ok is false when no query happened since the last
+// take (or the certificate could not anchor).
+func (c *Certificate) TakePressure() (pressure float64, ok bool) {
+	pressure, ok = c.lastPressure, c.hasPressure
+	c.hasPressure = false
+	return pressure, ok
 }
 
 // anchor runs the estimator's full scan from x0 and freezes its outcome
@@ -108,9 +139,12 @@ func (c *Certificate) anchor(x0 mat.Vec) int {
 	}
 	if thr > 0 {
 		c.thr2 = thr * thr
+		c.lastPressure = 0 // fresh anchor: full slack budget ahead
 	} else {
 		c.thr2 = -1
+		c.lastPressure = 1 // dead anchor: every query re-scans
 	}
+	c.hasPressure = true
 	c.anchored = true
 	return d
 }

@@ -1,0 +1,75 @@
+package deadline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+)
+
+// TestTakePressure pins the deadline-pressure semantics: 0 on a fresh
+// anchor, sqrt(d2/thr2) on certified hits (monotone in the drift from the
+// anchor), consumed by the read, and bounded by 1.
+func TestTakePressure(t *testing.T) {
+	// Safe box ±10.5 leaves the anchor a real slack budget (the reach box
+	// from 0 grows ±1 per step: deadline 10, min slack 0.5); an exactly
+	// touching bound would anchor dead with pressure pinned to 1.
+	_, an := fixture(t, 20)
+	est, err := New(an, geom.UniformBox(1, -10.5, 10.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCertificate(est)
+
+	// No query yet: nothing to take.
+	if _, ok := c.TakePressure(); ok {
+		t.Error("pressure available before any query")
+	}
+
+	// First query anchors: fresh certificate, zero pressure.
+	c.FromState(mat.VecOf(0))
+	p, ok := c.TakePressure()
+	if !ok || p != 0 {
+		t.Fatalf("fresh-anchor pressure = %v (ok=%v), want 0", p, ok)
+	}
+	// Consumed: a second take without a query reports no value.
+	if _, ok := c.TakePressure(); ok {
+		t.Error("pressure not consumed by TakePressure")
+	}
+
+	// Drifting queries inside the certified ball: pressure grows with the
+	// distance from the anchor and stays in (0, 1].
+	var last float64
+	for _, x := range []float64{0.01, 0.02, 0.03} {
+		if d := c.FromState(mat.VecOf(x)); d != 10 {
+			t.Fatalf("drifted query re-anchored (deadline %d) — fixture drifts too fast for the test", d)
+		}
+		p, ok := c.TakePressure()
+		if !ok || p <= last || p > 1 {
+			t.Fatalf("pressure at drift %v = %v (ok=%v), want in (%v, 1]", x, p, ok, last)
+		}
+		last = p
+	}
+
+	// A far query re-anchors: pressure resets to 0 for the fresh anchor.
+	if d := c.FromState(mat.VecOf(8)); d != 2 {
+		t.Fatalf("far query deadline = %d, want 2", d)
+	}
+	if p, ok := c.TakePressure(); !ok || p != 0 {
+		t.Errorf("re-anchor pressure = %v (ok=%v), want fresh 0", p, ok)
+	}
+
+	// The certified-hit pressure is exactly the consumed radius fraction.
+	c2 := NewCertificate(est)
+	c2.FromState(mat.VecOf(0))
+	c2.TakePressure()
+	thr := math.Sqrt(c2.thr2)
+	x := thr / 2
+	if d := c2.FromState(mat.VecOf(x)); d != c2.safeSteps {
+		t.Fatalf("half-radius query missed the certificate (deadline %d)", d)
+	}
+	if p, _ := c2.TakePressure(); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("half-radius pressure = %v, want 0.5", p)
+	}
+}

@@ -95,10 +95,12 @@ type Engine struct {
 	runq    *runQueue
 	workers sync.WaitGroup
 
-	mStreams *obs.Gauge
-	mShards  *obs.Gauge
-	mSteps   *obs.Counter
-	mBatches *obs.Counter
+	mStreams  *obs.Gauge
+	mShards   *obs.Gauge
+	mSteps    *obs.Counter
+	mBatches  *obs.Counter
+	mAlarms   *obs.Counter
+	mPressure *obs.Histogram
 }
 
 // New builds an engine and starts its workers. Callers must Close it to
@@ -126,6 +128,10 @@ func New(cfg Config) *Engine {
 		e.mShards = reg.Gauge(obs.MetricFleetShards, "shards the fleet engine has formed")
 		e.mSteps = reg.Counter(obs.MetricFleetSteps, "detection steps executed by the fleet engine")
 		e.mBatches = reg.Counter(obs.MetricFleetBatches, "batch kernel invocations across all shards")
+		e.mAlarms = reg.Counter(obs.MetricFleetAlarms, "alarmed decisions (primary or complementary) across all streams")
+		e.mPressure = reg.Histogram(obs.MetricFleetDeadlinePressure,
+			"per-step fraction of the shard deadline certificate's slack radius consumed by each stream's trusted state",
+			obs.DeadlinePressureBuckets)
 		e.runq.depth = reg.Gauge(obs.MetricFleetQueueDepth, "shards waiting on the fleet run queue")
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -177,6 +183,7 @@ func (e *Engine) AddStream(id string, det *core.System, onDecision func(core.Dec
 		done:       make(chan result, 1),
 		onDecision: onDecision,
 	}
+	det.SetStreamID(id)
 	// Adaptive streams share the shard's deadline certificate whenever
 	// their estimator configuration is provably interchangeable (shard
 	// membership already pins the plant matrices bit-for-bit, which is
@@ -198,11 +205,13 @@ func (e *Engine) AddStream(id string, det *core.System, onDecision func(core.Dec
 			sh.certs = append(sh.certs, cert)
 		}
 		det.SetDeadlineSource(cert)
+		s.cert = cert
 	}
 	sh.nstreams++
 	e.streams[id] = s
 	if e.o.Enabled() {
 		e.mStreams.SetInt(len(e.streams))
+		sh.mStreams.SetInt(sh.nstreams)
 	}
 	return s, nil
 }
@@ -222,10 +231,17 @@ func (e *Engine) newShard(key string, sys *lti.System) *shard {
 		pb:      mat.NewBatch(sys.StateDim(), e.cfg.ShardSize),
 	}
 	if e.o.Enabled() {
-		sh.batchUS = e.o.Registry().Histogram(
+		reg := e.o.Registry()
+		sh.batchUS = reg.Histogram(
 			obs.FleetShardBatchMetric(sh.idx),
 			"fleet shard batch step latency (microseconds)",
 			obs.FleetBatchLatencyBuckets)
+		sh.mSteps = reg.Counter(obs.FleetShardMetric(obs.MetricFleetShardSteps, sh.idx),
+			"detection steps executed by this shard")
+		sh.mAlarms = reg.Counter(obs.FleetShardMetric(obs.MetricFleetShardAlarms, sh.idx),
+			"alarmed decisions delivered by this shard")
+		sh.mStreams = reg.Gauge(obs.FleetShardMetric(obs.MetricFleetShardStreams, sh.idx),
+			"detection streams registered with this shard")
 		e.mShards.SetInt(len(e.shards) + 1)
 	}
 	e.shards = append(e.shards, sh)
@@ -355,6 +371,13 @@ type Stream struct {
 	// to keep in lockstep.
 	pred mat.Vec
 
+	// cert is the shard-shared deadline certificate this stream queries
+	// through its detector (nil for non-adaptive streams). The worker reads
+	// its per-query deadline pressure right after each StepPredicted, while
+	// the shard's serial processing still attributes the consuming read to
+	// this stream.
+	cert *deadline.Certificate
+
 	// tok is the sample token: holding it (the mutex locked) is the right
 	// to fill the ingest slot. It is locked by the ingest caller and
 	// unlocked by the worker once the decision is delivered — sync.Mutex
@@ -462,6 +485,11 @@ type shard struct {
 	queued   bool      // shard is on the run queue or being processed
 	nstreams int       // registered streams (guarded by eng.mu)
 
+	// Per-shard rollup instruments; nil when observability is disabled.
+	mSteps   *obs.Counter
+	mAlarms  *obs.Counter
+	mStreams *obs.Gauge
+
 	// Batch scratch, allocated at shard capacity; only the processing
 	// worker touches it, and the queued flag admits one worker at a time.
 	xb, ub, pb *mat.Batch
@@ -567,9 +595,24 @@ func (sh *shard) stepBatch(ss []*Stream) {
 			s.pred[j] = row[i]
 		}
 	}
+	obsOn := sh.eng.o.Enabled()
+	alarms := int64(0)
 	for _, s := range ss {
 		dec, err := s.det.StepPredicted(s.est, s.pred)
 		s.noteStep()
+		if obsOn {
+			if err == nil && dec.Alarmed() {
+				alarms++
+			}
+			// The consuming read attributes the shared certificate's last
+			// query to this stream: the shard is processed serially, so no
+			// other stream has queried it since StepPredicted above.
+			if s.cert != nil {
+				if p, ok := s.cert.TakePressure(); ok {
+					sh.eng.mPressure.Observe(p)
+				}
+			}
+		}
 		syncWait := s.syncWait
 		s.syncWait = false
 		if syncWait {
@@ -585,8 +628,13 @@ func (sh *shard) stepBatch(ss []*Stream) {
 			}
 		}
 	}
-	if sh.eng.o.Enabled() {
+	if obsOn {
 		sh.eng.mSteps.Add(int64(k))
+		sh.mSteps.Add(int64(k))
+		if alarms > 0 {
+			sh.eng.mAlarms.Add(alarms)
+			sh.mAlarms.Add(alarms)
+		}
 		sh.eng.mBatches.Inc()
 		sh.batchUS.Observe(float64(time.Since(start)) / float64(time.Microsecond))
 	}

@@ -22,6 +22,9 @@ var noPanicScope = []string{
 	"repro/internal/deadline",
 	"repro/internal/reach",
 	"repro/internal/fleet",
+	// The operations console must never die mid-watch either: a dashboard
+	// that panics on a malformed snapshot is useless exactly when needed.
+	"repro/cmd/awdtop",
 }
 
 // NoPanic forbids panic calls on the runtime hot path outside

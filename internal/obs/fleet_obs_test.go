@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetShardMetricNames(t *testing.T) {
+	if got := FleetShardBatchMetric(3); got != "awd_fleet_shard_batch_us_3" {
+		t.Errorf("batch metric = %q", got)
+	}
+	if got := FleetShardMetric(MetricFleetShardSteps, 0); got != "awd_fleet_shard_steps_total_0" {
+		t.Errorf("steps metric = %q", got)
+	}
+	for _, tc := range []struct {
+		prefix, name string
+		want         int
+		ok           bool
+	}{
+		{MetricFleetShardBatchUS, "awd_fleet_shard_batch_us_7", 7, true},
+		{MetricFleetShardSteps, "awd_fleet_shard_steps_total_12", 12, true},
+		{MetricFleetShardBatchUS, "awd_fleet_shard_batch_us_", 0, false},
+		{MetricFleetShardBatchUS, "awd_fleet_shard_batch_us_x", 0, false},
+		{MetricFleetShardBatchUS, "awd_fleet_shard_batch_us_-1", 0, false},
+		{MetricFleetShardBatchUS, "awd_fleet_steps_total", 0, false},
+	} {
+		got, ok := ShardIndex(tc.prefix, tc.name)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ShardIndex(%q, %q) = %d,%v, want %d,%v", tc.prefix, tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestFleetShardExpositionGolden pins the Prometheus text rendering of the
+// per-shard series a two-shard fleet registers — the names a scrape config
+// or recording rule matches on.
+func TestFleetShardExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	for sh := 0; sh < 2; sh++ {
+		r.Gauge(FleetShardMetric(MetricFleetShardStreams, sh), "streams in shard").SetInt(10 * (sh + 1))
+		r.Counter(FleetShardMetric(MetricFleetShardSteps, sh), "steps in shard").Add(int64(100 * (sh + 1)))
+		r.Counter(FleetShardMetric(MetricFleetShardAlarms, sh), "alarms in shard").Add(int64(sh))
+		h := r.Histogram(FleetShardBatchMetric(sh), "batch latency", FleetBatchLatencyBuckets)
+		h.Observe(7)
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE awd_fleet_shard_streams_0 gauge",
+		"awd_fleet_shard_streams_0 10",
+		"awd_fleet_shard_streams_1 20",
+		"# TYPE awd_fleet_shard_steps_total_0 counter",
+		"awd_fleet_shard_steps_total_0 100",
+		"awd_fleet_shard_steps_total_1 200",
+		"awd_fleet_shard_alarms_total_1 1",
+		"# TYPE awd_fleet_shard_batch_us_0 histogram",
+		`awd_fleet_shard_batch_us_0_bucket{le="10"} 1`,
+		`awd_fleet_shard_batch_us_1_bucket{le="5"} 0`,
+		"awd_fleet_shard_batch_us_0_count 1",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFleetRollupFromSnapshot(t *testing.T) {
+	s := fleetShapedRegistry(3).Snapshot()
+	r, ok := FleetRollupFromSnapshot(s)
+	if !ok {
+		t.Fatal("rollup not assembled from fleet-shaped snapshot")
+	}
+	if r.Streams != 750 || r.Shards != 3 || r.Steps != 1e6 || r.Batches != 5000 || r.Alarms != 12 || r.QueueDepth != 3 {
+		t.Errorf("fleet totals = %+v", r)
+	}
+	if r.DeadlinePressure.Kind != KindHistogram || r.DeadlinePressure.Count != 100 {
+		t.Errorf("deadline pressure = %+v", r.DeadlinePressure)
+	}
+	if len(r.PerShard) != 3 {
+		t.Fatalf("per-shard rollups = %d, want 3", len(r.PerShard))
+	}
+	var steps int64
+	for i, sh := range r.PerShard {
+		if sh.Shard != i || sh.Streams != 250 || sh.Alarms != 3 {
+			t.Errorf("shard %d rollup = %+v", i, sh)
+		}
+		if sh.BatchUS.Kind != KindHistogram || sh.BatchUS.Count != 50 {
+			t.Errorf("shard %d batch histogram = %+v", i, sh.BatchUS)
+		}
+		steps += sh.Steps
+	}
+	if steps != r.Steps-r.Steps%3 {
+		t.Errorf("per-shard steps sum %d inconsistent with fleet total %d", steps, r.Steps)
+	}
+
+	// A registry with no fleet series yields no rollup.
+	plain := NewRegistry()
+	plain.Counter("unrelated_total", "").Inc()
+	if _, ok := FleetRollupFromSnapshot(plain.Snapshot()); ok {
+		t.Error("rollup assembled from non-fleet snapshot")
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sort"
+)
+
+// MetricKind tags a snapshotted metric value with its instrument type.
+type MetricKind string
+
+// The three instrument kinds a Registry can hold.
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// HistogramBucket is one non-overflow bucket of a snapshotted histogram:
+// the inclusive upper bound and the cumulative count of observations at or
+// below it (the Prometheus `le` convention). The implicit +Inf bucket is
+// not materialized — it would not survive JSON — so overflow observations
+// are Count minus the last bucket's CumCount.
+type HistogramBucket struct {
+	UpperBound float64 `json:"le"`
+	CumCount   int64   `json:"cum_count"`
+}
+
+// MetricValue is one metric's state at snapshot time. Kind selects which
+// of the value fields are meaningful: Counter for counters, Gauge for
+// gauges, Buckets/Count/Sum for histograms.
+type MetricValue struct {
+	Name    string            `json:"name"`
+	Kind    MetricKind        `json:"kind"`
+	Help    string            `json:"help,omitempty"`
+	Counter int64             `json:"counter,omitempty"`
+	Gauge   float64           `json:"gauge,omitempty"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a histogram metric by
+// linear interpolation inside the containing bucket — the usual
+// Prometheus-style estimate, good enough for dashboard percentiles. The
+// second return is false for non-histograms and empty histograms. Overflow
+// observations clamp to the last finite bound.
+func (m MetricValue) Quantile(q float64) (float64, bool) {
+	if m.Kind != KindHistogram || m.Count == 0 || len(m.Buckets) == 0 || q < 0 || q > 1 {
+		return 0, false
+	}
+	rank := q * float64(m.Count)
+	lo, loCum := 0.0, int64(0)
+	for _, b := range m.Buckets {
+		if float64(b.CumCount) >= rank {
+			width := b.UpperBound - lo
+			inBucket := b.CumCount - loCum
+			if inBucket <= 0 {
+				return b.UpperBound, true
+			}
+			frac := (rank - float64(loCum)) / float64(inBucket)
+			return lo + width*frac, true
+		}
+		lo, loCum = b.UpperBound, b.CumCount
+	}
+	// Rank falls in the +Inf overflow bucket: clamp to the largest bound.
+	return m.Buckets[len(m.Buckets)-1].UpperBound, true
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) observation counts,
+// one per finite bound plus the trailing overflow bucket — the shape bar
+// charts want. Nil for non-histograms.
+func (m MetricValue) BucketCounts() []int64 {
+	if m.Kind != KindHistogram {
+		return nil
+	}
+	out := make([]int64, len(m.Buckets)+1)
+	prev := int64(0)
+	for i, b := range m.Buckets {
+		out[i] = b.CumCount - prev
+		prev = b.CumCount
+	}
+	out[len(m.Buckets)] = m.Count - prev
+	return out
+}
+
+// Snapshot is a point-in-time view of every metric in a Registry, sorted
+// by name. It is a plain value: JSON-serializable for the /snapshot
+// endpoint and safe to retain, compare, and ship across processes.
+type Snapshot struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Get returns the named metric value; the Metrics slice is sorted by name
+// so the lookup is a binary search.
+func (s Snapshot) Get(name string) (MetricValue, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return MetricValue{}, false
+}
+
+// CounterValue returns the named counter's value, zero when absent or not
+// a counter — the forgiving accessor dashboards want.
+func (s Snapshot) CounterValue(name string) int64 {
+	m, ok := s.Get(name)
+	if !ok || m.Kind != KindCounter {
+		return 0
+	}
+	return m.Counter
+}
+
+// GaugeValue returns the named gauge's value, zero when absent or not a
+// gauge.
+func (s Snapshot) GaugeValue(name string) float64 {
+	m, ok := s.Get(name)
+	if !ok || m.Kind != KindGauge {
+		return 0
+	}
+	return m.Gauge
+}
+
+// HistogramValue returns the named histogram value; ok is false when the
+// metric is absent or of another kind.
+func (s Snapshot) HistogramValue(name string) (MetricValue, bool) {
+	m, ok := s.Get(name)
+	if !ok || m.Kind != KindHistogram {
+		return MetricValue{}, false
+	}
+	return m, true
+}
+
+// Snapshot captures every registered metric's current value. It is
+// lock-light: the registry lock is held only to copy the instrument map
+// (O(metrics), never O(observations)), and the values themselves are then
+// read through the same atomics the hot path writes — Snapshot never
+// blocks an Observe, an Inc, or a Set. Within one snapshot each instrument
+// is internally consistent (a histogram's buckets may trail its count by
+// in-flight observations, exactly as WritePrometheus may), so a fleet-wide
+// snapshot costs O(registered series): for the fleet engine that is
+// O(shards), not O(streams).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	type named struct {
+		name string
+		m    metric
+	}
+	ms := make([]named, 0, len(r.metrics))
+	for name, m := range r.metrics {
+		ms = append(ms, named{name, m})
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	out := Snapshot{Metrics: make([]MetricValue, 0, len(ms))}
+	for _, nm := range ms {
+		mv := MetricValue{Name: nm.name, Help: nm.m.metricHelp()}
+		switch inst := nm.m.(type) {
+		case *Counter:
+			mv.Kind = KindCounter
+			mv.Counter = inst.Value()
+		case *Gauge:
+			mv.Kind = KindGauge
+			mv.Gauge = inst.Value()
+		case *Histogram:
+			mv.Kind = KindHistogram
+			mv.Buckets = make([]HistogramBucket, len(inst.bounds))
+			cum := int64(0)
+			for i, b := range inst.bounds {
+				cum += inst.counts[i].Load()
+				mv.Buckets[i] = HistogramBucket{UpperBound: b, CumCount: cum}
+			}
+			// Count includes the overflow bucket; read it after the finite
+			// buckets so the total can only be >= the cumulative tail and the
+			// derived overflow count stays non-negative.
+			mv.Count = cum + inst.counts[len(inst.bounds)].Load()
+			mv.Sum = inst.Sum()
+		}
+		out.Metrics = append(out.Metrics, mv)
+	}
+	return out
+}

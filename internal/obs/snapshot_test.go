@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSnapshotTypedValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "a counter").Add(7)
+	r.Gauge("aa_level", "a gauge").Set(-1.5)
+	h := r.Histogram("mm_us", "a histogram", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(100) // overflow
+
+	s := r.Snapshot()
+	if len(s.Metrics) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(s.Metrics))
+	}
+	// Sorted by name.
+	for i, want := range []string{"aa_level", "mm_us", "zz_total"} {
+		if s.Metrics[i].Name != want {
+			t.Errorf("metric[%d] = %q, want %q", i, s.Metrics[i].Name, want)
+		}
+	}
+	if got := s.CounterValue("zz_total"); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if got := s.GaugeValue("aa_level"); got != -1.5 {
+		t.Errorf("gauge = %v, want -1.5", got)
+	}
+	hv, ok := s.HistogramValue("mm_us")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if hv.Count != 4 || hv.Sum != 110.5 {
+		t.Errorf("histogram count/sum = %d/%v, want 4/110.5", hv.Count, hv.Sum)
+	}
+	wantBuckets := []HistogramBucket{{UpperBound: 1, CumCount: 1}, {UpperBound: 10, CumCount: 3}}
+	if len(hv.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %v, want %v", hv.Buckets, wantBuckets)
+	}
+	for i, b := range wantBuckets {
+		if hv.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %v, want %v", i, hv.Buckets[i], b)
+		}
+	}
+	if got := hv.BucketCounts(); got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("BucketCounts = %v, want [1 2 1]", got)
+	}
+	// Wrong-kind and absent lookups are forgiving zeros.
+	if s.CounterValue("aa_level") != 0 || s.GaugeValue("zz_total") != 0 {
+		t.Error("cross-kind accessors should return zero")
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get on absent name reported ok")
+	}
+	if _, ok := s.HistogramValue("zz_total"); ok {
+		t.Error("HistogramValue on a counter reported ok")
+	}
+}
+
+// TestSnapshotJSONRoundTrip pins the /snapshot wire format: histograms
+// survive encoding (no +Inf bound is ever materialized) and decode back to
+// identical values.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	h := r.Histogram("h_us", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(99) // lands in the non-materialized overflow bucket
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot did not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot did not unmarshal: %v", err)
+	}
+	hv, ok := back.HistogramValue("h_us")
+	if !ok {
+		t.Fatal("histogram lost in round trip")
+	}
+	for _, b := range hv.Buckets {
+		if math.IsInf(b.UpperBound, 0) {
+			t.Fatalf("materialized +Inf bound survived JSON: %v", hv.Buckets)
+		}
+	}
+	if counts := hv.BucketCounts(); counts[len(counts)-1] != 1 {
+		t.Errorf("overflow count = %v, want trailing 1", counts)
+	}
+	if back.CounterValue("c_total") != 2 {
+		t.Errorf("counter lost in round trip")
+	}
+}
+
+func TestMetricValueQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_us", "", []float64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in the first bucket
+	}
+	hv, _ := r.Snapshot().HistogramValue("q_us")
+	if q, ok := hv.Quantile(0.5); !ok || q != 5 {
+		t.Errorf("p50 = %v (ok=%v), want 5 by interpolation", q, ok)
+	}
+	if q, ok := hv.Quantile(1); !ok || q != 10 {
+		t.Errorf("p100 = %v (ok=%v), want 10 (bucket bound)", q, ok)
+	}
+
+	h2 := r.Histogram("q2_us", "", []float64{10, 20})
+	h2.Observe(5)
+	h2.Observe(15)
+	h2.Observe(999) // overflow
+	hv2, _ := r.Snapshot().HistogramValue("q2_us")
+	if q, ok := hv2.Quantile(0.99); !ok || q != 20 {
+		t.Errorf("p99 = %v (ok=%v), want clamp to last bound 20", q, ok)
+	}
+
+	// Degenerate inputs refuse rather than guess.
+	if _, ok := (MetricValue{Kind: KindCounter}).Quantile(0.5); ok {
+		t.Error("quantile on a counter reported ok")
+	}
+	if _, ok := hv.Quantile(-0.1); ok {
+		t.Error("quantile below 0 reported ok")
+	}
+	empty, _ := r.Snapshot().HistogramValue("q3_us")
+	if _, ok := empty.Quantile(0.5); ok {
+		t.Error("quantile on empty histogram reported ok")
+	}
+}
+
+// TestSnapshotDuringObserve races Snapshot against live writers; under
+// -race this is the proof the lock-light read path is sound, and the final
+// quiesced snapshot must agree exactly with the instruments.
+func TestSnapshotDuringObserve(t *testing.T) {
+	const workers, perWorker = 4, 2000
+	r := NewRegistry()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("race_total", "")
+			h := r.Histogram("race_us", "", []float64{1, 10, 100})
+			g := r.Gauge("race_level", "")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+				g.SetInt(i)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for !stop.Load() {
+			s := r.Snapshot()
+			if hv, ok := s.HistogramValue("race_us"); ok {
+				// Mid-flight snapshots must still be internally sane: the
+				// cumulative tail can never exceed the reported count.
+				if n := len(hv.Buckets); n > 0 && hv.Buckets[n-1].CumCount > hv.Count {
+					t.Errorf("cum %d > count %d", hv.Buckets[n-1].CumCount, hv.Count)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	s := r.Snapshot()
+	if got := s.CounterValue("race_total"); got != workers*perWorker {
+		t.Errorf("final counter = %d, want %d", got, workers*perWorker)
+	}
+	hv, _ := s.HistogramValue("race_us")
+	if hv.Count != workers*perWorker {
+		t.Errorf("final histogram count = %d, want %d", hv.Count, workers*perWorker)
+	}
+}
+
+// fleetShapedRegistry builds a registry with the series a real fleet of
+// the given shard count registers, for snapshot/rollup benchmarks.
+func fleetShapedRegistry(shards int) *Registry {
+	r := NewRegistry()
+	r.Gauge(MetricFleetStreams, "").SetInt(250 * shards)
+	r.Gauge(MetricFleetShards, "").SetInt(shards)
+	r.Counter(MetricFleetSteps, "").Add(1e6)
+	r.Counter(MetricFleetBatches, "").Add(5000)
+	r.Counter(MetricFleetAlarms, "").Add(12)
+	r.Gauge(MetricFleetQueueDepth, "").SetInt(3)
+	hp := r.Histogram(MetricFleetDeadlinePressure, "", DeadlinePressureBuckets)
+	for i := 0; i < 100; i++ {
+		hp.Observe(float64(i) / 100)
+	}
+	for sh := 0; sh < shards; sh++ {
+		r.Gauge(FleetShardMetric(MetricFleetShardStreams, sh), "").SetInt(250)
+		r.Counter(FleetShardMetric(MetricFleetShardSteps, sh), "").Add(1e6 / int64(shards))
+		r.Counter(FleetShardMetric(MetricFleetShardAlarms, sh), "").Add(3)
+		hb := r.Histogram(FleetShardBatchMetric(sh), "", FleetBatchLatencyBuckets)
+		for i := 0; i < 50; i++ {
+			hb.Observe(float64(10 * i))
+		}
+	}
+	return r
+}
+
+// BenchmarkRegistrySnapshot proves the snapshot cost scales with registered
+// series — O(shards) for a fleet — independent of stream count or
+// observation volume.
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	for _, shards := range []int{4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := fleetShapedRegistry(shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := r.Snapshot()
+				if len(s.Metrics) == 0 {
+					b.Fatal("empty snapshot")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetRollup measures folding a snapshot into the per-shard
+// rollup awdtop renders each frame.
+func BenchmarkFleetRollup(b *testing.B) {
+	for _, shards := range []int{4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := fleetShapedRegistry(shards).Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, ok := FleetRollupFromSnapshot(s)
+				if !ok || len(r.PerShard) != shards {
+					b.Fatal("rollup failed")
+				}
+			}
+		})
+	}
+}

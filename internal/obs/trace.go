@@ -13,7 +13,10 @@ import (
 // deadline, residual level, alarms) plus the operational context needed to
 // monitor a deployed detector (reachability latency, logger occupancy).
 type StepEvent struct {
-	Step     int    `json:"step"`
+	Step int `json:"step"`
+	// StreamID attributes the event to one detection stream in a fleet;
+	// empty for standalone detectors (core.System.SetStreamID stamps it).
+	StreamID string `json:"stream,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	// Window is the detection window size used this step; Deadline the
 	// reachability deadline t_d that sized it (adaptive only).
@@ -44,6 +47,9 @@ type StepEvent struct {
 // the telemetry tail.
 func (ev StepEvent) String() string {
 	s := FormatDecision(ev.Step, ev.Window, ev.Deadline, ev.Alarm, ev.Complementary, ev.ComplementaryStep, ev.Dims)
+	if ev.StreamID != "" {
+		s = ev.StreamID + "  " + s
+	}
 	if ev.ReachTimed {
 		s += fmt.Sprintf("  reach=%.1fµs", ev.ReachMicros)
 	}
@@ -166,6 +172,95 @@ func (s *RingSink) Dropped() int64 {
 
 // Close is a no-op; the buffer stays readable.
 func (s *RingSink) Close() error { return nil }
+
+// StreamTail is the single-stream drill-down sink: it forwards only the
+// events of one target stream (matched on StepEvent.StreamID) into an
+// internal ring, so an operator can tail one stream's residual / window /
+// deadline trajectory out of a fleet emitting millions of events. The
+// target is retargetable at runtime — retargeting clears the ring so the
+// tail never mixes two streams' trajectories. Emit on a non-matching event
+// is one mutex acquire and a string compare; matching events are copied by
+// the underlying RingSink. Safe for concurrent use.
+type StreamTail struct {
+	mu   sync.Mutex
+	id   string
+	cap  int
+	ring *RingSink
+}
+
+// NewStreamTail returns a tail retaining the latest capacity events of the
+// target stream. An empty initial id means "no target yet" (every event is
+// discarded until Retarget).
+func NewStreamTail(capacity int, id string) *StreamTail {
+	return &StreamTail{id: id, cap: capacity, ring: NewRingSink(capacity)}
+}
+
+// Emit forwards the event iff it carries the tail's target stream id.
+func (t *StreamTail) Emit(ev StepEvent) {
+	t.mu.Lock()
+	if t.id == "" || ev.StreamID != t.id {
+		t.mu.Unlock()
+		return
+	}
+	ring := t.ring
+	t.mu.Unlock()
+	// The ring has its own lock; emitting outside ours keeps a slow reader
+	// from backing up every non-matching stream in the fleet.
+	ring.Emit(ev)
+}
+
+// Retarget switches the tail to a new stream id, dropping the previous
+// stream's retained events. A no-op when id already is the target.
+func (t *StreamTail) Retarget(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == t.id {
+		return
+	}
+	t.id = id
+	t.ring = NewRingSink(t.cap)
+}
+
+// Target returns the current target stream id ("" when untargeted).
+func (t *StreamTail) Target() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// Events returns the retained events of the current target, oldest first.
+func (t *StreamTail) Events() []StepEvent {
+	t.mu.Lock()
+	ring := t.ring
+	t.mu.Unlock()
+	return ring.Events()
+}
+
+// Close is a no-op; the tail stays readable.
+func (t *StreamTail) Close() error { return nil }
+
+// TeeSink fans every event out to all sinks in order; Close closes each
+// and returns the first error. Use it to combine a drill-down tail with a
+// JSONL trace writer on one observer.
+func TeeSink(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Emit(ev StepEvent) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+func (t teeSink) Close() error {
+	var first error
+	for _, s := range t {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // JSONLSink streams every event as one JSON object per line — the
 // machine-readable trace format the -trace-out CLI flag writes.
