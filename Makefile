@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf bench-fleet clean
+.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf bench-fleet bench-serve clean
 
 # The full gate: what CI (and every PR) must pass.
 check: vet lint build test-race
@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzReachBoundFinite$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzStepperMatchesReachBox$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzBatchMatchesSerial$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # Re-measure the detector-step overhead numbers recorded in BENCH_obs.json:
 # per-step observation cost plus the snapshot/rollup read path the console
@@ -60,6 +61,20 @@ bench-fleet:
 	$(GO) test -run '^$$' -bench 'FleetSteps' -benchmem -benchtime 2s -count 3 ./internal/fleet/ \
 		| $(GO) run ./cmd/awdbench -out BENCH_fleet.json -phase after \
 			-note "fleet engine: sharded batch-kernel execution (this PR)"
+
+# Re-measure the fleet-server ingest and checkpoint numbers ledgered in
+# BENCH_serve.json. Like BENCH_fleet.json both phases measure the same
+# tree: "before" is one sample round trip over the HTTP/JSON fallback,
+# "after" the same trip over the length-prefixed binary protocol, plus the
+# whole-fleet snapshot/restore codec throughput behind Checkpoint/Restore.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'ServeIngestHTTP' -benchmem -benchtime 1s -count 3 ./internal/wire/ \
+		| $(GO) run ./cmd/awdbench -out BENCH_serve.json -phase before \
+			-title "fleet server: one ingest round trip on loopback, and whole-fleet checkpoint/restore (aircraft-pitch, adaptive)" \
+			-note "HTTP/JSON fallback: one POST /v1/ingest per sample"
+	$(GO) test -run '^$$' -bench 'ServeIngestWire|FleetSnapshot|FleetRestore' -benchmem -benchtime 1s -count 3 ./internal/wire/ \
+		| $(GO) run ./cmd/awdbench -out BENCH_serve.json -phase after \
+			-note "binary protocol (length-prefixed frames) and the versioned state codec (this PR)"
 
 clean:
 	$(GO) clean ./...

@@ -31,6 +31,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/state"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 		metricsDump = flag.String("metrics-dump", "", "write a final Prometheus-text metrics snapshot to this file on exit (- = stdout)")
 		traceOut    = flag.String("trace-out", "", "write per-step JSONL trace events, stream-attributed, to this file (- = stdout)")
 		tailStream  = flag.String("tail-stream", "", "initial /stream drill-down target (default: the first stream)")
+		ckptOut     = flag.String("checkpoint-out", "", "write a whole-fleet state snapshot (internal/state codec) to this file after the run")
+		restoreFrom = flag.String("restore-from", "", "restore the fleet from a -checkpoint-out snapshot instead of starting cold (-streams is taken from the snapshot)")
 	)
 	flag.Parse()
 
@@ -111,21 +114,55 @@ func main() {
 	// model matrices are bit-identical. The shared observer makes each
 	// stream's steps visible on /metrics and its stream-stamped trace
 	// events flow to the /stream tail and -trace-out sink.
+	if *restoreFrom != "" {
+		// Warm start: rebuild every stream recorded in the snapshot (same
+		// model and strategy as a cold run) and restore its runtime state —
+		// ring, window sums, deadline anchors — through the shared codec.
+		blob, err := state.ReadFile(*restoreFrom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "awdfleet:", err)
+			os.Exit(1)
+		}
+		dec := state.NewDecoder(blob)
+		if err := dec.Header(); err != nil {
+			fmt.Fprintln(os.Stderr, "awdfleet:", err)
+			os.Exit(1)
+		}
+		err = eng.Restore(dec, func(id string) (*core.System, func(core.Decision, error), error) {
+			det, err := sim.Detector(sim.Config{Model: models.ByName(*modelName), Strategy: sim.Adaptive, Observer: obsrv})
+			return det, onDecision, err
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "awdfleet: restore %s: %v\n", *restoreFrom, err)
+			os.Exit(1)
+		}
+		*streams = eng.Streams()
+		fmt.Printf("restored %d streams from %s\n", *streams, *restoreFrom)
+	}
 	hs := make([]*fleet.Stream, *streams)
 	gens := make([]noise.Gen, *streams)
 	for i := range hs {
 		id := streamID(i)
-		det, err := sim.Detector(sim.Config{Model: models.ByName(*modelName), Strategy: sim.Adaptive, Observer: obsrv})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "awdfleet:", err)
-			os.Exit(1)
+		if *restoreFrom != "" {
+			h, ok := eng.Stream(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "awdfleet: snapshot has no stream %q (was it written by awdfleet?)\n", id)
+				os.Exit(1)
+			}
+			hs[i] = h
+		} else {
+			det, err := sim.Detector(sim.Config{Model: models.ByName(*modelName), Strategy: sim.Adaptive, Observer: obsrv})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "awdfleet:", err)
+				os.Exit(1)
+			}
+			h, err := eng.AddStream(id, det, onDecision)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "awdfleet:", err)
+				os.Exit(1)
+			}
+			hs[i] = h
 		}
-		h, err := eng.AddStream(id, det, onDecision)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "awdfleet:", err)
-			os.Exit(1)
-		}
-		hs[i] = h
 		// Deterministic per-stream estimates: sensor noise inside the
 		// model's ε-ball, the silent steady state a monitoring fleet
 		// spends its life in.
@@ -156,6 +193,19 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	if *ckptOut != "" {
+		enc := state.NewEncoder()
+		enc.Header()
+		if err := eng.Snapshot(enc); err != nil {
+			fmt.Fprintln(os.Stderr, "awdfleet:", err)
+			os.Exit(1)
+		}
+		if err := state.WriteFile(*ckptOut, enc.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "awdfleet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: %d streams, %d bytes -> %s\n", eng.Streams(), enc.Len(), *ckptOut)
+	}
 	if err := eng.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "awdfleet:", err)
 		os.Exit(1)

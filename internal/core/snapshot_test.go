@@ -1,0 +1,244 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/state"
+)
+
+// This file lives in core_test (not core) because it exercises the
+// snapshot layer through sim-built detectors, and sim imports core.
+
+var snapModels = append(models.All(), models.TestbedCar())
+
+var snapStrategies = []sim.Strategy{sim.Adaptive, sim.FixedWindow, sim.CUSUMBaseline, sim.EWMABaseline}
+
+func snapDetector(t testing.TB, m *models.Model, strat sim.Strategy) *core.System {
+	t.Helper()
+	det, err := sim.Detector(sim.Config{Model: m, Strategy: strat})
+	if err != nil {
+		t.Fatalf("Detector(%s, %v): %v", m.Name, strat, err)
+	}
+	return det
+}
+
+// snapTrajectory mirrors the fleet tests' synthetic estimate stream: the
+// model prediction plus a τ-scaled noise floor with periodic spikes, so
+// alarms and window shrinks occur on both sides of any snapshot point.
+func snapTrajectory(m *models.Model, seed uint64, steps int) (ests, us []mat.Vec) {
+	src := noise.NewSource(seed)
+	n, in := m.Sys.StateDim(), m.Sys.InputDim()
+	ests = make([]mat.Vec, steps)
+	us = make([]mat.Vec, steps)
+	prev := m.X0.Clone()
+	prevU := mat.NewVec(in)
+	pred := mat.NewVec(n)
+	for t := 0; t < steps; t++ {
+		e := mat.NewVec(n)
+		if t == 0 {
+			prev.CopyTo(e)
+		} else {
+			m.Sys.PredictTo(pred, prev, prevU)
+			pred.CopyTo(e)
+		}
+		for i := range e {
+			e[i] += m.Tau[i] * src.Uniform(-0.2, 0.2)
+		}
+		if t%9 == 7 {
+			for i := range e {
+				e[i] += m.Tau[i] * src.Uniform(1.5, 3)
+			}
+		}
+		u := mat.NewVec(in)
+		for i := range u {
+			u[i] = src.Uniform(-1, 1)
+		}
+		ests[t], us[t] = e, u
+		e.CopyTo(prev)
+		u.CopyTo(prevU)
+	}
+	return ests, us
+}
+
+func snapDecisionsEqual(a, b core.Decision) bool {
+	return a.Step == b.Step && a.Window == b.Window && a.Deadline == b.Deadline &&
+		a.Alarm == b.Alarm && a.Complementary == b.Complementary &&
+		a.ComplementaryStep == b.ComplementaryStep && slices.Equal(a.Dims, b.Dims)
+}
+
+func systemSnapshot(t testing.TB, sys *core.System) []byte {
+	t.Helper()
+	enc := state.NewEncoder()
+	enc.Header()
+	sys.Snapshot(enc)
+	return enc.Bytes()
+}
+
+func systemRestore(sys *core.System, blob []byte) error {
+	dec := state.NewDecoder(blob)
+	if err := dec.Header(); err != nil {
+		return err
+	}
+	if err := sys.Restore(dec); err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("snapshot has %d trailing bytes", dec.Remaining())
+	}
+	return nil
+}
+
+// TestSystemSnapshotRoundTrip pins the per-system restore contract on every
+// bundled plant under every strategy: snapshot mid-run, restore into a
+// fresh system, and the continued decision stream is bit-identical to the
+// uninterrupted reference — while an immediate re-snapshot reproduces the
+// blob byte for byte.
+func TestSystemSnapshotRoundTrip(t *testing.T) {
+	const steps = 90
+	for _, m := range snapModels {
+		for _, strat := range snapStrategies {
+			name := fmt.Sprintf("%s/%v", m.Name, strat)
+			ests, us := snapTrajectory(m, 11, steps)
+
+			ref := snapDetector(t, m, strat)
+			want := make([]core.Decision, steps)
+			for i := range ests {
+				d, err := ref.Step(ests[i], us[i])
+				if err != nil {
+					t.Fatalf("%s: reference step %d: %v", name, i, err)
+				}
+				want[i] = d
+			}
+
+			k := steps / 2
+			crashed := snapDetector(t, m, strat)
+			for i := 0; i < k; i++ {
+				if _, err := crashed.Step(ests[i], us[i]); err != nil {
+					t.Fatalf("%s: crashed step %d: %v", name, i, err)
+				}
+			}
+			blob := systemSnapshot(t, crashed)
+
+			restored := snapDetector(t, m, strat)
+			if err := systemRestore(restored, blob); err != nil {
+				t.Fatalf("%s: restore: %v", name, err)
+			}
+			if again := systemSnapshot(t, restored); !bytes.Equal(again, blob) {
+				t.Fatalf("%s: re-snapshot differs from original (%d vs %d bytes)", name, len(again), len(blob))
+			}
+			for i := k; i < steps; i++ {
+				d, err := restored.Step(ests[i], us[i])
+				if err != nil {
+					t.Fatalf("%s: restored step %d: %v", name, i, err)
+				}
+				if !snapDecisionsEqual(d, want[i]) {
+					t.Fatalf("%s step %d: restored decision %+v != reference %+v", name, i, d, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSystemRestoreRejectsMismatch pins structural validation: a snapshot
+// of one strategy or plant shape must not restore into another.
+func TestSystemRestoreRejectsMismatch(t *testing.T) {
+	m := models.AircraftPitch()
+	ests, us := snapTrajectory(m, 3, 12)
+	adaptive := snapDetector(t, m, sim.Adaptive)
+	for i := range ests {
+		if _, err := adaptive.Step(ests[i], us[i]); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	blob := systemSnapshot(t, adaptive)
+
+	if err := systemRestore(snapDetector(t, m, sim.CUSUMBaseline), blob); err == nil {
+		t.Fatalf("adaptive snapshot restored into a CUSUM detector")
+	}
+	if err := systemRestore(snapDetector(t, models.Quadrotor(), sim.Adaptive), blob); err == nil {
+		t.Fatalf("3-state snapshot restored into a 12-state detector")
+	}
+	if err := systemRestore(snapDetector(t, m, sim.Adaptive), blob[:0]); err == nil {
+		t.Fatalf("empty blob restored")
+	}
+}
+
+// FuzzSnapshotRoundTrip is the codec's fidelity oracle: for a fuzzer-
+// chosen plant, strategy, attack, trajectory, and crash point it asserts
+// the full restore contract — re-snapshot byte-identity, bit-identical
+// decisions after the crash point, and panic-free rejection of truncated
+// or corrupted snapshots.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), uint8(10), uint8(20))
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(1), uint8(0), uint8(1))
+	f.Add(uint64(7), uint8(5), uint8(2), uint8(2), uint8(40), uint8(60))
+	f.Add(uint64(0xfeed), uint8(4), uint8(3), uint8(3), uint8(3), uint8(9))
+	f.Fuzz(func(t *testing.T, seed uint64, modelSel, stratSel, attackSel, kSel, nsteps uint8) {
+		m := snapModels[int(modelSel)%len(snapModels)]
+		strat := snapStrategies[int(stratSel)%len(snapStrategies)]
+		attackName := []string{"none", "bias", "delay", "replay"}[int(attackSel)%4]
+		steps := 1 + int(nsteps)%60
+		k := int(kSel) % (steps + 1)
+
+		ests, us := snapTrajectory(m, seed, steps)
+		atk, err := sim.BuildAttack(m, attackName)
+		if err != nil {
+			t.Fatalf("BuildAttack: %v", err)
+		}
+		for i := range ests {
+			ests[i] = atk.Apply(i, ests[i]).Clone()
+		}
+
+		ref := snapDetector(t, m, strat)
+		want := make([]core.Decision, steps)
+		for i := range ests {
+			if want[i], err = ref.Step(ests[i], us[i]); err != nil {
+				t.Fatalf("reference step %d: %v", i, err)
+			}
+		}
+
+		crashed := snapDetector(t, m, strat)
+		for i := 0; i < k; i++ {
+			if _, err := crashed.Step(ests[i], us[i]); err != nil {
+				t.Fatalf("crashed step %d: %v", i, err)
+			}
+		}
+		blob := systemSnapshot(t, crashed)
+
+		restored := snapDetector(t, m, strat)
+		if err := systemRestore(restored, blob); err != nil {
+			t.Fatalf("restore at k=%d: %v", k, err)
+		}
+		if again := systemSnapshot(t, restored); !bytes.Equal(again, blob) {
+			t.Fatalf("re-snapshot differs at k=%d", k)
+		}
+		for i := k; i < steps; i++ {
+			d, err := restored.Step(ests[i], us[i])
+			if err != nil {
+				t.Fatalf("restored step %d: %v", i, err)
+			}
+			if !snapDecisionsEqual(d, want[i]) {
+				t.Fatalf("step %d after restore at k=%d: %+v != %+v", i, k, d, want[i])
+			}
+		}
+
+		// Hostile inputs must be rejected or absorbed, never panic: every
+		// prefix truncation errors out, and a single-byte corruption either
+		// errors or restores something — both fine, as long as it returns.
+		cut := int(seed % uint64(len(blob)+1))
+		if err := systemRestore(snapDetector(t, m, strat), blob[:cut]); err == nil && cut < len(blob) {
+			t.Fatalf("truncation to %d of %d bytes restored successfully", cut, len(blob))
+		}
+		corrupt := bytes.Clone(blob)
+		corrupt[int(seed>>8)%len(corrupt)] ^= byte(seed >> 16)
+		_ = systemRestore(snapDetector(t, m, strat), corrupt)
+	})
+}

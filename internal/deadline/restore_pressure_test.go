@@ -1,0 +1,79 @@
+package deadline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/state"
+)
+
+// certRoundTrip snapshots src and restores it into a fresh certificate
+// over the same estimator.
+func certRoundTrip(t *testing.T, src *Certificate) *Certificate {
+	t.Helper()
+	enc := state.NewEncoder()
+	src.Snapshot(enc)
+	dst := NewCertificate(src.Estimator())
+	if err := dst.Restore(state.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("Certificate.Restore: %v", err)
+	}
+	return dst
+}
+
+// TestTakePressureAfterRestore pins that the pending deadline-pressure
+// reading survives a snapshot/restore round trip with take-once semantics
+// intact: an unconsumed reading is delivered exactly once by the restored
+// certificate, and a reading consumed before the snapshot does not
+// reappear after it.
+func TestTakePressureAfterRestore(t *testing.T) {
+	_, an := fixture(t, 20)
+	est, err := New(an, geom.UniformBox(1, -10.5, 10.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Anchor, then drift inside the certified ball so a nonzero pressure
+	// reading is pending but NOT consumed when the snapshot is taken.
+	c := NewCertificate(est)
+	c.FromState(mat.VecOf(0))
+	c.TakePressure()
+	if d := c.FromState(mat.VecOf(0.25)); d != 10 {
+		t.Fatalf("drifted query re-anchored (deadline %d)", d)
+	}
+
+	restored := certRoundTrip(t, c)
+	pWant, ok := c.TakePressure()
+	if !ok || pWant <= 0 {
+		t.Fatalf("source pressure = %v (ok=%v), want > 0", pWant, ok)
+	}
+	p, ok := restored.TakePressure()
+	if !ok {
+		t.Fatal("restored certificate lost the pending pressure reading")
+	}
+	if math.Abs(p-pWant) > 0 { // bit-identical, not approximately equal
+		t.Fatalf("restored pressure = %v, want %v", p, pWant)
+	}
+	// Take-once semantics survive the restore: the reading is consumed.
+	if _, ok := restored.TakePressure(); ok {
+		t.Error("restored pressure not consumed by TakePressure")
+	}
+
+	// A reading consumed before the snapshot must not resurrect.
+	c.FromState(mat.VecOf(0.5))
+	c.TakePressure()
+	drained := certRoundTrip(t, c)
+	if _, ok := drained.TakePressure(); ok {
+		t.Error("consumed pressure reappeared after restore")
+	}
+
+	// The restored anchor still serves certified hits: a nearby query
+	// must answer from the anchor and produce a fresh pressure reading.
+	if d := drained.FromState(mat.VecOf(0.5)); d != 10 {
+		t.Fatalf("restored anchor missed a certified hit (deadline %d)", d)
+	}
+	if p, ok := drained.TakePressure(); !ok || p < 0 || p > 1 {
+		t.Fatalf("post-restore query pressure = %v (ok=%v), want in [0, 1]", p, ok)
+	}
+}

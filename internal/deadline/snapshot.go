@@ -1,0 +1,112 @@
+package deadline
+
+import (
+	"fmt"
+
+	"repro/internal/state"
+)
+
+// Component versions for the deadline package's snapshot layouts.
+const (
+	estimatorStateVersion   = 1
+	certificateStateVersion = 1
+)
+
+// Snapshot encodes the estimator's warm-start state: the anchor, the
+// per-step safe-shift slack table, and the proven-safe prefix length. The
+// stepper is per-query scratch (Reset on every search) and carries no
+// state across calls, so it is not part of the snapshot.
+//
+// The warm start is an accelerator, not a decision input — FromState
+// provably returns the full-scan deadline whether or not an anchor is
+// loaded — so restoring it preserves the cost profile of the original
+// process (no cold re-scan storm after a restore), never the semantics.
+func (e *Estimator) Snapshot(enc *state.Encoder) {
+	enc.Begin(state.TagEstimator, estimatorStateVersion)
+	enc.Int(len(e.ref))
+	enc.Int(len(e.slack))
+	enc.Bool(e.haveRef)
+	enc.Int(e.safeSteps)
+	enc.F64s(e.ref)
+	enc.F64s(e.slack)
+}
+
+// Restore replaces the estimator's warm-start state from a snapshot of an
+// identically configured estimator (same state dimension and horizon).
+func (e *Estimator) Restore(dec *state.Decoder) error {
+	dec.Expect(state.TagEstimator, estimatorStateVersion)
+	n := dec.Int()
+	slackLen := dec.Int()
+	haveRef := dec.Bool()
+	safeSteps := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(e.ref) {
+		return fmt.Errorf("deadline: snapshot state dimension %d, want %d", n, len(e.ref))
+	}
+	if slackLen != len(e.slack) {
+		return fmt.Errorf("deadline: snapshot horizon %d, want %d", slackLen-1, len(e.slack)-1)
+	}
+	if safeSteps < 0 || safeSteps >= slackLen {
+		return fmt.Errorf("deadline: snapshot safe prefix %d outside [0, %d]", safeSteps, slackLen-1)
+	}
+	dec.F64s(e.ref)
+	dec.F64s(e.slack)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	e.haveRef = haveRef
+	e.safeSteps = safeSteps
+	return nil
+}
+
+// Snapshot encodes the certificate's anchor: the reference state, its
+// deadline, the folded squared hit radius, and the pending deadline-
+// pressure reading. Restoring it lets a rebuilt fleet resume the
+// one-distance-check steady state immediately instead of paying one full
+// reachability re-scan per shard, and keeps the pressure telemetry stream
+// continuous across the restore.
+func (c *Certificate) Snapshot(enc *state.Encoder) {
+	enc.Begin(state.TagCertificate, certificateStateVersion)
+	enc.Int(len(c.ref))
+	enc.Bool(c.anchored)
+	enc.Int(c.safeSteps)
+	enc.F64(c.thr2)
+	enc.F64(c.lastPressure)
+	enc.Bool(c.hasPressure)
+	enc.F64s(c.ref)
+}
+
+// Restore replaces the certificate's anchor from a snapshot taken over a
+// compatible estimator (same plant, safe set, and horizon — the same
+// premise Estimator.CompatibleWith formalizes; the fleet engine's restore
+// path guarantees it by matching shard structure before restoring).
+func (c *Certificate) Restore(dec *state.Decoder) error {
+	dec.Expect(state.TagCertificate, certificateStateVersion)
+	n := dec.Int()
+	anchored := dec.Bool()
+	safeSteps := dec.Int()
+	thr2 := dec.F64()
+	lastPressure := dec.F64()
+	hasPressure := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(c.ref) {
+		return fmt.Errorf("deadline: snapshot certificate dimension %d, want %d", n, len(c.ref))
+	}
+	if safeSteps < 0 || safeSteps > c.est.MaxDeadline() {
+		return fmt.Errorf("deadline: snapshot certificate deadline %d outside [0, %d]", safeSteps, c.est.MaxDeadline())
+	}
+	dec.F64s(c.ref)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	c.anchored = anchored
+	c.safeSteps = safeSteps
+	c.thr2 = thr2
+	c.lastPressure = lastPressure
+	c.hasPressure = hasPressure
+	return nil
+}

@@ -326,6 +326,13 @@ func (e *Engine) Close() error {
 		streams = append(streams, s)
 	}
 	e.mu.RUnlock()
+	if len(streams) == 0 {
+		// Nothing was ever registered: there is no work to drain, so skip
+		// the token sweep and just retire the workers.
+		e.runq.close()
+		e.workers.Wait()
+		return nil
+	}
 	for _, s := range streams {
 		s.tok.Lock()
 		s.tok.Unlock() //nolint:staticcheck // empty critical section is the drain barrier

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// fleetStateVersion is the component version of the engine's snapshot
+// layout (see internal/state for the versioning rules).
+const fleetStateVersion = 1
+
+// MakeStream constructs the detector and decision callback for a stream ID
+// found in a snapshot. Engine.Restore calls it once per recorded stream;
+// the returned system must be freshly constructed with the same
+// configuration the stream had when the snapshot was taken (the per-
+// component Restore validation catches structural drift, but semantic
+// parameters like thresholds are the caller's obligation — they are part
+// of the stream's identity, not its state).
+type MakeStream func(id string) (*core.System, func(core.Decision, error), error)
+
+// Snapshot encodes the complete runtime state of every registered stream,
+// plus the shard-shared deadline certificates, as one deterministic blob:
+// streams are written in ascending ID order regardless of registration or
+// scheduling history, so two engines in equal states produce byte-equal
+// snapshots.
+//
+// Snapshot quiesces the fleet itself: it acquires every stream's sample
+// token before encoding and releases them after, so each stream's state is
+// captured between decisions, never mid-step. Ingest calls issued during a
+// snapshot simply block until it completes — the engine's ordinary
+// backpressure — and no decision is lost or duplicated. Registration is
+// excluded too (AddStream blocks for the duration), making the snapshot a
+// consistent cut of the whole fleet.
+func (e *Engine) Snapshot(enc *state.Encoder) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	streams := make([]*Stream, 0, len(e.streams))
+	for _, s := range e.streams {
+		streams = append(streams, s)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
+	// Quiesce: hold every token for the duration of the encode. A token is
+	// only ever held briefly (one ingest hand-off or one worker step), and
+	// no goroutine holds two, so acquiring all of them in ID order cannot
+	// deadlock.
+	for _, s := range streams {
+		s.tok.Lock()
+	}
+	defer func() {
+		for _, s := range streams {
+			s.tok.Unlock()
+		}
+	}()
+
+	enc.Begin(state.TagFleet, fleetStateVersion)
+	enc.U32(uint32(len(streams)))
+	for _, s := range streams {
+		enc.String(s.id)
+		enc.U64(s.steps)
+		s.det.Snapshot(enc)
+	}
+	// Shard-shared certificates ride in a skippable section keyed by stream
+	// ID, not by shard: shard formation depends on registration order and
+	// ShardSize, which a restoring engine may legitimately reproduce
+	// differently. Every stream writes its shared certificate's state (the
+	// streams sharing one cert write identical bytes), and the restore side
+	// applies each entry through the stream's own certificate — whose
+	// estimator is CompatibleWith the stream's, exactly the premise that
+	// made the recorded anchor valid. An entry that cannot be applied is
+	// skipped and that certificate starts cold, costing one re-anchor scan
+	// and nothing else: a certificate anchor is a performance accelerator
+	// whose hit path returns the exact full-scan deadline whenever the
+	// anchor is premise-valid, which the per-stream keying guarantees.
+	off := enc.Mark()
+	var ncerts uint32
+	for _, s := range streams {
+		if s.cert != nil {
+			ncerts++
+		}
+	}
+	enc.U32(ncerts)
+	for _, s := range streams {
+		if s.cert == nil {
+			continue
+		}
+		entry := enc.Mark()
+		enc.String(s.id)
+		s.cert.Snapshot(enc)
+		enc.Patch(entry)
+	}
+	enc.Patch(off)
+	return nil
+}
+
+// Restore rebuilds a fleet from a snapshot into an empty engine: for each
+// recorded stream it asks make for a freshly constructed detector,
+// registers it (in snapshot order, so shard formation is deterministic),
+// and then restores the stream's runtime state into it. When the resulting
+// shard structure matches the snapshot's, the shared deadline certificates
+// are restored too; otherwise they are skipped and re-anchor lazily (see
+// Snapshot).
+//
+// Restore must run before any ingest; it fails on an engine that already
+// has streams. After a successful restore every stream continues its
+// decision sequence bit-identically to the engine the snapshot was taken
+// from.
+func (e *Engine) Restore(dec *state.Decoder, make MakeStream) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.Streams() != 0 {
+		return fmt.Errorf("fleet: restore into an engine with %d streams", e.Streams())
+	}
+	dec.Expect(state.TagFleet, fleetStateVersion)
+	n := dec.U32()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < int(n); i++ {
+		id := dec.String()
+		steps := dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		det, onDecision, err := make(id)
+		if err != nil {
+			return fmt.Errorf("fleet: restore stream %q: %w", id, err)
+		}
+		h, err := e.AddStream(id, det, onDecision)
+		if err != nil {
+			return fmt.Errorf("fleet: restore stream %q: %w", id, err)
+		}
+		if err := det.Restore(dec); err != nil {
+			return fmt.Errorf("fleet: restore stream %q: %w", id, err)
+		}
+		h.steps = steps
+	}
+	// Certificates: apply each per-stream entry through that stream's own
+	// certificate, or skip it cleanly (see Snapshot for why skipping is
+	// always safe).
+	end := dec.SectionEnd()
+	ncerts := dec.U32()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := uint32(0); i < ncerts; i++ {
+		entryEnd := dec.SectionEnd()
+		id := dec.String()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if s, ok := e.Stream(id); ok && s.cert != nil {
+			if err := s.cert.Restore(dec); err != nil {
+				if dec.Err() != nil {
+					return err // snapshot bytes are corrupt, not just mismatched
+				}
+				// Premise validation failed (config drift in make): leave
+				// this certificate cold.
+			}
+		}
+		dec.SkipTo(entryEnd)
+	}
+	dec.SkipTo(end)
+	return dec.Err()
+}

@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/sim"
+	"repro/internal/state"
+)
+
+// attackedTrajectory corrupts a synthetic estimate stream with one of the
+// paper's attack scenarios, so the snapshot/restore differential runs over
+// trajectories where alarms, window shrinks, and deadline churn actually
+// happen on both sides of the crash point.
+func attackedTrajectory(t *testing.T, m *models.Model, attackName string, seed uint64, steps int) (ests, us []mat.Vec) {
+	t.Helper()
+	ests, us = synthTrajectory(m, seed, steps)
+	atk, err := sim.BuildAttack(m, attackName)
+	if err != nil {
+		t.Fatalf("BuildAttack(%s, %s): %v", m.Name, attackName, err)
+	}
+	for i := range ests {
+		ests[i] = atk.Apply(i, ests[i]).Clone()
+	}
+	return ests, us
+}
+
+func engineSnapshot(t *testing.T, eng *Engine) []byte {
+	t.Helper()
+	enc := state.NewEncoder()
+	enc.Header()
+	if err := eng.Snapshot(enc); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return enc.Bytes()
+}
+
+func engineRestore(t *testing.T, eng *Engine, blob []byte, make MakeStream) {
+	t.Helper()
+	dec := state.NewDecoder(blob)
+	if err := dec.Header(); err != nil {
+		t.Fatalf("snapshot header: %v", err)
+	}
+	if err := eng.Restore(dec, make); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+}
+
+// TestRestoreMatchesNeverCrashed is the tentpole proof obligation: a fleet
+// killed mid-run and rebuilt from its snapshot must produce a decision
+// stream bit-identical to a fleet that never crashed — on every bundled
+// plant under each of the paper's three attack scenarios, with crash
+// points before, during, and after the attack onsets, plus baseline-
+// strategy riders so every detector kind crosses a restore.
+func TestRestoreMatchesNeverCrashed(t *testing.T) {
+	const steps = 280
+	crashPoints := []int{75, 170, 240}
+	attacks := []string{"bias", "delay", "replay"}
+
+	type streamCase struct {
+		id       string
+		m        *models.Model
+		strat    sim.Strategy
+		ests, us []mat.Vec
+		want     []core.Decision
+	}
+	var cases []*streamCase
+	byID := make(map[string]*streamCase)
+	add := func(m *models.Model, attackName string, strat sim.Strategy) {
+		sc := &streamCase{
+			id:    fmt.Sprintf("%s/%s/%v", m.Name, attackName, strat),
+			m:     m,
+			strat: strat,
+		}
+		sc.ests, sc.us = attackedTrajectory(t, m, attackName, StreamSeed(99, sc.id), steps)
+		cases = append(cases, sc)
+		byID[sc.id] = sc
+	}
+	for _, m := range allModels {
+		for _, attackName := range attacks {
+			add(m, attackName, sim.Adaptive)
+		}
+	}
+	for _, strat := range []sim.Strategy{sim.FixedWindow, sim.CUSUMBaseline, sim.EWMABaseline} {
+		add(allModels[0], "bias", strat)
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].id < cases[j].id })
+
+	// Never-crashed reference: standalone detectors over the full run.
+	for _, sc := range cases {
+		serial := newDetector(t, sc.m, sc.strat)
+		sc.want = make([]core.Decision, steps)
+		for i := range sc.ests {
+			d, err := serial.Step(sc.ests[i], sc.us[i])
+			if err != nil {
+				t.Fatalf("stream %s: serial step %d: %v", sc.id, i, err)
+			}
+			sc.want[i] = d
+		}
+	}
+
+	// The to-be-crashed fleet: deliberately small shards and batches so
+	// streams of different plants and strategies mix inside shards.
+	cfg := Config{Workers: 2, ShardSize: 4, MaxBatch: 3}
+	eng := New(cfg)
+	for _, sc := range cases {
+		if _, err := eng.AddStream(sc.id, newDetector(t, sc.m, sc.strat), nil); err != nil {
+			t.Fatalf("AddStream(%s): %v", sc.id, err)
+		}
+	}
+	snaps := make(map[int][]byte)
+	next := 0
+	for i := 0; i < steps; i++ {
+		if next < len(crashPoints) && i == crashPoints[next] {
+			snaps[i] = engineSnapshot(t, eng)
+			next++
+		}
+		for _, sc := range cases {
+			got, err := eng.Submit(sc.id, sc.ests[i], sc.us[i])
+			if err != nil {
+				t.Fatalf("stream %s: Submit step %d: %v", sc.id, i, err)
+			}
+			if !decisionsEqual(got, sc.want[i]) {
+				t.Fatalf("stream %s step %d: fleet decision %+v != serial %+v", sc.id, i, got, sc.want[i])
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	makeStream := func(id string) (*core.System, func(core.Decision, error), error) {
+		sc, ok := byID[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown stream %q in snapshot", id)
+		}
+		det, err := sim.Detector(sim.Config{Model: sc.m, Strategy: sc.strat})
+		return det, nil, err
+	}
+
+	alarmsAfterRestore := 0
+	for _, k := range crashPoints {
+		eng2 := New(cfg)
+		engineRestore(t, eng2, snaps[k], makeStream)
+		// A restored fleet is in the same state as the crashed one was, so
+		// an immediate re-snapshot must reproduce the blob byte for byte.
+		if again := engineSnapshot(t, eng2); !bytes.Equal(again, snaps[k]) {
+			t.Fatalf("crash point %d: re-snapshot of restored fleet differs from original (%d vs %d bytes)",
+				k, len(again), len(snaps[k]))
+		}
+		for i := k; i < steps; i++ {
+			for _, sc := range cases {
+				got, err := eng2.Submit(sc.id, sc.ests[i], sc.us[i])
+				if err != nil {
+					t.Fatalf("crash point %d, stream %s: Submit step %d: %v", k, sc.id, i, err)
+				}
+				if !decisionsEqual(got, sc.want[i]) {
+					t.Fatalf("crash point %d, stream %s, step %d: restored decision %+v != never-crashed %+v",
+						k, sc.id, i, got, sc.want[i])
+				}
+				if got.Alarm {
+					alarmsAfterRestore++
+				}
+			}
+		}
+		if err := eng2.Close(); err != nil {
+			t.Fatalf("crash point %d: Close: %v", k, err)
+		}
+	}
+	if alarmsAfterRestore == 0 {
+		t.Fatalf("no alarms fired after any restore; the differential is vacuous")
+	}
+	t.Logf("verified %d streams x %d crash points; %d post-restore alarms", len(cases), len(crashPoints), alarmsAfterRestore)
+}
+
+// TestSnapshotDeterministic pins the codec promise that equal fleet states
+// encode to equal bytes: two engines built and driven identically produce
+// byte-identical snapshots, and a snapshot does not disturb the stream
+// (decisions after it match a run that never snapshotted).
+func TestSnapshotDeterministic(t *testing.T) {
+	const steps = 40
+	m := models.VehicleTurning()
+	ests, us := attackedTrajectory(t, m, "delay", StreamSeed(5, "det"), steps)
+
+	run := func(snapshotAt int) ([]byte, []core.Decision) {
+		eng := New(Config{Workers: 1, ShardSize: 2})
+		defer func() {
+			if err := eng.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		}()
+		ids := []string{"s-a", "s-b", "s-c"}
+		for _, id := range ids {
+			if _, err := eng.AddStream(id, newDetector(t, m, sim.Adaptive), nil); err != nil {
+				t.Fatalf("AddStream(%s): %v", id, err)
+			}
+		}
+		var blob []byte
+		var got []core.Decision
+		for i := 0; i < steps; i++ {
+			if i == snapshotAt {
+				blob = engineSnapshot(t, eng)
+			}
+			for _, id := range ids {
+				d, err := eng.Submit(id, ests[i], us[i])
+				if err != nil {
+					t.Fatalf("Submit(%s, %d): %v", id, i, err)
+				}
+				got = append(got, d)
+			}
+		}
+		return blob, got
+	}
+
+	blob1, dec1 := run(steps / 2)
+	blob2, dec2 := run(steps / 2)
+	_, decNone := run(-1)
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatalf("identical runs produced different snapshots (%d vs %d bytes)", len(blob1), len(blob2))
+	}
+	for i := range dec1 {
+		if !decisionsEqual(dec1[i], decNone[i]) {
+			t.Fatalf("decision %d disturbed by mid-run snapshot: %+v != %+v", i, dec1[i], decNone[i])
+		}
+		if !decisionsEqual(dec1[i], dec2[i]) {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestRestoreValidation covers the refusal paths: restoring into a non-
+// empty or closed engine, truncated snapshots, and a make callback that
+// reconstructs the wrong configuration must all surface as errors (never
+// panics, never silent corruption).
+func TestRestoreValidation(t *testing.T) {
+	m := models.AircraftPitch()
+	mk := func(id string) (*core.System, func(core.Decision, error), error) {
+		det, err := sim.Detector(sim.Config{Model: m, Strategy: sim.Adaptive})
+		return det, nil, err
+	}
+
+	eng := New(Config{})
+	if _, err := eng.AddStream("s", newDetector(t, m, sim.Adaptive), nil); err != nil {
+		t.Fatalf("AddStream: %v", err)
+	}
+	ests, us := synthTrajectory(m, 3, 10)
+	for i := range ests {
+		if _, err := eng.Submit("s", ests[i], us[i]); err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	blob := engineSnapshot(t, eng)
+
+	// Non-empty engine refuses.
+	dec := state.NewDecoder(blob)
+	if err := dec.Header(); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if err := eng.Restore(dec, mk); err == nil {
+		t.Fatalf("Restore into non-empty engine succeeded")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Closed engine refuses.
+	dec = state.NewDecoder(blob)
+	_ = dec.Header()
+	if err := eng.Restore(dec, mk); err == nil {
+		t.Fatalf("Restore into closed engine succeeded")
+	}
+
+	// Every truncation of the blob must error out, not panic.
+	for cut := 0; cut < len(blob); cut += 7 {
+		eng2 := New(Config{})
+		dec = state.NewDecoder(blob[:cut])
+		err := dec.Header()
+		if err == nil {
+			err = eng2.Restore(dec, mk)
+		}
+		if err == nil {
+			t.Fatalf("restore of %d-byte truncation succeeded", cut)
+		}
+		if cerr := eng2.Close(); cerr != nil {
+			t.Fatalf("Close after failed restore: %v", cerr)
+		}
+	}
+
+	// A make that rebuilds a structurally different plant (the 12-state
+	// quadrotor vs the 3-state pitch model) must be caught by structural
+	// validation, not restored into. (Same-shape plants with different
+	// dynamics are indistinguishable to the codec by design — the snapshot
+	// carries state, and configuration identity is make's obligation.)
+	other := models.Quadrotor()
+	eng3 := New(Config{})
+	dec = state.NewDecoder(blob)
+	_ = dec.Header()
+	err := eng3.Restore(dec, func(id string) (*core.System, func(core.Decision, error), error) {
+		det, err := sim.Detector(sim.Config{Model: other, Strategy: sim.Adaptive})
+		return det, nil, err
+	})
+	if err == nil {
+		t.Fatalf("Restore with mismatched plant succeeded")
+	}
+	if err := eng3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseZeroStreams pins the empty-engine shutdown path: Close on an
+// engine that never had a stream returns immediately with a clean worker
+// shutdown, stays idempotent, and leaves ingest properly refused.
+func TestCloseZeroStreams(t *testing.T) {
+	eng := New(Config{Workers: 4})
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close with zero streams: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := eng.Post("nope", mat.VecOf(0), mat.VecOf(0)); err == nil {
+		t.Fatalf("Post after close succeeded")
+	}
+	if _, err := eng.AddStream("nope", newDetector(t, models.AircraftPitch(), sim.Adaptive), nil); err != ErrClosed {
+		t.Fatalf("AddStream after close: err = %v, want ErrClosed", err)
+	}
+}

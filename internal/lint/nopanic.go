@@ -22,6 +22,8 @@ var noPanicScope = []string{
 	"repro/internal/deadline",
 	"repro/internal/reach",
 	"repro/internal/fleet",
+	"repro/internal/state",
+	"repro/internal/wire",
 	// The operations console must never die mid-watch either: a dashboard
 	// that panics on a malformed snapshot is useless exactly when needed.
 	"repro/cmd/awdtop",

@@ -1,0 +1,134 @@
+package logger
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// fill logs steps 0..n-1 with distinguishable estimates (value == step).
+func fill(t *testing.T, l *Logger, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		must(l.Observe(mat.VecOf(float64(i)), nil))
+	}
+}
+
+// TestEntryRangeWrapBoundary drives the ring past capacity so the oldest
+// retained entry sits mid-array, then asks for a range that crosses the
+// backing array's end: the result must come back as two contiguous
+// segments that concatenate to the ascending step order.
+func TestEntryRangeWrapBoundary(t *testing.T) {
+	l := New(testSys(t), 4) // ring capacity maxWin+2 = 6
+	fill(t, l, 9)           // retained steps 3..8, start mid-ring
+
+	first := l.Current() - l.Len() + 1
+	if first != 3 {
+		t.Fatalf("oldest retained step = %d, want 3", first)
+	}
+	a, b, ok := l.EntryRange(4, 8)
+	if !ok {
+		t.Fatal("EntryRange(4, 8) not retained")
+	}
+	if len(b) == 0 {
+		t.Fatalf("range did not wrap the ring: a=%d entries, b empty", len(a))
+	}
+	want := 4
+	for _, seg := range [][]Entry{a, b} {
+		for _, e := range seg {
+			if e.Step != want {
+				t.Fatalf("segment entry step = %d, want %d", e.Step, want)
+			}
+			if e.Estimate[0] != float64(want) {
+				t.Fatalf("step %d estimate = %v, want %d", want, e.Estimate[0], want)
+			}
+			want++
+		}
+	}
+	if want != 9 {
+		t.Fatalf("segments covered steps up to %d, want 9", want)
+	}
+
+	// The full retained range and the evicted step just before it.
+	if _, _, ok := l.EntryRange(3, 8); !ok {
+		t.Error("full retained range rejected")
+	}
+	if _, _, ok := l.EntryRange(2, 8); ok {
+		t.Error("range including evicted step 2 accepted")
+	}
+	if _, _, ok := l.EntryRange(3, 9); ok {
+		t.Error("range including unlogged step 9 accepted")
+	}
+}
+
+// TestEntryRangeSingleStep pins the from==to degenerate case on both sides
+// of the wrap point: exactly one entry, always in segment a.
+func TestEntryRangeSingleStep(t *testing.T) {
+	l := New(testSys(t), 4)
+	fill(t, l, 9) // retained 3..8; ring indices of steps 6.. wrapped to the front
+	for step := 3; step <= 8; step++ {
+		a, b, ok := l.EntryRange(step, step)
+		if !ok {
+			t.Fatalf("EntryRange(%d, %d) not retained", step, step)
+		}
+		if len(a) != 1 || len(b) != 0 {
+			t.Fatalf("EntryRange(%d, %d) = %d+%d entries, want 1+0", step, step, len(a), len(b))
+		}
+		if a[0].Step != step {
+			t.Fatalf("single-step entry = step %d, want %d", a[0].Step, step)
+		}
+	}
+	// Inverted bounds are an empty request, not a one-step one.
+	if _, _, ok := l.EntryRange(5, 4); ok {
+		t.Error("EntryRange(5, 4) accepted inverted bounds")
+	}
+}
+
+// TestEntryRangeSpansReset pins that Reset severs history: step numbering
+// restarts at 0, pre-reset steps are unreachable even though their ring
+// slots still physically hold the old vectors, and a range written before
+// the reset never leaks stale entries.
+func TestEntryRangeSpansReset(t *testing.T) {
+	l := New(testSys(t), 4)
+	fill(t, l, 6) // steps 0..5 retained
+	if _, _, ok := l.EntryRange(2, 5); !ok {
+		t.Fatal("pre-reset range missing")
+	}
+	l.Reset()
+
+	// Immediately after Reset nothing is retained at all.
+	if _, _, ok := l.EntryRange(0, 0); ok {
+		t.Error("EntryRange(0, 0) accepted on a reset logger")
+	}
+	if l.Len() != 0 || l.Observed() != 0 || l.Released() != 0 {
+		t.Fatalf("reset logger: Len=%d Observed=%d Released=%d, want 0/0/0",
+			l.Len(), l.Observed(), l.Released())
+	}
+
+	// New run: three fresh observations with new values. The old range
+	// [2, 5] now straddles the reset — its tail is beyond the new history
+	// and must be rejected, not served from surviving ring slots.
+	for i := 0; i < 3; i++ {
+		must(l.Observe(mat.VecOf(100+float64(i)), nil))
+	}
+	if _, _, ok := l.EntryRange(2, 5); ok {
+		t.Error("range spanning the reset accepted")
+	}
+	a, b, ok := l.EntryRange(0, 2)
+	if !ok || len(a)+len(b) != 3 {
+		t.Fatalf("post-reset range = %d+%d entries (ok=%v), want 3", len(a), len(b), ok)
+	}
+	for i, e := range a {
+		if e.Step != i || e.Estimate[0] != 100+float64(i) {
+			t.Fatalf("post-reset entry %d = step %d estimate %v, want step %d estimate %d",
+				i, e.Step, e.Estimate[0], i, 100+i)
+		}
+	}
+
+	// First residual of the new run is zero: Reset dropped prevEst, so the
+	// run restarts without a prediction input.
+	e, ok := l.Entry(0)
+	if !ok || e.Residual[0] != 0 {
+		t.Fatalf("post-reset first residual = %v (ok=%v), want 0", e.Residual, ok)
+	}
+}

@@ -1,0 +1,104 @@
+package logger
+
+import (
+	"fmt"
+
+	"repro/internal/state"
+)
+
+// loggerStateVersion is the component version of the logger's snapshot
+// layout (see internal/state for the versioning rules).
+const loggerStateVersion = 1
+
+// Snapshot encodes the logger's complete runtime state: the protocol
+// counters and every retained ring entry in ascending step order. Entry
+// values are written bit-exactly, so a Restore reproduces the residual
+// history the detectors sum over bit-for-bit.
+//
+// The ring's physical layout (start index, wrap position) is deliberately
+// not part of the state: entries are written logically and re-packed from
+// slot 0 on restore. Every read path (Entry, EntryRange, the window
+// detectors' residual walks) visits entries in step order, so the physical
+// re-packing is unobservable — decisions after a restore are bit-identical
+// to decisions after the original layout.
+func (l *Logger) Snapshot(enc *state.Encoder) {
+	enc.Begin(state.TagLogger, loggerStateVersion)
+	enc.Int(l.maxWin)
+	enc.Int(l.sys.StateDim())
+	enc.I64(int64(l.nextStep))
+	enc.U32(uint32(l.count))
+	enc.I64(int64(l.released))
+	enc.Bool(l.hasPrev)
+	for i := 0; i < l.count; i++ {
+		ri := l.start + i
+		if ri >= len(l.ring) {
+			ri -= len(l.ring)
+		}
+		e := &l.ring[ri]
+		enc.I64(int64(e.Step))
+		enc.F64s(e.Estimate)
+		enc.F64s(e.Residual)
+	}
+}
+
+// Restore replaces the logger's runtime state with a snapshot taken from a
+// logger of identical configuration (same plant dimensions, same maximum
+// window). Structural mismatches and corrupt snapshots are returned as
+// errors with the logger left in an unspecified but memory-safe state;
+// callers restore into freshly constructed pipelines and discard them on
+// failure.
+func (l *Logger) Restore(dec *state.Decoder) error {
+	dec.Expect(state.TagLogger, loggerStateVersion)
+	maxWin := dec.Int()
+	dim := dec.Int()
+	nextStep := dec.I64()
+	count := int(dec.U32())
+	released := dec.I64()
+	hasPrev := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if maxWin != l.maxWin {
+		return fmt.Errorf("logger: snapshot max window %d, want %d", maxWin, l.maxWin)
+	}
+	if dim != l.sys.StateDim() {
+		return fmt.Errorf("logger: snapshot state dimension %d, want %d", dim, l.sys.StateDim())
+	}
+	if count < 0 || count > len(l.ring) {
+		return fmt.Errorf("logger: snapshot retains %d entries, ring capacity %d", count, len(l.ring))
+	}
+	if nextStep < int64(count) || released != nextStep-int64(count) {
+		return fmt.Errorf("logger: inconsistent snapshot counters (observed %d, retained %d, released %d)",
+			nextStep, count, released)
+	}
+	if hasPrev != (nextStep > 0) || (count == 0 && nextStep > 0) {
+		return fmt.Errorf("logger: inconsistent snapshot prediction state")
+	}
+	l.start = 0
+	l.count = count
+	l.nextStep = int(nextStep)
+	l.released = int(released)
+	l.hasPrev = hasPrev
+	first := l.nextStep - count
+	for i := 0; i < count; i++ {
+		e := &l.ring[i]
+		step := dec.I64()
+		dec.F64s(e.Estimate)
+		dec.F64s(e.Residual)
+		if dec.Err() == nil && int(step) != first+i {
+			return fmt.Errorf("logger: snapshot entry %d has step %d, want %d", i, step, first+i)
+		}
+		e.Step = int(step)
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if l.hasPrev {
+		// The prediction input aliases the most recent entry's ring slot,
+		// exactly as observe maintains it.
+		l.prevEst = l.ring[count-1].Estimate
+	} else {
+		l.prevEst = nil
+	}
+	return nil
+}

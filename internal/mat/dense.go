@@ -276,13 +276,6 @@ func (m *Dense) mulVecTransInto(out, v Vec) {
 	}
 }
 
-// VecMul returns vᵀ * m as a vector.
-//
-// Deprecated: VecMul predates the MulVec naming family and is kept only as
-// a compatibility wrapper; use MulVecTrans (or MulVecTransTo on hot paths)
-// instead.
-func (m *Dense) VecMul(v Vec) Vec { return m.MulVecTrans(v) }
-
 // T returns the transpose of m.
 func (m *Dense) T() *Dense {
 	out := NewDense(m.cols, m.rows)

@@ -93,17 +93,6 @@ func TestMulVecTransToMatchesMulVecTrans(t *testing.T) {
 	}
 }
 
-func TestVecMulCompatibilityWrapper(t *testing.T) {
-	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
-	v := VecOf(1, -1)
-	got, want := a.VecMul(v), a.MulVecTrans(v)
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("VecMul[%d] = %v, want %v", i, got[i], want[i])
-		}
-	}
-}
-
 func TestTranspose(t *testing.T) {
 	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
 	at := a.T()

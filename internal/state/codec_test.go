@@ -1,0 +1,239 @@
+package state
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	e := NewEncoder()
+	e.Header()
+	e.Begin(TagSystem, 1)
+	e.U8(7)
+	e.U16(65534)
+	e.U32(1 << 30)
+	e.U64(1 << 62)
+	e.I64(-12345678901234)
+	e.Int(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(math.Pi)
+	e.F64(math.Copysign(0, -1))
+	e.F64(math.Inf(-1))
+	e.F64s([]float64{1.5, -2.25, 0})
+	e.String("tenant/stream-0001")
+	e.Bytes32([]byte{0, 1, 2})
+
+	d := NewDecoder(e.Bytes())
+	if err := d.Header(); err != nil {
+		t.Fatalf("Header: %v", err)
+	}
+	if v := d.Expect(TagSystem, 1); v != 1 {
+		t.Fatalf("Expect version = %d, want 1", v)
+	}
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := d.U16(); got != 65534 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<62 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -12345678901234 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatalf("Bool round-trip failed")
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0 not preserved: %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("-Inf not preserved: %v", got)
+	}
+	fs := make([]float64, 3)
+	d.F64s(fs)
+	if fs[0] != 1.5 || fs[1] != -2.25 || fs[2] != 0 {
+		t.Fatalf("F64s = %v", fs)
+	}
+	if got := d.String(); got != "tenant/stream-0001" {
+		t.Fatalf("String = %q", got)
+	}
+	b := d.Bytes32()
+	if len(b) != 3 || b[0] != 0 || b[2] != 2 {
+		t.Fatalf("Bytes32 = %v", b)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestNaNBitPatternPreserved(t *testing.T) {
+	// A quiet NaN with a payload: the codec must round-trip the exact bits,
+	// not normalize them — bit-identity of snapshots depends on it.
+	bits := uint64(0x7ff800000000beef)
+	e := NewEncoder()
+	e.F64(math.Float64frombits(bits))
+	d := NewDecoder(e.Bytes())
+	if got := math.Float64bits(d.F64()); got != bits {
+		t.Fatalf("NaN bits = %#x, want %#x", got, bits)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	enc := func() []byte {
+		e := NewEncoder()
+		e.Header()
+		e.Begin(TagLogger, 1)
+		e.Int(3)
+		e.F64s([]float64{1, 2, 3})
+		e.String("x")
+		out := make([]byte, len(e.Bytes()))
+		copy(out, e.Bytes())
+		return out
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatalf("same state encoded to different bytes")
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // truncated
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", d.Err())
+	}
+	// Every later read is a zero-value no-op, never a panic.
+	if d.U32() != 0 || d.String() != "" || d.Bool() || d.F64() != 0 {
+		t.Fatalf("poisoned decoder returned non-zero values")
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("first error not sticky: %v", d.Err())
+	}
+}
+
+func TestHeaderRejections(t *testing.T) {
+	d := NewDecoder([]byte("XXXX\x01\x00"))
+	if err := d.Header(); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	e := NewEncoder()
+	e.buf = append(e.buf, Magic...)
+	e.U16(99)
+	d = NewDecoder(e.Bytes())
+	if err := d.Header(); err == nil {
+		t.Fatalf("future container version accepted")
+	}
+}
+
+func TestExpectRejections(t *testing.T) {
+	e := NewEncoder()
+	e.Begin(TagWindow, 1)
+	d := NewDecoder(e.Bytes())
+	d.Expect(TagLogger, 1)
+	if d.Err() == nil {
+		t.Fatalf("tag mismatch accepted")
+	}
+
+	e = NewEncoder()
+	e.Begin(TagWindow, 5)
+	d = NewDecoder(e.Bytes())
+	d.Expect(TagWindow, 1)
+	if d.Err() == nil {
+		t.Fatalf("future component version accepted")
+	}
+}
+
+func TestF64sLengthMismatch(t *testing.T) {
+	e := NewEncoder()
+	e.F64s([]float64{1, 2})
+	d := NewDecoder(e.Bytes())
+	dst := make([]float64, 3)
+	d.F64s(dst)
+	if d.Err() == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+}
+
+func TestOversizedStringRejected(t *testing.T) {
+	// A corrupt length prefix far beyond the buffer must fail cleanly
+	// without attempting the allocation.
+	e := NewEncoder()
+	e.U32(1 << 31)
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Fatalf("oversized string accepted: %q, err %v", s, d.Err())
+	}
+}
+
+func TestSectionSkip(t *testing.T) {
+	e := NewEncoder()
+	off := e.Mark()
+	e.String("section payload a skipping reader never parses")
+	e.F64s([]float64{1, 2, 3})
+	e.Patch(off)
+	e.String("after")
+
+	d := NewDecoder(e.Bytes())
+	end := d.SectionEnd()
+	d.SkipTo(end)
+	if got := d.String(); got != "after" {
+		t.Fatalf("after skip: %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestSectionEndTruncated(t *testing.T) {
+	e := NewEncoder()
+	e.U32(1000) // claims 1000 bytes that are not there
+	d := NewDecoder(e.Bytes())
+	d.SectionEnd()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.awds")
+	if err := WriteFile(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := WriteFile(path, []byte("v2")); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("ReadFile = %q, want v2", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after atomic writes, want 1", len(entries))
+	}
+}

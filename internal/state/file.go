@@ -1,0 +1,53 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes a snapshot to path atomically: the bytes land in a
+// temporary file in the same directory, are fsynced, and replace path with
+// one rename — a crash mid-checkpoint leaves either the previous checkpoint
+// or the new one, never a torn file. This is the write discipline every
+// checkpoint sink (awdserve, awdfleet -checkpoint-out) goes through.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".awds-*")
+	if err != nil {
+		return fmt.Errorf("state: checkpoint write: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("state: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("state: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("state: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("state: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads a snapshot file whole. It is a thin wrapper kept for
+// symmetry with WriteFile (and as the single place to hang size limits or
+// integrity checks later).
+func ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("state: checkpoint read: %w", err)
+	}
+	return data, nil
+}

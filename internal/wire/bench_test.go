@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/models"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/state"
+)
+
+// benchSample is one silent steady-state sample (estimate inside the
+// model's ε-ball), the case a monitoring fleet ingests almost always.
+func benchSample(m *models.Model) (est, u []float64) {
+	gen := noise.NewBall(1, m.Sys.StateDim(), m.Eps)
+	return gen.Sample(0), make([]float64, m.Sys.InputDim())
+}
+
+// BenchmarkServeIngestWire measures one sample round trip over the binary
+// protocol on loopback: frame encode, TCP, fleet Submit, decision frame
+// back. This is the "after" column of BENCH_serve.json.
+func BenchmarkServeIngestWire(b *testing.B) {
+	srv := NewServer(Config{Workers: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	h, err := c.Open("bench", "s", "aircraft-pitch", "adaptive", 0)
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	est, u := benchSample(models.ByName("aircraft-pitch"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Ingest(h, est, u); err != nil {
+			b.Fatalf("Ingest: %v", err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkServeIngestHTTP measures the same round trip over the JSON
+// fallback — the "before" column of BENCH_serve.json. The gap to the
+// binary protocol is the price of accessibility.
+func BenchmarkServeIngestHTTP(b *testing.B) {
+	srv := NewServer(Config{Workers: 2})
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	httpAddr, err := srv.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("StartHTTP: %v", err)
+	}
+	h, err := srv.Open("bench", "s", "aircraft-pitch", "adaptive", 0)
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	est, u := benchSample(models.ByName("aircraft-pitch"))
+	url := "http://" + httpAddr + "/v1/ingest"
+	client := &http.Client{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, err := json.Marshal(ingestRequest{Handle: h, Estimate: est, Input: u})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatalf("POST: %v", err)
+		}
+		var d decisionJSON
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			b.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %s", resp.Status)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// benchFleet builds a warmed fleet of n adaptive aircraft-pitch streams.
+func benchFleet(b *testing.B, n int) (*fleet.Engine, func(id string) (*core.System, func(core.Decision, error), error)) {
+	b.Helper()
+	m := models.ByName("aircraft-pitch")
+	mk := func(id string) (*core.System, func(core.Decision, error), error) {
+		det, err := sim.Detector(sim.Config{Model: m, Strategy: sim.Adaptive})
+		return det, nil, err
+	}
+	eng := fleet.New(fleet.Config{Workers: 2})
+	est, u := benchSample(m)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s-%04d", i)
+		det, _, err := mk(id)
+		if err != nil {
+			b.Fatalf("Detector: %v", err)
+		}
+		if _, err := eng.AddStream(id, det, nil); err != nil {
+			b.Fatalf("AddStream: %v", err)
+		}
+	}
+	for step := 0; step < 3; step++ {
+		for i := 0; i < n; i++ {
+			if _, err := eng.Submit(fmt.Sprintf("s-%04d", i), est, u); err != nil {
+				b.Fatalf("Submit: %v", err)
+			}
+		}
+	}
+	return eng, mk
+}
+
+// BenchmarkFleetSnapshot measures checkpoint latency: quiescing the fleet
+// and encoding every stream's complete runtime state (file I/O excluded —
+// that cost belongs to the disk, not the codec).
+func BenchmarkFleetSnapshot(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("streams=%d", n), func(b *testing.B) {
+			eng, _ := benchFleet(b, n)
+			defer eng.Close()
+			enc := state.NewEncoder()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.Reset()
+				enc.Header()
+				if err := eng.Snapshot(enc); err != nil {
+					b.Fatalf("Snapshot: %v", err)
+				}
+			}
+			b.StopTimer()
+			b.SetBytes(int64(enc.Len()))
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "streams/sec")
+		})
+	}
+}
+
+// BenchmarkFleetRestore measures recovery latency: rebuilding detectors
+// and restoring every stream's state from a snapshot into a fresh engine.
+func BenchmarkFleetRestore(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("streams=%d", n), func(b *testing.B) {
+			eng, mk := benchFleet(b, n)
+			enc := state.NewEncoder()
+			enc.Header()
+			if err := eng.Snapshot(enc); err != nil {
+				b.Fatalf("Snapshot: %v", err)
+			}
+			eng.Close()
+			blob := enc.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fresh := fleet.New(fleet.Config{Workers: 2})
+				dec := state.NewDecoder(blob)
+				if err := dec.Header(); err != nil {
+					b.Fatalf("header: %v", err)
+				}
+				if err := fresh.Restore(dec, mk); err != nil {
+					b.Fatalf("Restore: %v", err)
+				}
+				b.StopTimer()
+				fresh.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "streams/sec")
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Client speaks the binary protocol over one TCP connection. It is the
+// protocol's reference implementation and what cmd/awdserve's smoke
+// tooling and the crash-replay CI step use. A Client is not safe for
+// concurrent use; open one per goroutine (the server multiplexes).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	enc  *state.Encoder // reused per request to keep ingest allocation-light
+}
+
+// Dial connects to a wire server and performs the hello handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		enc:  state.NewEncoder(),
+	}
+	c.enc.U16(ProtocolVersion)
+	c.enc.String("wire-client")
+	if _, _, err := c.roundTrip(MsgHello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// roundTrip sends the staged request payload and reads one response,
+// translating MsgError into a Go error. The returned decoder reads the
+// response payload.
+func (c *Client) roundTrip(typ byte) (byte, *state.Decoder, error) {
+	if err := writeFrame(c.bw, typ, c.enc.Bytes()); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	rtyp, payload, err := readFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	dec := state.NewDecoder(payload)
+	if rtyp == MsgError {
+		msg := dec.String()
+		if dec.Err() != nil {
+			msg = "malformed error response"
+		}
+		return rtyp, nil, errors.New(msg)
+	}
+	return rtyp, dec, nil
+}
+
+// reset stages a fresh request payload.
+func (c *Client) reset() { c.enc.Reset() }
+
+// Open registers (or re-attaches to, after a server restore) the stream
+// tenant/stream and returns its ingest handle.
+func (c *Client) Open(tenant, stream, model, strategy string, fixedWin int) (uint64, error) {
+	c.reset()
+	c.enc.String(tenant)
+	c.enc.String(stream)
+	c.enc.String(model)
+	c.enc.String(strategy)
+	c.enc.Int(fixedWin)
+	rtyp, dec, err := c.roundTrip(MsgOpen)
+	if err != nil {
+		return 0, err
+	}
+	if rtyp != MsgOpened {
+		return 0, fmt.Errorf("wire: open got response type 0x%02x", rtyp)
+	}
+	h := dec.U64()
+	return h, dec.Err()
+}
+
+// Ingest feeds one sample and returns the stream's decision.
+func (c *Client) Ingest(handle uint64, estimate, appliedU []float64) (core.Decision, error) {
+	c.reset()
+	c.enc.U64(handle)
+	c.enc.F64s(estimate)
+	c.enc.F64s(appliedU)
+	rtyp, dec, err := c.roundTrip(MsgIngest)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	if rtyp != MsgDecision {
+		return core.Decision{}, fmt.Errorf("wire: ingest got response type 0x%02x", rtyp)
+	}
+	return decodeDecision(dec)
+}
+
+// Checkpoint asks the server to write a whole-fleet snapshot; name "" uses
+// DefaultCheckpointName. The returned detail names the written path.
+func (c *Client) Checkpoint(name string) (string, error) {
+	c.reset()
+	c.enc.String(name)
+	return c.okDetail(MsgCheckpoint)
+}
+
+// Drain stops the server admitting ingest, leaving the fleet quiescent.
+func (c *Client) Drain() error {
+	c.reset()
+	_, err := c.okDetail(MsgDrain)
+	return err
+}
+
+// Restore asks the server to load a checkpoint; name "" uses
+// DefaultCheckpointName.
+func (c *Client) Restore(name string) (string, error) {
+	c.reset()
+	c.enc.String(name)
+	return c.okDetail(MsgRestore)
+}
+
+// okDetail round-trips a request whose response is MsgOK plus a detail
+// string.
+func (c *Client) okDetail(typ byte) (string, error) {
+	rtyp, dec, err := c.roundTrip(typ)
+	if err != nil {
+		return "", err
+	}
+	if rtyp != MsgOK {
+		return "", fmt.Errorf("wire: got response type 0x%02x, want OK", rtyp)
+	}
+	detail := dec.String()
+	return detail, dec.Err()
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,131 @@
+// Package wire exposes the fleet engine over the network: a compact
+// length-prefixed binary protocol over TCP for sample ingest and decision
+// streaming, an HTTP/JSON fallback for scripting, and checkpoint /drain/
+// restore RPCs that persist whole-fleet snapshots through the
+// internal/state codec. Everything is stdlib-only.
+//
+// # Framing
+//
+// Every message is one frame:
+//
+//	u32  payload length (little-endian, ≤ MaxFrame)
+//	u8   message type
+//	...  payload
+//
+// Payload fields use the internal/state primitive encodings (fixed-width
+// little-endian integers, IEEE-754 bit patterns, length-prefixed strings)
+// without the snapshot container header — framing already delimits
+// messages. Each request frame gets exactly one response frame: MsgOpened
+// for MsgOpen, MsgDecision for MsgIngest, MsgOK for the rest, MsgError for
+// any failure. The per-request payloads are documented on the Client
+// methods, which are the reference implementation.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// MaxFrame bounds a frame payload; anything larger is a protocol error.
+// The largest legitimate frame is an ingest for a wide plant (a few
+// hundred bytes), so 1 MiB is generous without letting a hostile peer
+// balloon server memory.
+const MaxFrame = 1 << 20
+
+// ProtocolVersion is negotiated by MsgHello; the server rejects clients
+// that speak a newer major version.
+const ProtocolVersion uint16 = 1
+
+// Request message types.
+const (
+	MsgHello      = 0x01 // u16 version, string client name
+	MsgOpen       = 0x02 // string tenant, stream, model, strategy; i64 fixedWin
+	MsgIngest     = 0x03 // u64 handle, f64s estimate, f64s input
+	MsgCheckpoint = 0x04 // string name (optional; "" = server picks)
+	MsgDrain      = 0x05 // empty
+	MsgRestore    = 0x06 // string path
+)
+
+// Response message types.
+const (
+	MsgOK       = 0x80 // string detail (may be empty)
+	MsgError    = 0x81 // string message
+	MsgOpened   = 0x82 // u64 handle
+	MsgDecision = 0x83 // encoded Decision, see appendDecision
+)
+
+// writeFrame sends one frame. The payload must fit MaxFrame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds %d", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one frame, enforcing the MaxFrame bound before
+// allocating.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds %d", n, MaxFrame)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// appendDecision encodes a core.Decision as a MsgDecision payload.
+func appendDecision(enc *state.Encoder, d core.Decision) {
+	enc.I64(int64(d.Step))
+	enc.Int(d.Window)
+	enc.Int(d.Deadline)
+	enc.Bool(d.Alarm)
+	enc.Bool(d.Complementary)
+	enc.I64(int64(d.ComplementaryStep))
+	enc.U32(uint32(len(d.Dims)))
+	for _, dim := range d.Dims {
+		enc.Int(dim)
+	}
+}
+
+// decodeDecision parses a MsgDecision payload.
+func decodeDecision(dec *state.Decoder) (core.Decision, error) {
+	var d core.Decision
+	d.Step = int(dec.I64())
+	d.Window = dec.Int()
+	d.Deadline = dec.Int()
+	d.Alarm = dec.Bool()
+	d.Complementary = dec.Bool()
+	d.ComplementaryStep = int(dec.I64())
+	ndims := dec.U32()
+	if err := dec.Err(); err != nil {
+		return core.Decision{}, err
+	}
+	if ndims > 0 {
+		if int(ndims) > dec.Remaining()/8 {
+			return core.Decision{}, fmt.Errorf("wire: decision claims %d dims in %d bytes", ndims, dec.Remaining())
+		}
+		d.Dims = make([]int, ndims)
+		for i := range d.Dims {
+			d.Dims[i] = dec.Int()
+		}
+	}
+	return d, dec.Err()
+}

@@ -1,0 +1,510 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/state"
+)
+
+// serverStateVersion is the component version of the server's checkpoint
+// spec section (the 'V' block in front of the fleet engine's 'Z' block).
+const serverStateVersion = 1
+
+// DefaultCheckpointName is the checkpoint filename used when a checkpoint
+// request does not name one.
+const DefaultCheckpointName = "fleet.awds"
+
+// Config describes one fleet server.
+type Config struct {
+	// CheckpointDir is where Checkpoint writes and Restore reads whole-
+	// fleet snapshots. Empty disables both RPCs.
+	CheckpointDir string
+	// MaxStreamsPerTenant caps the streams each tenant may hold open;
+	// <= 0 means unlimited.
+	MaxStreamsPerTenant int
+	// Workers, ShardSize, and MaxBatch pass through to fleet.Config.
+	Workers, ShardSize, MaxBatch int
+	// Observer receives fleet telemetry; nil disables instrumentation.
+	Observer *obs.Observer
+}
+
+// streamSpec is everything needed to reconstruct a stream's detector: its
+// identity plus the semantic configuration the state codec deliberately
+// does not carry (see fleet.MakeStream).
+type streamSpec struct {
+	tenant, stream string
+	model          string
+	strategy       sim.Strategy
+	fixedWin       int
+}
+
+func (sp streamSpec) id() string { return sp.tenant + "/" + sp.stream }
+
+func (sp streamSpec) detector(o *obs.Observer) (*core.System, error) {
+	m := models.ByName(sp.model)
+	if m == nil {
+		return nil, fmt.Errorf("wire: unknown model %q (valid: %s)", sp.model, strings.Join(models.Names(), ", "))
+	}
+	return sim.Detector(sim.Config{Model: m, Strategy: sp.strategy, FixedWin: sp.fixedWin, Observer: o})
+}
+
+// parseStrategy maps the wire's strategy names back onto sim.Strategy;
+// the names are sim.Strategy.String()'s, which are part of the protocol.
+func parseStrategy(s string) (sim.Strategy, error) {
+	for _, st := range []sim.Strategy{sim.Adaptive, sim.FixedWindow, sim.CUSUMBaseline, sim.EWMABaseline} {
+		if s == st.String() {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown strategy %q", s)
+}
+
+// Server hosts one fleet engine behind the binary TCP protocol and the
+// HTTP/JSON fallback. Streams live in per-tenant namespaces (the fleet
+// stream ID is "tenant/stream"), with an optional per-tenant open-stream
+// quota. Checkpoint, Drain, and Restore manage whole-fleet snapshots.
+type Server struct {
+	cfg Config
+	eng *fleet.Engine
+
+	// ingestMu serializes checkpoint/drain/restore (writers) against
+	// ingest (readers): a checkpoint takes the write side so the spec
+	// registry and the engine snapshot form one consistent cut, while
+	// steady-state ingests share the read side and never contend with
+	// each other.
+	ingestMu sync.RWMutex
+
+	mu         sync.Mutex // guards the registries below
+	specs      map[string]streamSpec
+	handles    map[uint64]string // open handle -> fleet stream ID
+	nextHandle uint64
+	tenants    map[string]int // tenant -> open stream count
+	draining   bool
+
+	ln      net.Listener
+	conns   sync.WaitGroup
+	closed  atomic.Bool
+	httpSrv *httpServer
+}
+
+// NewServer returns a server over a fresh fleet engine. Call Start (or
+// StartHTTP) to accept connections and Close to shut down.
+func NewServer(cfg Config) *Server {
+	return &Server{
+		cfg: cfg,
+		eng: fleet.New(fleet.Config{
+			Workers:   cfg.Workers,
+			ShardSize: cfg.ShardSize,
+			MaxBatch:  cfg.MaxBatch,
+			Observer:  cfg.Observer,
+		}),
+		specs:   make(map[string]streamSpec),
+		handles: make(map[uint64]string),
+		tenants: make(map[string]int),
+	}
+}
+
+// Engine exposes the wrapped fleet engine (read-only use: stats, tests).
+func (s *Server) Engine() *fleet.Engine { return s.eng }
+
+// Open registers (or re-attaches to) the stream tenant/stream and returns
+// an ingest handle. Open is idempotent on identical specs: after a server
+// restart plus Restore the streams already exist in the engine, and a
+// reconnecting client's Open re-binds a fresh handle to the restored
+// stream instead of failing — the checkpoint lifecycle depends on this.
+// A spec that conflicts with the live stream's is an error, as is
+// exceeding the tenant's stream quota.
+func (s *Server) Open(tenant, stream, model, strategy string, fixedWin int) (uint64, error) {
+	if tenant == "" || strings.Contains(tenant, "/") {
+		return 0, fmt.Errorf("wire: invalid tenant %q", tenant)
+	}
+	if stream == "" {
+		return 0, errors.New("wire: empty stream name")
+	}
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return 0, err
+	}
+	spec := streamSpec{tenant: tenant, stream: stream, model: model, strategy: strat, fixedWin: fixedWin}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, errors.New("wire: server is draining")
+	}
+	if have, ok := s.specs[spec.id()]; ok {
+		if have != spec {
+			return 0, fmt.Errorf("wire: stream %s already open with a different spec", spec.id())
+		}
+		return s.bindHandle(spec.id()), nil
+	}
+	if q := s.cfg.MaxStreamsPerTenant; q > 0 && s.tenants[tenant] >= q {
+		return 0, fmt.Errorf("wire: tenant %q at stream quota %d", tenant, q)
+	}
+	det, err := spec.detector(s.cfg.Observer)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.eng.AddStream(spec.id(), det, nil); err != nil {
+		return 0, err
+	}
+	s.specs[spec.id()] = spec
+	s.tenants[tenant]++
+	return s.bindHandle(spec.id()), nil
+}
+
+// bindHandle allocates a fresh handle for an open stream. Caller holds mu.
+func (s *Server) bindHandle(id string) uint64 {
+	s.nextHandle++
+	s.handles[s.nextHandle] = id
+	return s.nextHandle
+}
+
+// Ingest feeds one sample to the stream behind handle and returns its
+// decision synchronously — the response frame is the decision stream.
+func (s *Server) Ingest(handle uint64, estimate, appliedU []float64) (core.Decision, error) {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	s.mu.Lock()
+	id, ok := s.handles[handle]
+	draining := s.draining
+	s.mu.Unlock()
+	if !ok {
+		return core.Decision{}, fmt.Errorf("wire: unknown handle %d", handle)
+	}
+	if draining {
+		return core.Decision{}, errors.New("wire: server is draining")
+	}
+	return s.eng.Submit(id, mat.Vec(estimate), mat.Vec(appliedU))
+}
+
+// Checkpoint quiesces ingest and writes the whole fleet — stream specs
+// plus every stream's runtime state — to name (default
+// DefaultCheckpointName) under the checkpoint directory, atomically.
+// It returns the written path and the snapshot size in bytes.
+func (s *Server) Checkpoint(name string) (string, int, error) {
+	if s.cfg.CheckpointDir == "" {
+		return "", 0, errors.New("wire: server has no checkpoint directory")
+	}
+	if name == "" {
+		name = DefaultCheckpointName
+	}
+	if name != filepath.Base(name) {
+		return "", 0, fmt.Errorf("wire: checkpoint name %q must not contain path separators", name)
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+
+	enc := state.NewEncoder()
+	enc.Header()
+	s.mu.Lock()
+	specs := make([]streamSpec, 0, len(s.specs))
+	for _, sp := range s.specs {
+		specs = append(specs, sp)
+	}
+	s.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].id() < specs[j].id() })
+	enc.Begin(state.TagServer, serverStateVersion)
+	enc.U32(uint32(len(specs)))
+	for _, sp := range specs {
+		enc.String(sp.tenant)
+		enc.String(sp.stream)
+		enc.String(sp.model)
+		enc.String(sp.strategy.String())
+		enc.Int(sp.fixedWin)
+	}
+	if err := s.eng.Snapshot(enc); err != nil {
+		return "", 0, err
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, name)
+	if err := state.WriteFile(path, enc.Bytes()); err != nil {
+		return "", 0, err
+	}
+	return path, enc.Len(), nil
+}
+
+// Drain stops admitting ingest and new streams, waits for in-flight
+// ingests to finish, and leaves the fleet quiescent — the state a final
+// Checkpoint before shutdown wants. Draining is sticky; a drained server
+// only serves Checkpoint and stats.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	// Taking the write side waits out every ingest that entered before the
+	// flag flipped.
+	s.ingestMu.Lock()
+	s.ingestMu.Unlock() //nolint:staticcheck // empty critical section is the drain barrier
+}
+
+// Restore loads a checkpoint written by Checkpoint into this server,
+// which must not have any open streams yet: it rebuilds each recorded
+// stream's detector from its spec and restores the fleet's runtime state,
+// after which reconnecting clients re-attach via idempotent Opens and the
+// decision streams continue bit-identically to the checkpointed fleet.
+func (s *Server) Restore(name string) (int, error) {
+	if s.cfg.CheckpointDir == "" {
+		return 0, errors.New("wire: server has no checkpoint directory")
+	}
+	if name == "" {
+		name = DefaultCheckpointName
+	}
+	if name != filepath.Base(name) {
+		return 0, fmt.Errorf("wire: checkpoint name %q must not contain path separators", name)
+	}
+	blob, err := state.ReadFile(filepath.Join(s.cfg.CheckpointDir, name))
+	if err != nil {
+		return 0, err
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.specs) != 0 {
+		return 0, fmt.Errorf("wire: restore into a server with %d streams", len(s.specs))
+	}
+	if s.draining {
+		return 0, errors.New("wire: server is draining")
+	}
+
+	dec := state.NewDecoder(blob)
+	if err := dec.Header(); err != nil {
+		return 0, err
+	}
+	dec.Expect(state.TagServer, serverStateVersion)
+	n := dec.U32()
+	if err := dec.Err(); err != nil {
+		return 0, err
+	}
+	specs := make(map[string]streamSpec, n)
+	for i := 0; i < int(n); i++ {
+		var sp streamSpec
+		var strategy string
+		sp.tenant = dec.String()
+		sp.stream = dec.String()
+		sp.model = dec.String()
+		strategy = dec.String()
+		sp.fixedWin = dec.Int()
+		if err := dec.Err(); err != nil {
+			return 0, err
+		}
+		if sp.strategy, err = parseStrategy(strategy); err != nil {
+			return 0, err
+		}
+		specs[sp.id()] = sp
+	}
+	err = s.eng.Restore(dec, func(id string) (*core.System, func(core.Decision, error), error) {
+		sp, ok := specs[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("wire: checkpoint stream %q has no spec", id)
+		}
+		det, err := sp.detector(s.cfg.Observer)
+		return det, nil, err
+	})
+	if err != nil {
+		return 0, err
+	}
+	for id, sp := range specs {
+		s.specs[id] = sp
+		s.tenants[sp.tenant]++
+	}
+	return len(specs), nil
+}
+
+// Stats is the server's live state summary, served on GET /v1/stats.
+type Stats struct {
+	Streams  int            `json:"streams"`
+	Tenants  map[string]int `json:"tenants"`
+	Draining bool           `json:"draining"`
+}
+
+// Stats snapshots the server's stream registry.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tenants := make(map[string]int, len(s.tenants))
+	for k, v := range s.tenants {
+		tenants[k] = v
+	}
+	return Stats{Streams: len(s.specs), Tenants: tenants, Draining: s.draining}
+}
+
+// Start listens on addr for the binary protocol and serves connections
+// until Close. It returns the bound address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.conns.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.conns.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one connection's request/response loop. Protocol errors
+// are answered with MsgError and the loop continues; transport errors end
+// the connection.
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		rtyp, rpayload := s.handle(typ, payload)
+		if err := writeFrame(bw, rtyp, rpayload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame and builds its response frame.
+func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
+	dec := state.NewDecoder(payload)
+	enc := state.NewEncoder()
+	fail := func(err error) (byte, []byte) {
+		e := state.NewEncoder()
+		e.String(err.Error())
+		return MsgError, e.Bytes()
+	}
+	switch typ {
+	case MsgHello:
+		v := dec.U16()
+		_ = dec.String() // client name: diagnostic only
+		if err := dec.Err(); err != nil {
+			return fail(err)
+		}
+		if v > ProtocolVersion {
+			return fail(fmt.Errorf("wire: client speaks protocol %d, server %d", v, ProtocolVersion))
+		}
+		enc.String("awdserve")
+		return MsgOK, enc.Bytes()
+	case MsgOpen:
+		tenant := dec.String()
+		stream := dec.String()
+		model := dec.String()
+		strategy := dec.String()
+		fixedWin := dec.Int()
+		if err := dec.Err(); err != nil {
+			return fail(err)
+		}
+		h, err := s.Open(tenant, stream, model, strategy, fixedWin)
+		if err != nil {
+			return fail(err)
+		}
+		enc.U64(h)
+		return MsgOpened, enc.Bytes()
+	case MsgIngest:
+		h := dec.U64()
+		est, err := decodeF64s(dec)
+		if err != nil {
+			return fail(err)
+		}
+		u, err := decodeF64s(dec)
+		if err != nil {
+			return fail(err)
+		}
+		d, err := s.Ingest(h, est, u)
+		if err != nil {
+			return fail(err)
+		}
+		appendDecision(enc, d)
+		return MsgDecision, enc.Bytes()
+	case MsgCheckpoint:
+		name := dec.String()
+		if err := dec.Err(); err != nil {
+			return fail(err)
+		}
+		path, n, err := s.Checkpoint(name)
+		if err != nil {
+			return fail(err)
+		}
+		enc.String(fmt.Sprintf("%s (%d bytes)", path, n))
+		return MsgOK, enc.Bytes()
+	case MsgDrain:
+		s.Drain()
+		enc.String("drained")
+		return MsgOK, enc.Bytes()
+	case MsgRestore:
+		name := dec.String()
+		if err := dec.Err(); err != nil {
+			return fail(err)
+		}
+		n, err := s.Restore(name)
+		if err != nil {
+			return fail(err)
+		}
+		enc.String(fmt.Sprintf("%d streams", n))
+		return MsgOK, enc.Bytes()
+	default:
+		return fail(fmt.Errorf("wire: unknown message type 0x%02x", typ))
+	}
+}
+
+// decodeF64s reads a length-prefixed float slice, bounds-checking the
+// claimed length against the remaining payload before allocating.
+func decodeF64s(dec *state.Decoder) ([]float64, error) {
+	n := dec.U32()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if int(n) > dec.Remaining()/8 {
+		return nil, fmt.Errorf("wire: vector claims %d floats in %d bytes", n, dec.Remaining())
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = dec.F64()
+	}
+	return v, dec.Err()
+}
+
+// Close shuts the listeners, waits out in-flight connections, and closes
+// the fleet engine (draining every stream's last sample).
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.httpSrv != nil {
+		s.httpSrv.close()
+	}
+	s.conns.Wait()
+	return s.eng.Close()
+}

@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+func wireDecisionsEqual(a, b core.Decision) bool {
+	return a.Step == b.Step && a.Window == b.Window && a.Deadline == b.Deadline &&
+		a.Alarm == b.Alarm && a.Complementary == b.Complementary &&
+		a.ComplementaryStep == b.ComplementaryStep && slices.Equal(a.Dims, b.Dims)
+}
+
+// wireTrajectory is a deterministic noisy estimate stream inside the
+// model's ε-ball with periodic τ-scaled spikes, regenerable from step 0 —
+// the replay discipline crash-recovery clients must follow, since the
+// generators are stateful.
+func wireTrajectory(m *models.Model, seed uint64, steps int) (ests [][]float64, u []float64) {
+	gen := noise.NewBall(seed, m.Sys.StateDim(), m.Eps)
+	ests = make([][]float64, steps)
+	for t := 0; t < steps; t++ {
+		e := mat.Vec(gen.Sample(t)).Clone()
+		if t%11 == 9 {
+			for i := range e {
+				e[i] += m.Tau[i] * 2.5
+			}
+		}
+		ests[t] = e
+	}
+	return ests, make([]float64, m.Sys.InputDim())
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := NewServer(cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return srv, addr
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial(%s): %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestWireIngestMatchesSerial pins the binary protocol end to end: samples
+// ingested over TCP come back with decisions bit-identical to a standalone
+// detector, for streams across tenants, models, and strategies.
+func TestWireIngestMatchesSerial(t *testing.T) {
+	const steps = 60
+	_, addr := startServer(t, Config{Workers: 2})
+	c := dial(t, addr)
+
+	cases := []struct {
+		tenant, stream, model, strategy string
+	}{
+		{"acme", "pitch-0", "aircraft-pitch", "adaptive"},
+		{"acme", "pitch-1", "aircraft-pitch", "fixed"},
+		{"globex", "turn-0", "vehicle-turning", "adaptive"},
+		{"globex", "rlc-0", "series-rlc", "cusum"},
+	}
+	for _, tc := range cases {
+		h, err := c.Open(tc.tenant, tc.stream, tc.model, tc.strategy, 0)
+		if err != nil {
+			t.Fatalf("Open(%s/%s): %v", tc.tenant, tc.stream, err)
+		}
+		m := models.ByName(tc.model)
+		strat, err := parseStrategy(tc.strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := sim.Detector(sim.Config{Model: m, Strategy: strat})
+		if err != nil {
+			t.Fatalf("Detector: %v", err)
+		}
+		ests, u := wireTrajectory(m, 7, steps)
+		for i := 0; i < steps; i++ {
+			got, err := c.Ingest(h, ests[i], u)
+			if err != nil {
+				t.Fatalf("Ingest(%s/%s, %d): %v", tc.tenant, tc.stream, i, err)
+			}
+			want, err := serial.Step(ests[i], u)
+			if err != nil {
+				t.Fatalf("serial step %d: %v", i, err)
+			}
+			if !wireDecisionsEqual(got, want) {
+				t.Fatalf("%s/%s step %d: wire decision %+v != serial %+v", tc.tenant, tc.stream, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTenantQuota pins the per-tenant stream cap: opens beyond the quota
+// fail, re-opens of existing streams don't consume quota, and other
+// tenants are unaffected.
+func TestTenantQuota(t *testing.T) {
+	_, addr := startServer(t, Config{MaxStreamsPerTenant: 2})
+	c := dial(t, addr)
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Open("acme", fmt.Sprintf("s-%d", i), "aircraft-pitch", "adaptive", 0); err != nil {
+			t.Fatalf("Open %d: %v", i, err)
+		}
+	}
+	if _, err := c.Open("acme", "s-2", "aircraft-pitch", "adaptive", 0); err == nil {
+		t.Fatalf("third stream for tenant at quota 2 succeeded")
+	} else if !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("quota violation error = %q, want mention of quota", err)
+	}
+	// Identical re-open is idempotent, not a quota consumer.
+	if _, err := c.Open("acme", "s-0", "aircraft-pitch", "adaptive", 0); err != nil {
+		t.Fatalf("idempotent re-open: %v", err)
+	}
+	// A conflicting spec for a live stream is rejected.
+	if _, err := c.Open("acme", "s-0", "aircraft-pitch", "cusum", 0); err == nil {
+		t.Fatalf("conflicting re-open succeeded")
+	}
+	// Other tenants have their own budget.
+	if _, err := c.Open("globex", "s-0", "aircraft-pitch", "adaptive", 0); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+}
+
+// TestCheckpointRestoreLifecycle runs the full lifecycle in-process:
+// ingest, checkpoint mid-run, keep going on the original server, then
+// bring up a second server from the checkpoint, re-open, and verify its
+// continued decision stream matches the original's bit for bit.
+func TestCheckpointRestoreLifecycle(t *testing.T) {
+	const steps, k = 80, 37
+	dir := t.TempDir()
+	m := models.ByName("vehicle-turning")
+	ests, u := wireTrajectory(m, 21, steps)
+
+	_, addr := startServer(t, Config{CheckpointDir: dir, Workers: 2})
+	c := dial(t, addr)
+	h, err := c.Open("acme", "turn", "vehicle-turning", "adaptive", 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := make([]core.Decision, steps)
+	for i := 0; i < k; i++ {
+		if want[i], err = c.Ingest(h, ests[i], u); err != nil {
+			t.Fatalf("Ingest(%d): %v", i, err)
+		}
+	}
+	detail, err := c.Checkpoint("mid.awds")
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if !strings.Contains(detail, "mid.awds") {
+		t.Fatalf("checkpoint detail %q does not name the file", detail)
+	}
+	for i := k; i < steps; i++ {
+		if want[i], err = c.Ingest(h, ests[i], u); err != nil {
+			t.Fatalf("Ingest(%d): %v", i, err)
+		}
+	}
+
+	// Second server restores the checkpoint; the client re-opens
+	// idempotently and replays the suffix.
+	_, addr2 := startServer(t, Config{CheckpointDir: dir, Workers: 2})
+	c2 := dial(t, addr2)
+	if _, err := c2.Restore("mid.awds"); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	h2, err := c2.Open("acme", "turn", "vehicle-turning", "adaptive", 0)
+	if err != nil {
+		t.Fatalf("re-Open after restore: %v", err)
+	}
+	for i := k; i < steps; i++ {
+		got, err := c2.Ingest(h2, ests[i], u)
+		if err != nil {
+			t.Fatalf("restored Ingest(%d): %v", i, err)
+		}
+		if !wireDecisionsEqual(got, want[i]) {
+			t.Fatalf("step %d: restored decision %+v != original %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestDrain pins drain semantics: after Drain, ingest and open are
+// refused, checkpoint still works, and stats reports the drained state.
+func TestDrain(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startServer(t, Config{CheckpointDir: dir})
+	c := dial(t, addr)
+	h, err := c.Open("acme", "s", "dc-motor", "adaptive", 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	m := models.ByName("dc-motor")
+	ests, u := wireTrajectory(m, 2, 5)
+	for i := range ests {
+		if _, err := c.Ingest(h, ests[i], u); err != nil {
+			t.Fatalf("Ingest(%d): %v", i, err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := c.Ingest(h, ests[0], u); err == nil {
+		t.Fatalf("ingest after drain succeeded")
+	}
+	if _, err := c.Open("acme", "s2", "dc-motor", "adaptive", 0); err == nil {
+		t.Fatalf("open after drain succeeded")
+	}
+	if _, err := c.Checkpoint(""); err != nil {
+		t.Fatalf("checkpoint after drain: %v", err)
+	}
+	if st := srv.Stats(); !st.Draining || st.Streams != 1 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+// TestHTTPFallback drives the same lifecycle over the JSON API and
+// cross-checks one decision against the binary protocol's.
+func TestHTTPFallback(t *testing.T) {
+	srv, addr := startServer(t, Config{Workers: 1})
+	httpAddr, err := srv.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+	base := "http://" + httpAddr
+
+	post := func(path string, body, out any) error {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s: %s (%s)", path, resp.Status, e.Error)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	var opened struct {
+		Handle uint64 `json:"handle"`
+	}
+	if err := post("/v1/open", openRequest{Tenant: "acme", Stream: "h", Model: "series-rlc", Strategy: "adaptive"}, &opened); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	m := models.ByName("series-rlc")
+	ests, u := wireTrajectory(m, 4, 12)
+
+	// Same stream reached over the binary protocol for the cross-check.
+	c := dial(t, addr)
+	bh, err := c.Open("acme", "h", "series-rlc", "adaptive", 0)
+	if err != nil {
+		t.Fatalf("binary re-open: %v", err)
+	}
+	serial, err := sim.Detector(sim.Config{Model: m, Strategy: sim.Adaptive})
+	if err != nil {
+		t.Fatalf("Detector: %v", err)
+	}
+	for i := range ests {
+		var got decisionJSON
+		if i%2 == 0 {
+			if err := post("/v1/ingest", ingestRequest{Handle: opened.Handle, Estimate: ests[i], Input: u}, &got); err != nil {
+				t.Fatalf("ingest %d: %v", i, err)
+			}
+		} else {
+			d, err := c.Ingest(bh, ests[i], u)
+			if err != nil {
+				t.Fatalf("binary ingest %d: %v", i, err)
+			}
+			got = toDecisionJSON(d)
+		}
+		want, err := serial.Step(ests[i], u)
+		if err != nil {
+			t.Fatalf("serial %d: %v", i, err)
+		}
+		if want := toDecisionJSON(want); got.Step != want.Step || got.Window != want.Window ||
+			got.Deadline != want.Deadline || got.Alarm != want.Alarm ||
+			got.Complementary != want.Complementary || got.ComplementaryStep != want.ComplementaryStep ||
+			!slices.Equal(got.Dims, want.Dims) {
+			t.Fatalf("step %d: %+v != %+v", i, got, want)
+		}
+	}
+
+	var stats Stats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if stats.Streams != 1 || stats.Tenants["acme"] != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestProtocolRejections pins the refusal paths of the frame layer and
+// the request validation: oversized frames, unknown messages, unknown
+// handles, bad strategies, and restore without a checkpoint directory.
+func TestProtocolRejections(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c := dial(t, addr)
+
+	if _, err := c.Open("acme", "s", "aircraft-pitch", "definitely-not-a-strategy", 0); err == nil {
+		t.Fatalf("bad strategy accepted")
+	}
+	if _, err := c.Open("bad/tenant", "s", "aircraft-pitch", "adaptive", 0); err == nil {
+		t.Fatalf("tenant with separator accepted")
+	}
+	if _, err := c.Open("acme", "s", "no-such-plant", "adaptive", 0); err == nil {
+		t.Fatalf("unknown model accepted")
+	}
+	if _, err := c.Ingest(999, []float64{0}, []float64{0}); err == nil {
+		t.Fatalf("unknown handle accepted")
+	}
+	if _, err := c.Checkpoint(""); err == nil {
+		t.Fatalf("checkpoint without directory accepted")
+	}
+	if _, err := c.Restore("../escape.awds"); err == nil {
+		t.Fatalf("restore with path separator accepted")
+	}
+
+	// An unknown frame type is answered with MsgError, not a dropped conn.
+	c.reset()
+	rtyp, _, err := c.roundTrip(0x7f)
+	if err == nil || rtyp == MsgOK {
+		t.Fatalf("unknown frame type: rtyp=0x%02x err=%v", rtyp, err)
+	}
+	// The connection survives to serve the next request.
+	if _, err := c.Open("acme", "ok", "aircraft-pitch", "adaptive", 0); err != nil {
+		t.Fatalf("open after protocol error: %v", err)
+	}
+	_ = srv
+}
