@@ -8,8 +8,9 @@ check: vet lint build test-race
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (floateq, obsguard, nopanic, errflow) — see
-# internal/lint and README "Static analysis".
+# Project-specific analyzers (detorder, errflow, floateq, lockflow,
+# nopanic, obsguard, statepair, wallclock) — see internal/lint and README
+# "Static analysis"; `go run ./cmd/awdlint -list` prints the catalogue.
 lint:
 	$(GO) run ./cmd/awdlint ./...
 
@@ -32,6 +33,7 @@ fuzz-smoke:
 	$(GO) test ./internal/reach/ -run '^$$' -fuzz '^FuzzStepperMatchesReachBox$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzBatchMatchesSerial$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # Re-measure the detector-step overhead numbers recorded in BENCH_obs.json:
 # per-step observation cost plus the snapshot/rollup read path the console

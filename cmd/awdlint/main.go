@@ -1,9 +1,13 @@
 // Command awdlint is the multichecker for the repo's domain-specific
-// static-analysis suite (internal/lint): floateq, obsguard, nopanic, and
-// errflow. It enforces the implementation-level invariants behind the
-// paper's Theorems 1–2 — tolerance-based threshold comparisons, a
-// panic-free detection hot path, nil-safe telemetry, and checked matrix
-// algebra errors.
+// static-analysis suite (internal/lint): detorder, errflow, floateq,
+// lockflow, nopanic, obsguard, statepair, and wallclock. It enforces the
+// implementation-level invariants behind the paper's Theorems 1–2 and the
+// repo's bit-identity discipline — tolerance-based threshold comparisons, a
+// panic-free detection hot path, nil-safe telemetry, checked matrix algebra
+// errors, deterministic iteration on snapshot/wire/decision paths, no
+// ambient wall-clock or randomness in replayable code, balanced locks with
+// no blocking work held under them, and symmetric Snapshot/Restore pairs
+// with one Begin/Expect per section tag.
 //
 // Usage:
 //

@@ -352,6 +352,7 @@ func (s *System) decide(entry *logger.Entry) (Decision, error) {
 	case modeAdaptive:
 		var reachStart time.Time
 		if s.obs.Enabled() {
+			//awdlint:allow wallclock -- reach-latency telemetry only: reachMicros feeds StepEvent, never the decision (td comes solely from logged state)
 			reachStart = time.Now()
 		}
 		// Inlined deadline.Estimator.FromLogger, with the FromState query
@@ -367,6 +368,7 @@ func (s *System) decide(entry *logger.Entry) (Decision, error) {
 			td = s.est.FromState(x0)
 		}
 		if s.obs.Enabled() {
+			//awdlint:allow wallclock -- closes the reach-latency measurement opened above; observability-gated, decision-invisible
 			reachMicros = float64(time.Since(reachStart)) / float64(time.Microsecond)
 			reachTimed = true
 		}

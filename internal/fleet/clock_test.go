@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestInjectedClockDeterminism pins the wallclock invariant the lint suite
+// enforces structurally: the engine's only time source is Config.Clock, it
+// feeds telemetry exclusively, and detector decisions are a pure function
+// of the sample stream. A fake clock that advances a fixed tick per reading
+// must (a) leave every decision bit-identical to a wall-clock engine's and
+// (b) make the batch-latency histogram exactly reproducible.
+func TestInjectedClockDeterminism(t *testing.T) {
+	m := allModels[0]
+	const streams, steps = 3, 40
+
+	// Each reading advances exactly one millisecond. stepBatch reads the
+	// clock twice per batch (start and observe), so every recorded batch
+	// latency is exactly 1000µs — a value wall time could never pin.
+	var ticks atomic.Int64
+	fake := func() time.Time {
+		return time.Unix(0, ticks.Add(int64(time.Millisecond)))
+	}
+
+	reg := obs.NewRegistry()
+	fakeEng := New(Config{Workers: 1, ShardSize: 2, Observer: obs.NewObserver(reg, nil), Clock: fake})
+	wallEng := New(Config{Workers: 1, ShardSize: 2})
+	for i := 0; i < streams; i++ {
+		id := fmt.Sprintf("c%d", i)
+		if _, err := fakeEng.AddStream(id, newDetector(t, m, sim.Adaptive), nil); err != nil {
+			t.Fatalf("AddStream(fake): %v", err)
+		}
+		if _, err := wallEng.AddStream(id, newDetector(t, m, sim.Adaptive), nil); err != nil {
+			t.Fatalf("AddStream(wall): %v", err)
+		}
+	}
+
+	ests, us := synthTrajectory(m, 7, steps)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < streams; i++ {
+			id := fmt.Sprintf("c%d", i)
+			fd, err := fakeEng.Submit(id, ests[s], us[s])
+			if err != nil {
+				t.Fatalf("Submit(fake, %s, step %d): %v", id, s, err)
+			}
+			wd, err := wallEng.Submit(id, ests[s], us[s])
+			if err != nil {
+				t.Fatalf("Submit(wall, %s, step %d): %v", id, s, err)
+			}
+			if !decisionsEqual(fd, wd) {
+				t.Fatalf("step %d stream %s: fake-clock decision %+v != wall-clock %+v", s, id, fd, wd)
+			}
+		}
+	}
+	if err := fakeEng.Close(); err != nil {
+		t.Fatalf("Close(fake): %v", err)
+	}
+	if err := wallEng.Close(); err != nil {
+		t.Fatalf("Close(wall): %v", err)
+	}
+
+	// Telemetry reproducibility: every batch latency came from the fake
+	// clock, so the histograms are an exact function of the batch count.
+	var count int64
+	var sum float64
+	for i := 0; i < 2; i++ { // streams=3, ShardSize=2 -> exactly 2 shards
+		h := reg.Histogram(obs.FleetShardBatchMetric(i), "", obs.FleetBatchLatencyBuckets)
+		count += h.Count()
+		sum += h.Sum()
+	}
+	if batches := reg.Counter(obs.MetricFleetBatches, "").Value(); count != batches {
+		t.Fatalf("histogram observations %d != batch counter %d", count, batches)
+	}
+	if count == 0 {
+		t.Fatal("no batch latencies observed")
+	}
+	if want := float64(count) * 1000; sum != want {
+		t.Fatalf("batch latency sum = %vµs, want exactly %vµs (1000µs per batch from the injected clock)", sum, want)
+	}
+}

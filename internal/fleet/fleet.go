@@ -75,6 +75,12 @@ type Config struct {
 	// batch counters, run-queue depth, per-shard batch latency). Nil
 	// disables instrumentation at the usual one-pointer-check cost.
 	Observer *obs.Observer
+	// Clock supplies the timestamps for latency telemetry; nil uses the
+	// wall clock. It exists so the engine's only time source is injectable:
+	// detector decisions never read it (the wallclock analyzer enforces
+	// this), and tests can pin it to prove decisions are a pure function of
+	// the sample stream.
+	Clock func() time.Time
 }
 
 // Engine is a multi-tenant detection front-end. Register streams with
@@ -85,6 +91,7 @@ type Config struct {
 type Engine struct {
 	cfg Config
 	o   *obs.Observer
+	now func() time.Time // telemetry clock (Config.Clock); never feeds decisions
 
 	mu      sync.RWMutex // guards the stream/shard registry
 	closed  atomic.Bool  // set once by Close; checked lock-free on ingest
@@ -115,9 +122,14 @@ func New(cfg Config) *Engine {
 	if cfg.MaxBatch <= 0 || cfg.MaxBatch > cfg.ShardSize {
 		cfg.MaxBatch = cfg.ShardSize
 	}
+	if cfg.Clock == nil {
+		//awdlint:allow wallclock -- the engine's single wall-clock entry point: the default telemetry clock when none is injected; decisions never read it
+		cfg.Clock = time.Now
+	}
 	e := &Engine{
 		cfg:     cfg,
 		o:       cfg.Observer,
+		now:     cfg.Clock,
 		streams: make(map[string]*Stream),
 		open:    make(map[string]*shard),
 		runq:    newRunQueue(),
@@ -473,6 +485,7 @@ func (s *Stream) enqueue(estimate, appliedU mat.Vec, syncWait bool) error {
 	}
 	s.syncWait = syncWait
 	s.sh.wake(s)
+	//awdlint:allow lockflow -- token hand-off by design: the shard worker releases s.tok after deciding this sample (see stepBatch), which is the engine's backpressure
 	return nil
 }
 
@@ -560,7 +573,7 @@ func (sh *shard) process() {
 func (sh *shard) stepBatch(ss []*Stream) {
 	var start time.Time
 	if sh.eng.o.Enabled() {
-		start = time.Now()
+		start = sh.eng.now()
 	}
 	k := len(ss)
 	sh.xb.Resize(k)
@@ -643,7 +656,7 @@ func (sh *shard) stepBatch(ss []*Stream) {
 			sh.mAlarms.Add(alarms)
 		}
 		sh.eng.mBatches.Inc()
-		sh.batchUS.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+		sh.batchUS.Observe(float64(sh.eng.now().Sub(start)) / float64(time.Microsecond))
 	}
 }
 

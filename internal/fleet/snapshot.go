@@ -60,6 +60,7 @@ func (e *Engine) Snapshot(enc *state.Encoder) error {
 	for _, s := range streams {
 		enc.String(s.id)
 		enc.U64(s.steps)
+		//awdlint:allow lockflow -- encoding under e.mu and the stream tokens IS the consistency cut: the quiesce makes the snapshot a between-decisions capture of the whole fleet
 		s.det.Snapshot(enc)
 	}
 	// Shard-shared certificates ride in a skippable section keyed by stream
@@ -88,6 +89,7 @@ func (e *Engine) Snapshot(enc *state.Encoder) error {
 		}
 		entry := enc.Mark()
 		enc.String(s.id)
+		//awdlint:allow lockflow -- same consistency cut as the stream encode above; certificates are shard-shared, so they too must be captured inside the quiesce
 		s.cert.Snapshot(enc)
 		enc.Patch(entry)
 	}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// detOrderScope is the bit-identity perimeter: the packages whose outputs —
+// encoded snapshot bytes (state), wire frames (wire), and detector decision
+// sequences (core, fleet) — must be a pure function of the sample stream.
+// Go map iteration order is deliberately randomized per run, so any
+// order-sensitive work inside a map range in these packages is a latent
+// nondeterminism bug: two identical fleets would emit different snapshot
+// bytes, breaking the restore==never-crashed differential tests and the
+// byte-equality the checkpoint lifecycle depends on.
+var detOrderScope = []string{
+	"repro/internal/state",
+	"repro/internal/fleet",
+	"repro/internal/wire",
+	"repro/internal/core",
+}
+
+// DetOrder forbids order-sensitive statements inside `range` over a map in
+// the snapshot/fleet/wire/core packages. The required shape is the
+// sorted-key idiom the fleet snapshot already uses: range the map only to
+// collect keys (or values) into a slice, sort the slice, then do the real
+// work iterating the slice. Order-insensitive bodies — key collection via
+// self-append, keyed map writes, integer counters and masks, delete — are
+// recognized and allowed; anything whose effect can depend on iteration
+// order (calls, channel sends, float accumulation, last-writer-wins
+// assignments, early returns) is flagged.
+var DetOrder = &analysis.Analyzer{
+	Name:  "detorder",
+	Doc:   "forbids order-sensitive work inside map iteration in internal/{state,fleet,wire,core}; collect keys into a slice and sort first (the fleet snapshot idiom)",
+	Match: matchAny(detOrderScope),
+	Run:   runDetOrder,
+}
+
+func runDetOrder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				return true
+			}
+			c := &detOrderChecker{pass: pass, locals: map[types.Object]bool{}}
+			c.noteLocal(rs.Key)
+			c.noteLocal(rs.Value)
+			for _, st := range rs.Body.List {
+				c.stmt(st)
+			}
+			// Nested map ranges inside this body are re-visited by the outer
+			// Inspect and judged with their own checker.
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// detOrderChecker classifies the statements of one map-range body.
+type detOrderChecker struct {
+	pass *analysis.Pass
+	// locals holds the loop variables and every object defined inside the
+	// body; their values die with the iteration, so writes to them cannot
+	// leak iteration order out of the loop by themselves.
+	locals map[types.Object]bool
+}
+
+func (c *detOrderChecker) noteLocal(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		c.locals[obj] = true
+	}
+}
+
+// detOrderBuiltins are side-effect-free (or commutative, for delete) calls
+// that an order-insensitive body may make.
+var detOrderBuiltins = map[string]bool{
+	"append": true, "len": true, "cap": true, "delete": true,
+	"make": true, "new": true, "min": true, "max": true,
+}
+
+func (c *detOrderChecker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		c.assign(st)
+	case *ast.IncDecStmt:
+		// x++ applies the identical step each iteration; any interleaving
+		// yields the same final value.
+		c.exprCalls(st.X)
+	case *ast.IfStmt:
+		c.stmt(st.Init)
+		c.exprCalls(st.Cond)
+		c.stmt(st.Body)
+		c.stmt(st.Else)
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			c.stmt(inner)
+		}
+	case *ast.SendStmt:
+		c.exprCalls(st.Chan)
+		c.exprCalls(st.Value)
+		c.pass.Reportf(st.Arrow, "channel send inside map iteration: delivery order follows the map's randomized iteration order; collect and sort the keys first")
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			c.exprCalls(call)
+			return
+		}
+		c.pass.Reportf(st.Pos(), "order-sensitive statement inside map iteration; collect the keys, sort them, and iterate the slice (the fleet snapshot idiom)")
+	case *ast.BranchStmt:
+		// break/continue are fine by themselves; whatever made them order-
+		// sensitive (an assignment, a call) is flagged where it happens.
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.exprCalls(r)
+		}
+		if len(st.Results) > 0 {
+			c.pass.Reportf(st.Return, "return inside map iteration selects an element in randomized map order; iterate sorted keys to make the selection deterministic")
+		}
+	case *ast.RangeStmt:
+		if isMapType(c.pass.TypesInfo.TypeOf(st.X)) {
+			return // judged by its own checker
+		}
+		c.exprCalls(st.X)
+		c.noteLocal(st.Key)
+		c.noteLocal(st.Value)
+		c.stmt(st.Body)
+	case *ast.ForStmt:
+		c.stmt(st.Init)
+		c.exprCalls(st.Cond)
+		c.stmt(st.Post)
+		c.stmt(st.Body)
+	case *ast.SwitchStmt:
+		c.stmt(st.Init)
+		c.exprCalls(st.Tag)
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.exprCalls(e)
+				}
+				for _, inner := range cl.Body {
+					c.stmt(inner)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, sp := range gd.Specs {
+			if vs, ok := sp.(*ast.ValueSpec); ok {
+				for _, name := range vs.Names {
+					c.noteLocal(name)
+				}
+				for _, v := range vs.Values {
+					c.exprCalls(v)
+				}
+			}
+		}
+	default:
+		c.pass.Reportf(s.Pos(), "order-sensitive statement inside map iteration; collect the keys, sort them, and iterate the slice (the fleet snapshot idiom)")
+	}
+}
+
+// assign judges one assignment inside the map-range body.
+func (c *detOrderChecker) assign(st *ast.AssignStmt) {
+	for _, r := range st.Rhs {
+		c.exprCalls(r)
+	}
+	if st.Tok == token.DEFINE {
+		for _, l := range st.Lhs {
+			c.noteLocal(l)
+		}
+		return
+	}
+	for i, l := range st.Lhs {
+		c.target(st, l, i)
+	}
+}
+
+// target judges one assignment destination.
+func (c *detOrderChecker) target(st *ast.AssignStmt, l ast.Expr, i int) {
+	if id, ok := l.(*ast.Ident); ok {
+		if id.Name == "_" || c.locals[c.pass.TypesInfo.Uses[id]] {
+			return
+		}
+	}
+	if ix, ok := l.(*ast.IndexExpr); ok && isMapType(c.pass.TypesInfo.TypeOf(ix.X)) {
+		// Keyed map writes commute across the distinct keys of one range.
+		return
+	}
+	if st.Tok == token.ASSIGN {
+		// x = append(x, ...) is the collect half of the sorted-key idiom.
+		if i < len(st.Rhs) && isSelfAppend(l, st.Rhs[i]) {
+			return
+		}
+		// Idempotent writes (RHS independent of the iteration) are fine;
+		// anything fed by the loop variables is last-writer-wins.
+		rhs := st.Rhs
+		if len(st.Lhs) == len(st.Rhs) {
+			rhs = st.Rhs[i : i+1]
+		}
+		for _, r := range rhs {
+			if c.usesLocal(r) {
+				c.pass.Reportf(st.TokPos, "assignment to %s takes its value from the map iteration: the survivor is whichever key the randomized order visits last", types.ExprString(l))
+				return
+			}
+		}
+		if _, ok := l.(*ast.Ident); ok {
+			return
+		}
+		// Non-ident, non-map destinations (slice index, dereference) written
+		// per iteration are order-sensitive even with loop-independent RHS
+		// only when indexed by loop state — which usesLocal caught above —
+		// so a constant write to a fixed cell is idempotent too.
+		return
+	}
+	// Compound assignment: integer accumulation with commutative operators
+	// is order-insensitive; float accumulation is not (rounding makes + and
+	// * non-associative), and shifts/division/modulo are not commutative.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		if isFloat(c.pass.TypesInfo.TypeOf(l)) {
+			c.pass.Reportf(st.TokPos, "floating-point accumulation across map iteration: rounding makes the result depend on the randomized order; iterate sorted keys")
+			return
+		}
+		return
+	default:
+		c.pass.Reportf(st.TokPos, "%s inside map iteration is order-sensitive; collect and sort the keys first", st.Tok)
+	}
+}
+
+// isSelfAppend reports whether rhs is append(lhs, ...).
+func isSelfAppend(l, r ast.Expr) bool {
+	call, ok := r.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == types.ExprString(l)
+}
+
+// usesLocal reports whether e reads any loop variable or body-local object.
+func (c *detOrderChecker) usesLocal(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.locals[c.pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprCalls flags every non-builtin, non-conversion call inside e: a call's
+// effects (encoding, I/O, telemetry) occur once per iteration, in map order.
+func (c *detOrderChecker) exprCalls(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				if _, builtin := obj.(*types.Builtin); builtin && detOrderBuiltins[id.Name] {
+					return true
+				}
+			}
+		}
+		c.pass.Reportf(call.Pos(), "call to %s inside map iteration: its effects happen in the map's randomized order; collect and sort the keys first", types.ExprString(call.Fun))
+		return true
+	})
+}

@@ -53,6 +53,38 @@ func TestErrFlowClean(t *testing.T) {
 	analysistest.Run(t, ErrFlow, "repro/internal/lint/testdata/errflow", "errflow/clean")
 }
 
+func TestDetOrderFlagged(t *testing.T) {
+	analysistest.Run(t, DetOrder, "repro/internal/lint/testdata/detorder", "detorder/flagged")
+}
+
+func TestDetOrderClean(t *testing.T) {
+	analysistest.Run(t, DetOrder, "repro/internal/lint/testdata/detorder", "detorder/clean")
+}
+
+func TestWallClockFlagged(t *testing.T) {
+	analysistest.Run(t, WallClock, "repro/internal/lint/testdata/wallclock", "wallclock/flagged")
+}
+
+func TestWallClockClean(t *testing.T) {
+	analysistest.Run(t, WallClock, "repro/internal/lint/testdata/wallclock", "wallclock/clean")
+}
+
+func TestLockFlowFlagged(t *testing.T) {
+	analysistest.Run(t, LockFlow, "repro/internal/lint/testdata/lockflow", "lockflow/flagged")
+}
+
+func TestLockFlowClean(t *testing.T) {
+	analysistest.Run(t, LockFlow, "repro/internal/lint/testdata/lockflow", "lockflow/clean")
+}
+
+func TestStatePairFlagged(t *testing.T) {
+	analysistest.Run(t, StatePair, "repro/internal/lint/testdata/statepair", "statepair/flagged")
+}
+
+func TestStatePairClean(t *testing.T) {
+	analysistest.Run(t, StatePair, "repro/internal/lint/testdata/statepair", "statepair/clean")
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"floateq", "nopanic"})
 	if err != nil || len(as) != 2 || as[0] != FloatEq || as[1] != NoPanic {

@@ -1,6 +1,9 @@
 package loader
 
 import (
+	"go/ast"
+	"go/types"
+	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -44,6 +47,172 @@ func TestLoadResolvesCrossPackageTypes(t *testing.T) {
 	obj := pkgs[0].Types.Scope().Lookup("System")
 	if obj == nil {
 		t.Fatal("missing core.System")
+	}
+}
+
+// writeModule materializes a throwaway module in a temp dir so the loader
+// can be pinned on package shapes the repo itself doesn't contain. Files
+// maps base names to contents; a minimal go.mod is added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module tmpmod\n\ngo 1.22\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadGenericsPackage pins the loader on type-parameterized code: the
+// parser must accept the syntax and go/types must resolve instantiations,
+// since analyzers read TypesInfo.Uses/Types for generic calls like any
+// other.
+func TestLoadGenericsPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ring.go": `package ring
+
+// Ring is a generic fixed-capacity buffer.
+type Ring[T any] struct {
+	buf []T
+}
+
+func New[T any](n int) *Ring[T] { return &Ring[T]{buf: make([]T, 0, n)} }
+
+func (r *Ring[T]) Push(v T) { r.buf = append(r.buf, v) }
+
+func Sum[T ~int | ~int64](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+var used = Sum([]int{1, 2, 3})
+`,
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	obj := p.Types.Scope().Lookup("Ring")
+	if obj == nil {
+		t.Fatal("missing generic type Ring")
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.TypeParams().Len() != 1 {
+		t.Fatalf("Ring is not a one-parameter generic type: %v", obj.Type())
+	}
+	// The instantiation Sum([]int{...}) must have resolved: its ident maps
+	// to the generic object and the call expression to a concrete int.
+	found := false
+	for _, f := range p.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "Sum" {
+				tv := p.TypesInfo.Types[ast.Expr(call)]
+				if b, ok := tv.Type.(*types.Basic); !ok || b.Kind() != types.Int {
+					t.Errorf("Sum instantiation has type %v, want int", tv.Type)
+				}
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Error("no Sum call found in syntax")
+	}
+}
+
+// TestLoadBuildTaggedPackage pins the loader's tag awareness: Load follows
+// `go list` GoFiles, so a file excluded by its build constraint must be
+// neither parsed nor type-checked — the excluded file here would fail
+// type-checking (and redeclare Mode) if it were included.
+func TestLoadBuildTaggedPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"mode_default.go": `package mode
+
+const Mode = "default"
+`,
+		"mode_special.go": `//go:build special
+
+package mode
+
+const Mode = "special"
+
+var _ = undefinedSymbol
+`,
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Syntax) != 1 {
+		t.Fatalf("got %d packages / %d files, want 1/1 (tagged file excluded)", len(pkgs), len(pkgs[0].Syntax))
+	}
+	obj := pkgs[0].Types.Scope().Lookup("Mode")
+	if obj == nil {
+		t.Fatal("missing Mode")
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Val().String() != `"default"` {
+		t.Fatalf("Mode = %v, want \"default\"", obj)
+	}
+}
+
+// TestEnvCheckDirGenerics pins the analysistest path (CheckDir) on generic
+// testdata: analyzers must be able to run over type-parameterized fixture
+// packages.
+func TestEnvCheckDirGenerics(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+var lengths = Map([]string{"a", "bb"}, func(s string) int { return len(s) })
+`
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := env.CheckDir("example/fixture", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("Map") == nil {
+		t.Error("missing generic func Map")
+	}
+	v := pkg.Types.Scope().Lookup("lengths")
+	if v == nil {
+		t.Fatal("missing lengths")
+	}
+	sl, ok := v.Type().(*types.Slice)
+	if !ok {
+		t.Fatalf("lengths has type %v, want []int", v.Type())
+	}
+	if b, ok := sl.Elem().(*types.Basic); !ok || b.Kind() != types.Int {
+		t.Fatalf("lengths element type %v, want int", sl.Elem())
 	}
 }
 

@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// lockFlowScope is where the repo actually holds mutexes on hot paths: the
+// sharded fleet engine and the wire server. Both use short critical sections
+// by design (ROADMAP: "no blocking work under shard locks"); a channel send,
+// a network write, or a whole-fleet Snapshot under a shard mutex turns a
+// bounded batch tick into an unbounded stall for every stream on the shard.
+var lockFlowScope = []string{
+	"repro/internal/fleet",
+	"repro/internal/wire",
+}
+
+// LockFlow checks two properties of every function in fleet/wire, each judged
+// per function body (closures are judged independently — a lock taken in a
+// goroutine body is that body's obligation, not its parent's):
+//
+//  1. Balance: a mutex locked in a body is unlocked on every return path,
+//     either explicitly before the return or by a defer. A cross-function
+//     hand-off (locking in one method, unlocking in another, as the fleet's
+//     per-stream token does) is a real design and must carry an
+//     //awdlint:allow lockflow -- <reason> directive at the return.
+//  2. No blocking work under a lock: while any mutex is held and not yet
+//     released, the body must not send on a channel, perform network I/O,
+//     or call Snapshot/Restore. Quiesce barriers that encode under a lock
+//     on purpose (the wire server's checkpoint) are allow-listed.
+var LockFlow = &analysis.Analyzer{
+	Name:  "lockflow",
+	Doc:   "every Lock needs an Unlock on all return paths, and no channel send, network I/O, or Snapshot/Restore may run while a fleet/wire mutex is held",
+	Match: matchAny(lockFlowScope),
+	Run:   runLockFlow,
+}
+
+func runLockFlow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockFlow(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockFlow(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockState tracks, for one function body, which mutexes are currently held
+// (keyed by the receiver expression's source text) and which of those have a
+// pending deferred release. A defer-released lock is still "held" for the
+// blocking-work rule — the critical section extends to function exit — but
+// satisfied for the balance rule.
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (ls *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range ls.held {
+		c.held[k] = v
+	}
+	for k := range ls.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// leaked returns the receivers still locked with no deferred release, in a
+// deterministic order.
+func (ls *lockState) leaked() []string {
+	var out []string
+	for recv := range ls.held {
+		if !ls.deferred[recv] {
+			out = append(out, recv)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func checkLockFlow(pass *analysis.Pass, body *ast.BlockStmt) {
+	ls := newLockState()
+	walkLockFlow(pass, body, ls)
+	// A body whose last statement is a return already reported there; the
+	// closing brace is unreachable.
+	if n := len(body.List); n > 0 {
+		if _, ok := body.List[n-1].(*ast.ReturnStmt); ok {
+			return
+		}
+	}
+	for _, recv := range ls.leaked() {
+		pass.Reportf(body.Rbrace, "function ends with %s still locked: unlock on every path or defer the unlock", recv)
+	}
+}
+
+// walkLockFlow interprets stmts linearly, forking the state at branches.
+// Branch joins are approximated optimistically (the fall-through state is the
+// pre-branch state): a lock acquired inside one arm of an if and leaked past
+// its return is caught inside that arm, which is where the fix belongs.
+func walkLockFlow(pass *analysis.Pass, s ast.Stmt, ls *lockState) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			walkLockFlow(pass, inner, ls)
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, op, ok := lockOp(pass, call); ok {
+				applyLockOp(ls, recv, op, call.Pos())
+				return
+			}
+		}
+		checkUnderLock(pass, st, ls)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(), or defer func(){ ...; mu.Unlock(); ... }().
+		if recv, op, ok := lockOp(pass, st.Call); ok && op == "Unlock" {
+			ls.deferred[recv] = true
+			return
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			for recv := range deferredUnlocks(pass, fl.Body) {
+				ls.deferred[recv] = true
+			}
+		}
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		checkUnderLock(pass, s, ls)
+	case *ast.ReturnStmt:
+		checkUnderLock(pass, st, ls)
+		for _, recv := range ls.leaked() {
+			pass.Reportf(st.Return, "return with %s still locked: unlock before returning or defer the unlock (cross-function hand-offs need //awdlint:allow lockflow -- <reason>)", recv)
+		}
+	case *ast.IfStmt:
+		walkLockFlow(pass, st.Init, ls)
+		checkUnderLock(pass, st.Cond, ls)
+		walkLockFlow(pass, st.Body, ls.clone())
+		if st.Else != nil {
+			walkLockFlow(pass, st.Else, ls.clone())
+		}
+	case *ast.ForStmt:
+		walkLockFlow(pass, st.Init, ls)
+		checkUnderLock(pass, st.Cond, ls)
+		inner := ls.clone()
+		walkLockFlow(pass, st.Body, inner)
+		walkLockFlow(pass, st.Post, inner)
+	case *ast.RangeStmt:
+		checkUnderLock(pass, st.X, ls)
+		walkLockFlow(pass, st.Body, ls.clone())
+	case *ast.SwitchStmt:
+		walkLockFlow(pass, st.Init, ls)
+		checkUnderLock(pass, st.Tag, ls)
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				arm := ls.clone()
+				for _, inner := range cl.Body {
+					walkLockFlow(pass, inner, arm)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		walkLockFlow(pass, st.Init, ls)
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				arm := ls.clone()
+				for _, inner := range cl.Body {
+					walkLockFlow(pass, inner, arm)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				arm := ls.clone()
+				walkLockFlow(pass, cl.Comm, arm)
+				for _, inner := range cl.Body {
+					walkLockFlow(pass, inner, arm)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs without this function's locks and is judged
+		// as its own body by runLockFlow's Inspect; only the call's arguments
+		// evaluate here, under the lock.
+		for _, a := range st.Call.Args {
+			checkUnderLock(pass, a, ls)
+		}
+	case *ast.LabeledStmt:
+		walkLockFlow(pass, st.Stmt, ls)
+	default:
+		checkUnderLock(pass, s, ls)
+	}
+}
+
+// applyLockOp mutates the lock state for one mu.Lock()/mu.Unlock() call.
+func applyLockOp(ls *lockState, recv, op string, pos token.Pos) {
+	switch op {
+	case "Lock":
+		ls.held[recv] = pos
+	case "Unlock":
+		delete(ls.held, recv)
+		delete(ls.deferred, recv)
+	}
+}
+
+// lockOp reports whether call is recv.Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex (or a type embedding one), returning the receiver's
+// source text and the op normalized to Lock/Unlock.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	var norm string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		norm = "Lock"
+	case "Unlock", "RUnlock":
+		norm = "Unlock"
+	default:
+		return "", "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), norm, true
+}
+
+// deferredUnlocks collects the receivers unlocked anywhere inside a deferred
+// closure body (the fleet snapshot releases all stream tokens this way).
+func deferredUnlocks(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, op, ok := lockOp(pass, call); ok && op == "Unlock" {
+				out[recv] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockedCalls are methods that must not run while a fleet/wire mutex is
+// held: whole-tree encodes/decodes hold the lock for O(fleet) work.
+var blockedCalls = map[string]bool{"Snapshot": true, "Restore": true}
+
+// netPkgs are packages whose calls perform (or can perform) network I/O.
+var netPkgs = map[string]bool{"net": true, "net/http": true}
+
+// checkUnderLock scans one statement or expression for blocking work while
+// ls.held is non-empty. FuncLit bodies are not descended: a closure's body
+// executes when called, not where written, and is judged separately.
+func checkUnderLock(pass *analysis.Pass, n ast.Node, ls *lockState) {
+	if n == nil || len(ls.held) == 0 {
+		return
+	}
+	lockNames := ls.leakedOrHeld()
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(x.Arrow, "channel send while %s is held: a blocked receiver stalls every caller waiting on the lock; buffer the value and send after unlocking", lockNames)
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if _, _, isLock := lockOp(pass, x); isLock {
+					return true
+				}
+				if blockedCalls[sel.Sel.Name] {
+					pass.Reportf(x.Pos(), "%s called while %s is held: whole-tree encode/decode under a shard or engine mutex stalls every stream behind it (quiesce barriers need //awdlint:allow lockflow -- <reason>)", sel.Sel.Name, lockNames)
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && netPkgs[pn.Imported().Path()] {
+						pass.Reportf(x.Pos(), "network call %s.%s while %s is held: I/O latency becomes lock hold time", id.Name, sel.Sel.Name, lockNames)
+						return true
+					}
+				}
+				// Method calls on net types (conn.Write, rw.WriteString on a
+				// net.Conn) — look at the receiver's type package.
+				if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.IsValue() {
+					if isNetType(tv.Type) {
+						pass.Reportf(x.Pos(), "network I/O (%s.%s) while %s is held: I/O latency becomes lock hold time", types.ExprString(sel.X), sel.Sel.Name, lockNames)
+						return true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// leakedOrHeld renders the held set for diagnostics, deterministically.
+func (ls *lockState) leakedOrHeld() string {
+	var names []string
+	for recv := range ls.held {
+		names = append(names, recv)
+	}
+	sortStrings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// isNetType reports whether t (or its pointee) is declared in package net.
+func isNetType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return netPkgs[n.Obj().Pkg().Path()]
+}

@@ -9,9 +9,12 @@ import (
 	"repro/internal/lint/loader"
 )
 
-// Suite returns every awdlint analyzer in deterministic order.
+// Suite returns every awdlint analyzer in deterministic (alphabetical) order.
 func Suite() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ErrFlow, FloatEq, NoPanic, ObsGuard}
+	return []*analysis.Analyzer{
+		DetOrder, ErrFlow, FloatEq, LockFlow,
+		NoPanic, ObsGuard, StatePair, WallClock,
+	}
 }
 
 // ByName resolves a subset of the suite; unknown names are an error.

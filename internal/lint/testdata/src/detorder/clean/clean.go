@@ -1,0 +1,68 @@
+// Package detorder (clean) holds the order-insensitive map-iteration idioms
+// the detorder analyzer must stay silent on.
+package detorder
+
+import "sort"
+
+func use(k string, v int) {}
+
+// The sorted-key idiom the fleet snapshot uses: the range only collects,
+// the real work iterates the sorted slice.
+func sortedKeys(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		use(k, m[k])
+	}
+}
+
+// Keyed map writes commute across the distinct keys of one range.
+func mapCopy(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Integer counters and commutative folds are order-insensitive.
+func counters(m map[string]int) (n, total, mask int) {
+	for _, v := range m {
+		n++
+		total += v
+		mask |= v
+	}
+	return n, total, mask
+}
+
+// Locals defined inside the body die with the iteration.
+func bodyLocals(m map[string]int, dst map[string]int) {
+	for k, v := range m {
+		doubled := v * 2
+		dst[k] = doubled
+	}
+}
+
+// delete and the other builtin calls are allowed.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// A bare return (no results) selects nothing; break/continue are control
+// only.
+func existence(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			continue
+		}
+		found = true
+		break
+	}
+	return found
+}

@@ -1,0 +1,70 @@
+// Package detorder is awdlint testdata: every order-sensitive construct
+// inside a map range below must be flagged exactly where the wants say.
+package detorder
+
+func sink(k string, v int) {}
+
+// Calls run once per iteration, in randomized order.
+func callInLoop(m map[string]int) {
+	for k, v := range m {
+		sink(k, v) // want "call to sink inside map iteration"
+	}
+}
+
+// Sends deliver in randomized order.
+func sendInLoop(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside map iteration"
+	}
+}
+
+// Returning from inside the range picks a random element.
+func returnInLoop(m map[string]int) string {
+	for k := range m {
+		return k // want "return inside map iteration selects an element in randomized map order"
+	}
+	return ""
+}
+
+// Float accumulation is non-associative: the sum depends on visit order.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation across map iteration"
+	}
+	return sum
+}
+
+// Plain assignment keeps whichever key the randomized order visits last.
+func lastWriter(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want "assignment to last takes its value from the map iteration"
+	}
+	return last
+}
+
+// Division is neither commutative nor associative.
+func divAccum(m map[string]int) int {
+	q := 1 << 20
+	for _, v := range m {
+		q /= v // want "/= inside map iteration is order-sensitive"
+	}
+	return q
+}
+
+// The allow directive covers its own line and the next.
+func suppressed(m map[string]int) {
+	for k, v := range m {
+		//awdlint:allow detorder -- testdata: sink is order-insensitive by construction here
+		sink(k, v)
+	}
+}
+
+// A reasonless directive is invalid and must not suppress.
+func reasonlessDirectiveDoesNotSuppress(m map[string]int) {
+	for k, v := range m {
+		//awdlint:allow detorder
+		sink(k, v) // want "call to sink inside map iteration"
+	}
+}

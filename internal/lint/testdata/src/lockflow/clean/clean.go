@@ -1,0 +1,83 @@
+// Package lockflow (clean) holds the lock disciplines the lockflow analyzer
+// must stay silent on.
+package lockflow
+
+import "sync"
+
+type engine struct {
+	mu      sync.Mutex
+	tokens  []*sync.Mutex
+	pending []int
+}
+
+type codec struct{}
+
+func (codec) Snapshot() {}
+
+// The canonical shape: defer pairs the unlock with every return path.
+func deferred(e *engine, stop bool) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if stop {
+		return 0
+	}
+	return len(e.pending)
+}
+
+// Explicit unlocks on every path balance too.
+func explicit(e *engine, stop bool) int {
+	e.mu.Lock()
+	if stop {
+		e.mu.Unlock()
+		return 0
+	}
+	n := len(e.pending)
+	e.mu.Unlock()
+	return n
+}
+
+// Copy under the lock, do the blocking work after releasing it.
+func sendAfterUnlock(e *engine, ch chan int) {
+	e.mu.Lock()
+	n := len(e.pending)
+	e.mu.Unlock()
+	ch <- n
+}
+
+// Snapshot outside the critical section is the required shape.
+func snapshotAfterUnlock(e *engine, c codec) {
+	e.mu.Lock()
+	e.pending = e.pending[:0]
+	e.mu.Unlock()
+	c.Snapshot()
+}
+
+// A deferred closure that releases a batch of locks counts as the release
+// (the fleet snapshot's quiesce uses this shape).
+func batchRelease(e *engine) {
+	for _, tok := range e.tokens {
+		tok.Lock()
+	}
+	defer func() {
+		for _, tok := range e.tokens {
+			tok.Unlock()
+		}
+	}()
+	e.pending = e.pending[:0]
+}
+
+// A goroutine body runs without the spawner's locks; its send is not
+// charged to them.
+func spawnWorker(e *engine, ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// The empty critical section used as a drain barrier is balanced.
+func drainBarrier(rw *sync.RWMutex) {
+	rw.Lock()
+	rw.Unlock()
+}

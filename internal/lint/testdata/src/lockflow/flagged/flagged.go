@@ -1,0 +1,77 @@
+// Package lockflow is awdlint testdata: every lock-discipline violation
+// below must be flagged exactly where the wants say.
+package lockflow
+
+import (
+	"net"
+	"sync"
+)
+
+type engine struct {
+	mu      sync.Mutex
+	pending []int
+}
+
+type codec struct{}
+
+func (codec) Snapshot() {}
+func (codec) Restore()  {}
+
+// A return path that skips the unlock leaks the lock.
+func leakOnEarlyReturn(e *engine, stop bool) {
+	e.mu.Lock()
+	if stop {
+		return // want "return with e.mu still locked"
+	}
+	e.mu.Unlock()
+}
+
+// A body that simply never unlocks is reported at its closing brace.
+func leakToEnd(e *engine) {
+	e.mu.Lock()
+	e.pending = nil
+} // want "function ends with e.mu still locked"
+
+// A channel send under the lock turns a slow receiver into lock hold time.
+func sendUnderLock(e *engine, ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ch <- len(e.pending) // want "channel send while e.mu is held"
+}
+
+// Whole-tree encode under a mutex stalls everything behind it.
+func snapshotUnderLock(e *engine, c codec) {
+	e.mu.Lock()
+	c.Snapshot() // want "Snapshot called while e.mu is held"
+	e.mu.Unlock()
+}
+
+// So does decode.
+func restoreUnderLock(e *engine, c codec) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c.Restore() // want "Restore called while e.mu is held"
+}
+
+// Network I/O latency becomes lock hold time.
+func dialUnderLock(e *engine) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return net.Dial("tcp", "localhost:0") // want `network call net.Dial while e.mu is held`
+}
+
+// Cross-function hand-offs are a real design, but must be declared.
+func handOff(e *engine) {
+	e.mu.Lock()
+	//awdlint:allow lockflow -- testdata: token hand-off, the worker releases it
+	return
+}
+
+// RLock leaks are the same defect as Lock leaks.
+func rlockLeak(rw *sync.RWMutex, stop bool) {
+	rw.RLock()
+	if stop {
+		return // want `return with rw still locked`
+	}
+	rw.RUnlock()
+}

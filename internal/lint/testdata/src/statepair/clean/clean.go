@@ -1,0 +1,37 @@
+// Package statepair (clean) holds the snapshot symmetries the statepair
+// analyzer must stay silent on.
+package statepair
+
+import "repro/internal/state"
+
+const roundVersion = 1
+
+// A complete pair: Snapshot and Restore declared on the same type, one
+// Begin and one Expect on the same section tag.
+type Round struct {
+	steps uint64
+}
+
+func (r *Round) Snapshot(enc *state.Encoder) error {
+	enc.Begin(state.TagEWMA, roundVersion)
+	enc.U64(r.steps)
+	return nil
+}
+
+func (r *Round) Restore(dec *state.Decoder) error {
+	dec.Expect(state.TagEWMA, roundVersion)
+	r.steps = dec.U64()
+	return dec.Err()
+}
+
+// Read-side snapshots (the obs registry's shape) take no encoder and are
+// outside the container format.
+type gauges struct{}
+
+func (gauges) Snapshot() map[string]float64 { return nil }
+
+// Name-keyed restores (the wire client's shape) take no decoder and are
+// outside it too.
+type client struct{}
+
+func (client) Restore(name string) error { return nil }

@@ -1,0 +1,60 @@
+// Package statepair is awdlint testdata: every snapshot-symmetry violation
+// below must be flagged exactly where the wants say.
+package statepair
+
+import "repro/internal/state"
+
+// A snapshot no code can restore is dead bytes.
+type OneWayOut struct{}
+
+func (OneWayOut) Snapshot(enc *state.Encoder) error { return nil } // want `type OneWayOut declares Snapshot\(\*state.Encoder\) but no Restore\(\*state.Decoder\)`
+
+// A restore with no producer cannot be differentially tested.
+type OneWayIn struct{}
+
+func (*OneWayIn) Restore(dec *state.Decoder) error { return nil } // want `type OneWayIn declares Restore\(\*state.Decoder\) but no Snapshot\(\*state.Encoder\)`
+
+// Paired halves are fine even with extra parameters (the fleet engine's
+// Restore takes a MakeStream too) — no diagnostics for this type.
+type Paired struct{}
+
+func (*Paired) Snapshot(enc *state.Encoder) error             { return nil }
+func (*Paired) Restore(dec *state.Decoder, strict bool) error { return nil }
+
+// Two Begins on one tag: two components claim the same section.
+func encodeBoth(a, b *Paired, enc *state.Encoder) {
+	enc.Begin(state.TagLogger, 1)
+	enc.Begin(state.TagLogger, 1) // want `duplicate Begin\(state.TagLogger\)`
+}
+
+func decodeOne(dec *state.Decoder) {
+	dec.Expect(state.TagLogger, 1)
+}
+
+// Encoded but never validated: the section cannot be restored.
+func encodeOnly(enc *state.Encoder) {
+	enc.Begin(state.TagWindow, 1) // want `state.TagWindow is encoded \(Begin\) but never validated \(Expect\)`
+}
+
+// Validated but never encoded: the restore path has no producer.
+func decodeOnly(dec *state.Decoder) {
+	dec.Expect(state.TagFixed, 1) // want `state.TagFixed is validated \(Expect\) but never encoded \(Begin\)`
+}
+
+// Literal tags defeat the pairing check and must be named constants.
+func literalTag(enc *state.Encoder) {
+	enc.Begin(0x51, 1) // want `Begin tag must be a state.Tag\* constant`
+}
+
+// Methods named Snapshot/Restore without the codec types are not part of
+// the container format: no diagnostics.
+type readSide struct{}
+
+func (readSide) Snapshot() []int           { return nil }
+func (readSide) Restore(name string) error { return nil }
+
+// The allow directive covers the declaration it precedes.
+type handRolled struct{}
+
+//awdlint:allow statepair -- testdata: restore half lives in a sibling tool by design
+func (handRolled) Snapshot(enc *state.Encoder) error { return nil }

@@ -1,0 +1,29 @@
+// Package wallclock (clean) holds the time-as-data idioms the wallclock
+// analyzer must stay silent on: timestamps arrive as parameters, clocks are
+// injected, and the time package's pure values remain free to use.
+package wallclock
+
+import "time"
+
+// A clock is injected as data; calling it is the caller's declaration that
+// this component may see time.
+type sampler struct {
+	now func() time.Time
+}
+
+func (s *sampler) stamp() time.Time { return s.now() }
+
+// Durations, conversions, and constants are pure values.
+func budgetMicros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// Elapsed time computed from two supplied instants reads no clock.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// Reconstructing an instant from recorded data is replay-safe.
+func fromRecord(sec, nsec int64) time.Time {
+	return time.Unix(sec, nsec)
+}

@@ -1,0 +1,42 @@
+// Package wallclock is awdlint testdata: every ambient time or randomness
+// read below must be flagged exactly where the wants say.
+package wallclock
+
+import (
+	"math/rand" // want "import of math/rand in a decision/codec path"
+	"time"
+)
+
+// Reading the wall clock on a decision path breaks replay.
+func decideNow() int64 {
+	return time.Now().UnixNano() // want "time.Now in a decision/codec path"
+}
+
+// Elapsed-time branching is still a wall-clock read.
+func timedOut(start time.Time, budget time.Duration) bool {
+	return time.Since(start) > budget // want "time.Since in a decision/codec path"
+}
+
+// So is the symmetric form.
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until in a decision/codec path"
+}
+
+// Ambient randomness is flagged at the use too (the import was already).
+func jitter(n int) int {
+	return rand.Intn(n) // want "rand.Intn in a decision/codec path"
+}
+
+// Telemetry sites carry an explicit, reasoned exemption.
+func observedLatency(observe func(time.Duration)) {
+	//awdlint:allow wallclock -- testdata: latency telemetry only, never feeds a decision
+	start := time.Now()
+	//awdlint:allow wallclock -- testdata: closes the measurement above
+	observe(time.Since(start))
+}
+
+// A directive naming a different analyzer must not suppress.
+func wrongDirective() int64 {
+	//awdlint:allow floateq -- testdata: wrong analyzer name
+	return time.Now().UnixNano() // want "time.Now in a decision/codec path"
+}

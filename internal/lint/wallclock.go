@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// wallClockScope covers every package whose outputs must replay bit-identically
+// from a recorded sample stream: the detector decision path (core, detect,
+// estim, deadline, reach), the structured logger whose records are part of the
+// evidence trail, the snapshot codec, and the fleet engine that batches them.
+// Telemetry in these packages may still read wall time, but each such site
+// must carry an explicit //awdlint:allow wallclock -- <reason> directive so
+// the exemption is visible in review and greppable later.
+var wallClockScope = []string{
+	"repro/internal/core",
+	"repro/internal/detect",
+	"repro/internal/logger",
+	"repro/internal/estim",
+	"repro/internal/deadline",
+	"repro/internal/reach",
+	"repro/internal/state",
+	"repro/internal/fleet",
+}
+
+// WallClock forbids ambient wall-clock reads (time.Now, time.Since,
+// time.Until) and ambient randomness (math/rand, math/rand/v2) in decision and
+// codec paths. A detector whose verdicts are a pure function of the sample
+// stream is the premise of the paper's guarantees and of this repo's
+// restore==never-crashed differential tests; a single time.Now on the
+// decision path silently voids both. Code that needs time takes it as data
+// (a sample timestamp, an injected clock); code that needs randomness takes
+// a seeded source as a parameter.
+var WallClock = &analysis.Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbids time.Now/Since/Until and math/rand in decision and codec paths; inject a clock or seeded source, or allow-list telemetry with a reason",
+	Match: matchAny(wallClockScope),
+	Run:   runWallClock,
+}
+
+// wallClockFns are the ambient time readings; other time package members
+// (Duration, Time, Microsecond, ...) are pure values and remain free to use.
+var wallClockFns = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in a decision/codec path: ambient randomness breaks replay determinism; take a seeded source as a parameter", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFns[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s in a decision/codec path: wall-clock readings break replay and restore determinism; inject a clock, or annotate telemetry with //awdlint:allow wallclock -- <reason>", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(), "%s.%s in a decision/codec path: ambient randomness breaks replay determinism; take a seeded source as a parameter", id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/state"
+)
+
+// FuzzFrameRoundTrip drives the frame codec with arbitrary byte streams.
+// The invariants under test:
+//
+//   - readFrame never panics and never over-reads: on success it has
+//     consumed exactly 5+len(payload) bytes, leaving the rest of the
+//     stream intact for the next frame.
+//   - A length prefix beyond MaxFrame is rejected before any allocation.
+//   - Truncated input errors cleanly (io.ErrUnexpectedEOF family), never
+//     blocks or fabricates a frame.
+//   - Whatever readFrame accepts, writeFrame reproduces byte-for-byte —
+//     the codec is its own inverse on the valid subset.
+//   - A frame tagged MsgDecision feeds decodeDecision without panicking,
+//     whatever its payload (the claimed-dims bound must hold).
+func FuzzFrameRoundTrip(f *testing.F) {
+	// Seed with a valid OK frame, a decision frame, a truncated header, an
+	// oversized length prefix, and a length/payload mismatch.
+	var ok bytes.Buffer
+	if err := writeFrame(&ok, MsgOK, []byte("ready")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+
+	enc := state.NewEncoder()
+	enc.I64(7)      // step
+	enc.Int(12)     // window
+	enc.Int(3)      // deadline
+	enc.Bool(true)  // alarm
+	enc.Bool(false) // complementary
+	enc.I64(-1)     // complementary step
+	enc.U32(2)      // dims
+	enc.Int(0)
+	enc.Int(4)
+	var decFrame bytes.Buffer
+	if err := writeFrame(&decFrame, MsgDecision, enc.Bytes()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(decFrame.Bytes())
+
+	f.Add([]byte{3, 0, 0}) // truncated header
+	var huge [5]byte
+	binary.LittleEndian.PutUint32(huge[:4], MaxFrame+1)
+	f.Add(huge[:])                         // oversized length prefix
+	f.Add([]byte{9, 0, 0, 0, MsgOK, 1, 2}) // claims 9 payload bytes, has 2
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			// Rejected input: the error must have surfaced without a frame.
+			if payload != nil {
+				t.Fatalf("readFrame returned payload alongside error %v", err)
+			}
+			return
+		}
+		// Exact-consumption check: success means precisely one header plus
+		// one payload was taken from the stream.
+		consumed := len(data) - r.Len()
+		if want := 5 + len(payload); consumed != want {
+			t.Fatalf("readFrame consumed %d bytes, want %d", consumed, want)
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("readFrame accepted %d-byte payload beyond MaxFrame", len(payload))
+		}
+
+		// Round trip: re-encoding the accepted frame reproduces the input
+		// prefix bit-for-bit.
+		var out bytes.Buffer
+		if err := writeFrame(&out, typ, payload); err != nil {
+			t.Fatalf("writeFrame rejected a frame readFrame accepted: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("round trip mismatch:\n read %x\nwrote %x", data[:consumed], out.Bytes())
+		}
+
+		// Decision payloads must decode or error — never panic, never claim
+		// dims beyond the payload.
+		if typ == MsgDecision {
+			d, err := decodeDecision(state.NewDecoder(payload))
+			if err == nil && len(d.Dims) > len(payload)/8 {
+				t.Fatalf("decoded %d dims from %d payload bytes", len(d.Dims), len(payload))
+			}
+		}
+
+		// A second frame may follow; it must obey the same contract.
+		rest := len(data) - consumed
+		if _, p2, err := readFrame(r); err == nil {
+			if consumed2 := rest - r.Len(); consumed2 != 5+len(p2) {
+				t.Fatalf("second readFrame consumed %d bytes, want %d", consumed2, 5+len(p2))
+			}
+		} else if err != io.EOF && err != io.ErrUnexpectedEOF && rest >= 5 {
+			// Non-EOF failures with a full header present must be the
+			// MaxFrame guard, which precedes allocation.
+			n := binary.LittleEndian.Uint32(data[consumed : consumed+4])
+			if n <= MaxFrame {
+				t.Fatalf("second readFrame failed on in-bound frame: %v", err)
+			}
+		}
+	})
+}

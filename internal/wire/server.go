@@ -227,6 +227,7 @@ func (s *Server) Checkpoint(name string) (string, int, error) {
 		enc.String(sp.strategy.String())
 		enc.Int(sp.fixedWin)
 	}
+	//awdlint:allow lockflow -- quiesce barrier by design: holding ingestMu for the encode is what makes the checkpoint a consistent cut (ingest blocks, nothing is mid-decision)
 	if err := s.eng.Snapshot(enc); err != nil {
 		return "", 0, err
 	}
@@ -307,6 +308,7 @@ func (s *Server) Restore(name string) (int, error) {
 		}
 		specs[sp.id()] = sp
 	}
+	//awdlint:allow lockflow -- restore must rebuild the fleet before any ingest can run; holding ingestMu+mu for the decode is the barrier that guarantees it
 	err = s.eng.Restore(dec, func(id string) (*core.System, func(core.Decision, error), error) {
 		sp, ok := specs[id]
 		if !ok {
