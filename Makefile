@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf bench-fleet bench-serve clean
+.PHONY: check vet lint build test test-race fuzz-smoke bench-obs bench-perf bench-fleet bench-fleet-smoke bench-serve clean
 
 # The full gate: what CI (and every PR) must pass.
 check: vet lint build test-race
@@ -55,6 +55,14 @@ bench-perf:
 # the naive goroutine-per-stream baseline, "after" the sharded batch-kernel
 # fleet engine, so the ratio is the engine's speedup at equal detection
 # semantics (the differential tests pin the two bit-identical).
+# FLEET_MIN_FRAC is the scaling-flatness floor the re-measurement enforces:
+# the largest-stream row (streams=100000) must run at at least this
+# fraction of the 1000-stream rate. The measured ratio on the reference
+# 1-vCPU box is ~0.42–0.45 (the 100000-stream working set is ~300 MB of
+# per-stream detector state, far past every cache level, so each step pays
+# DRAM latency the 1000-stream run never sees); 0.35 leaves noise headroom
+# while still failing the pre-batching engine, which measured ~0.32.
+FLEET_MIN_FRAC ?= 0.35
 bench-fleet:
 	$(GO) test -run '^$$' -bench 'NaiveSteps' -benchmem -benchtime 2s -count 3 ./internal/fleet/ \
 		| $(GO) run ./cmd/awdbench -out BENCH_fleet.json -phase before \
@@ -62,7 +70,21 @@ bench-fleet:
 			-note "naive baseline: one goroutine per stream, channel per sample"
 	$(GO) test -run '^$$' -bench 'FleetSteps' -benchmem -benchtime 2s -count 3 ./internal/fleet/ \
 		| $(GO) run ./cmd/awdbench -out BENCH_fleet.json -phase after \
-			-note "fleet engine: sharded batch-kernel execution (this PR)"
+			-note "fleet engine: sharded batch kernels, batched deadline/slide passes, auto-tuned shards"
+	$(GO) run ./cmd/awdbench -check-flat BENCH_fleet.json -phase after \
+		-base streams=1000 -min-frac $(FLEET_MIN_FRAC)
+
+# Short flatness smoke for CI: two fleet sizes, a few iterations each, into
+# a throwaway ledger, then the same gate at a looser floor (one-shot
+# samples on shared runners are noisier than the committed 3x2s ledger;
+# 20000 streams already leaves every cache level while keeping the setup
+# cost CI-friendly — measured ~0.53 on the reference box).
+FLEET_SMOKE_MIN_FRAC ?= 0.40
+bench-fleet-smoke:
+	$(GO) test -run '^$$' -bench 'FleetSteps/streams=(1000|20000)$$' -benchmem -benchtime 3x ./internal/fleet/ \
+		| $(GO) run ./cmd/awdbench -out /tmp/bench_fleet_smoke.json -phase after -note "CI flatness smoke"
+	$(GO) run ./cmd/awdbench -check-flat /tmp/bench_fleet_smoke.json -phase after \
+		-base streams=1000 -min-frac $(FLEET_SMOKE_MIN_FRAC)
 
 # Re-measure the fleet-server ingest and checkpoint numbers ledgered in
 # BENCH_serve.json. Like BENCH_fleet.json both phases measure the same

@@ -7,10 +7,27 @@
 // preserving whatever the other phase already records — so the "before"
 // numbers measured on the baseline survive every "after" re-measurement.
 //
+// Each section is stamped with the actual commit it was measured at
+// (`git rev-parse --short HEAD`, "unknown" outside a git checkout); the
+// free-form -note context is recorded separately under "note", so the
+// provenance of a ledger row is machine-checkable rather than whatever the
+// Makefile's note string claimed.
+//
 // Usage:
 //
 //	go test -run '^$' -bench X -benchmem -count 3 . | \
 //	    go run ./cmd/awdbench -out BENCH_perf.json -phase after -note "this PR"
+//
+// A second mode gates scaling flatness instead of recording numbers:
+//
+//	go run ./cmd/awdbench -check-flat BENCH_fleet.json -phase after \
+//	    -base streams=1000 -min-frac 0.35
+//
+// reads the named ledger and fails (exit 1) when the largest-stream
+// BenchmarkFleetSteps row's best steps/sec falls below min-frac times the
+// base row's best — the guard `make bench-fleet` runs after re-measuring,
+// so a cache-locality regression that only shows at fleet scale cannot
+// land silently.
 package main
 
 import (
@@ -19,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
 	"strconv"
 	"strings"
@@ -41,15 +59,27 @@ func main() {
 	title := flag.String("title", "", "top-level benchmark description (set on first write)")
 	keepprocs := flag.Bool("keepprocs", false,
 		"keep the -GOMAXPROCS suffix in benchmark names (for -cpu sweeps, so runs at different parallelism stay separate)")
+	checkFlat := flag.String("check-flat", "",
+		"ledger file to verify instead of record: fail unless the largest-stream row's best steps/sec is at least min-frac of the base row's")
+	base := flag.String("base", "streams=1000", "benchmark suffix of the flatness baseline row (with -check-flat)")
+	minFrac := flag.Float64("min-frac", 0.35,
+		"minimum largest-stream/base steps-per-second ratio accepted by -check-flat")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintf(os.Stderr, "awdbench: -phase must be before or after, got %q\n", *phase)
 		os.Exit(2)
 	}
+	if *checkFlat != "" {
+		if err := checkFlatness(*checkFlat, *phase, *base, *minFrac); err != nil {
+			fmt.Fprintf(os.Stderr, "awdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
-	section := map[string]any{}
+	section := map[string]any{"commit": gitCommit()}
 	if *note != "" {
-		section["commit"] = *note
+		section["note"] = *note
 	}
 	results := map[string]*result{}
 	host := ""
@@ -139,4 +169,84 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "awdbench: wrote %d benchmarks to %s (%s)\n", len(results), *out, *phase)
+}
+
+// gitCommit returns the short hash of the checkout the benchmarks ran in,
+// or "unknown" when git (or a repository) is unavailable — the ledger must
+// still be writable from an exported tarball.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// streamsRe extracts the stream count from a fleet benchmark row name.
+var streamsRe = regexp.MustCompile(`/streams=(\d+)$`)
+
+// checkFlatness is the -check-flat mode: it loads the phase section of the
+// ledger, finds the flatness baseline row (name ending in base) and the
+// row with the largest stream count, and compares their best steps/sec
+// samples. Best-of-samples makes the gate one-sided against scheduler
+// noise: a slow outlier sample cannot fail a healthy tree, only a tree
+// whose peak throughput actually regressed fails.
+func checkFlatness(path, phase, base string, minFrac float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ledger map[string]json.RawMessage
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	raw, ok := ledger[phase]
+	if !ok {
+		return fmt.Errorf("%s: no %q section", path, phase)
+	}
+	var section map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &section); err != nil {
+		return fmt.Errorf("%s: %q section: %v", path, phase, err)
+	}
+	baseBest, maxBest := 0.0, 0.0
+	baseName, maxName, maxStreams := "", "", -1
+	for name, raw := range section {
+		m := streamsRe.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		var r result
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return fmt.Errorf("%s: row %s: %v", path, name, err)
+		}
+		best := 0.0
+		for _, v := range r.Metrics["steps/sec"] {
+			if v > best {
+				best = v
+			}
+		}
+		if best == 0 {
+			return fmt.Errorf("%s: row %s has no steps/sec samples", path, name)
+		}
+		if strings.HasSuffix(name, base) {
+			baseName, baseBest = name, best
+		}
+		if n, _ := strconv.Atoi(m[1]); n > maxStreams {
+			maxStreams, maxName, maxBest = n, name, best
+		}
+	}
+	if baseName == "" {
+		return fmt.Errorf("%s: no row matching base %q in %q section", path, base, phase)
+	}
+	if maxName == baseName {
+		return fmt.Errorf("%s: largest-stream row is the base row %s; nothing to gate", path, baseName)
+	}
+	frac := maxBest / baseBest
+	fmt.Fprintf(os.Stderr, "awdbench: flatness %s: %s %.0f steps/sec vs %s %.0f steps/sec = %.2f (min %.2f)\n",
+		phase, maxName, maxBest, baseName, baseBest, frac, minFrac)
+	if frac < minFrac {
+		return fmt.Errorf("flatness gate failed: %s runs at %.2f of %s, below min-frac %.2f",
+			maxName, frac, baseName, minFrac)
+	}
+	return nil
 }

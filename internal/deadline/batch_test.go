@@ -1,0 +1,152 @@
+package deadline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+)
+
+// certFixture builds a fresh certificate over the 1-D fixture plant so the
+// serial and batched sides of a differential run start bit-identical.
+func certFixture(t *testing.T, horizon int) *Certificate {
+	t.Helper()
+	_, an := fixture(t, horizon)
+	est, err := New(an, geom.UniformBox(1, -10, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCertificate(est)
+}
+
+// batchQueryStates is a query sequence chosen to walk FromStateBatch through
+// every branch: the unanchored first query, runs of anchor hits, mid-batch
+// re-anchors (jumps outside the certified ball), a state outside the safe box
+// (deadline 0 — its anchor has no safe prefix), and returns to earlier
+// regions after the anchor moved.
+var batchQueryStates = []float64{
+	0, 0.001, -0.002, 0.01, // anchor at 0, then hits
+	5, 5.001, 4.999, // re-anchor at 5, then hits
+	-8, -8.0005, // re-anchor far on the other side
+	0.5, 0.499, // back near the start: anchor moved, so re-anchor again
+	20,          // outside the safe box entirely (deadline 0)
+	0.25, 0.251, // recover
+}
+
+// TestFromStateBatchMatchesSerial is the differential gate for the batched
+// certificate query: at every batch split, out, pressure, and the
+// certificate state left behind must match k sequential
+// FromState/TakePressure pairs exactly, bit for bit.
+func TestFromStateBatchMatchesSerial(t *testing.T) {
+	states := batchQueryStates
+	// Serial reference: one fresh certificate, one query per state.
+	serial := certFixture(t, 20)
+	wantOut := make([]int, len(states))
+	wantP := make([]float64, len(states))
+	for i, v := range states {
+		wantOut[i] = serial.FromState(mat.VecOf(v))
+		if p, ok := serial.TakePressure(); ok {
+			wantP[i] = p
+		} else {
+			wantP[i] = -1
+		}
+	}
+
+	for _, bs := range []int{1, 2, 3, 5, len(states)} {
+		batch := certFixture(t, 20)
+		for idx := 0; idx < len(states); idx += bs {
+			k := bs
+			if idx+k > len(states) {
+				k = len(states) - idx
+			}
+			xb := mat.NewBatch(1, k)
+			for s := 0; s < k; s++ {
+				xb.Set(0, s, states[idx+s])
+			}
+			d2 := make([]float64, k)
+			press := make([]float64, k)
+			out := make([]int, k)
+			batch.FromStateBatch(xb, d2, press, out)
+			for s := 0; s < k; s++ {
+				if out[s] != wantOut[idx+s] {
+					t.Fatalf("bs=%d query %d: batch deadline %d != serial %d", bs, idx+s, out[s], wantOut[idx+s])
+				}
+				if math.Float64bits(press[s]) != math.Float64bits(wantP[idx+s]) {
+					t.Fatalf("bs=%d query %d: batch pressure %v != serial %v", bs, idx+s, press[s], wantP[idx+s])
+				}
+			}
+		}
+		// The certificates must have converged to the same state: one more
+		// query on each side must agree in deadline, pressure, and the
+		// consumed-pressure flag.
+		probe := mat.VecOf(0.125)
+		so, bo := serial.FromState(probe), batch.FromState(probe)
+		sp, sok := serial.TakePressure()
+		bp, bok := batch.TakePressure()
+		if so != bo || sok != bok || math.Float64bits(sp) != math.Float64bits(bp) {
+			t.Fatalf("bs=%d post-batch probe: serial (%d, %v, %v) != batch (%d, %v, %v)", bs, so, sp, sok, bo, bp, bok)
+		}
+		// Re-arm the serial reference's post-probe state for the next split.
+		serial = certFixture(t, 20)
+		for _, v := range states {
+			serial.FromState(mat.VecOf(v))
+			serial.TakePressure()
+		}
+	}
+}
+
+// TestFromStateBatchAllHitsAllocFree pins the steady-state cost model: a
+// batch whose every column hits the anchor ball performs zero heap
+// allocations — the whole fleet deadline pass is one distance sweep.
+func TestFromStateBatchAllHitsAllocFree(t *testing.T) {
+	c := certFixture(t, 20)
+	c.FromState(mat.VecOf(0)) // anchor once
+	c.TakePressure()
+	const k = 64
+	xb := mat.NewBatch(1, k)
+	for s := 0; s < k; s++ {
+		xb.Set(0, s, float64(s)*1e-6)
+	}
+	d2 := make([]float64, k)
+	press := make([]float64, k)
+	out := make([]int, k)
+	if allocs := testing.AllocsPerRun(20, func() {
+		c.FromStateBatch(xb, d2, press, out)
+	}); allocs != 0 {
+		t.Errorf("all-hit FromStateBatch allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestFromStateBatchPanics pins the configuration-fault contract: dimension
+// and capacity mismatches are programmer errors and panic rather than
+// corrupting the query results.
+func TestFromStateBatchPanics(t *testing.T) {
+	c := certFixture(t, 20)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"state dim", func() {
+			c.FromStateBatch(mat.NewBatch(2, 4), make([]float64, 4), make([]float64, 4), make([]int, 4))
+		}},
+		{"short d2", func() {
+			c.FromStateBatch(mat.NewBatch(1, 4), make([]float64, 3), make([]float64, 4), make([]int, 4))
+		}},
+		{"short pressure", func() {
+			c.FromStateBatch(mat.NewBatch(1, 4), make([]float64, 4), make([]float64, 3), make([]int, 4))
+		}},
+		{"short out", func() {
+			c.FromStateBatch(mat.NewBatch(1, 4), make([]float64, 4), make([]float64, 4), make([]int, 3))
+		}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}

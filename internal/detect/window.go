@@ -67,7 +67,15 @@ func NewWindow(tau mat.Vec) *Window {
 			panic(fmt.Sprintf("detect: negative threshold %v in dimension %d", v, i))
 		}
 	}
-	return &Window{tau: tau.Clone(), avg: mat.NewVec(len(tau)), sum: mat.NewVec(len(tau))}
+	// One backing slab for the three per-dimension vectors: the silent-step
+	// threshold check reads tau and writes avg off the sum, so keeping them
+	// on one or two cache lines (instead of three heap objects) matters when
+	// thousands of detector windows are swept per tick.
+	n := len(tau)
+	slab := mat.NewVec(3 * n)
+	w := &Window{tau: slab[0:n:n], avg: slab[n : 2*n : 2*n], sum: slab[2*n : 3*n : 3*n]}
+	tau.CopyTo(w.tau)
+	return w
 }
 
 // Reset discards the incremental window-sum state. Detectors call it when
@@ -136,16 +144,17 @@ func (w *Window) CheckAt(log *logger.Logger, s, win int) (alarm, ok bool, err er
 // single-sample window), mirroring Adaptive.Step's deadline clamping.
 //
 // The windowed sum is maintained incrementally: when this check's window
-// [from, s] is the previous check's window slid forward by one step — the
-// silent steady state of every detector — the sum is updated by adding the
-// entering residual and subtracting the leaving one, touching two ring
-// entries instead of the whole window. Any other shape (window resize,
+// [from, s] is the previous check's window advanced by one step — slid (the
+// silent steady state) or grown in place (the run-prefix ramp) — the sum is
+// updated from the one or two ring entries that changed instead of the
+// whole window (see trySlide). Any other shape (window resize,
 // complementary checks at historical steps, run restart) recomputes the
-// sum exactly, as does every sumRefreshEvery-th slide, which keeps the
-// incremental sum within a hair of the exact one. Whether a given check
-// slides or recomputes depends only on the sequence of (step, window)
-// pairs — never on timing — so two detectors fed the same samples make
-// bit-identical decisions regardless of which engine drives them.
+// sum exactly, as does every sumRefreshEvery-th incremental update, which
+// keeps the incremental sum within a hair of the exact one. Whether a given
+// check updates incrementally or recomputes depends only on the sequence of
+// (step, window) pairs — never on timing — so two detectors fed the same
+// samples make bit-identical decisions regardless of which engine drives
+// them.
 //
 // A silent check performs zero heap allocations; dims is only allocated
 // when a dimension actually fires.
@@ -162,22 +171,17 @@ func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok boo
 	}
 	n := len(w.tau)
 	sum := w.sum
-	if w.sumValid && s == w.sumStep+1 && from == w.sumFrom+1 && w.sinceRefresh < sumRefreshEvery {
-		// The leaving step from−1 = s−win−1 ≥ t−w_m−1 is always still
-		// retained (the logger's ring is sized exactly so it is); the
-		// lookups only miss on a logic bug upstream, and then we just fall
-		// back to the exact recompute.
-		eNew, okN := log.Entry(s)
-		eOld, okO := log.Entry(from - 1)
-		if okN && okO && len(eNew.Residual) == n && len(eOld.Residual) == n {
-			rn, ro := eNew.Residual, eOld.Residual
-			for i := range sum {
-				sum[i] += rn[i] - ro[i]
-			}
-			w.sumFrom, w.sumStep = from, s
-			w.sinceRefresh++
-			return w.threshold(s, from)
-		}
+	if w.sumValid && s == w.sumStep && from == w.sumFrom {
+		// The sum already covers exactly [from, s]: either PrepareSlide ran
+		// ahead of this check (the fleet engine batches the slide updates of
+		// a whole shard into one pass), or the same check is being repeated.
+		// Thresholding the current sum is what the slide branch would have
+		// produced, so prepared and unprepared call sequences stay
+		// bit-identical.
+		return w.threshold(s, from)
+	}
+	if w.trySlide(log, s, from) {
+		return w.threshold(s, from)
 	}
 	// Exact recompute, walking the logger's ring segments directly: same
 	// entries, same step-outer/dimension-inner summation order as summing
@@ -207,6 +211,80 @@ func (w *Window) CheckAtDims(log *logger.Logger, s, win int) (dims []int, ok boo
 	w.sumValid = true
 	w.sinceRefresh = 0
 	return w.threshold(s, from)
+}
+
+// trySlide applies the incremental one-step update when the window
+// [from, s] is the previous sum's window advanced by one step and the
+// refresh budget has room. Two shapes qualify: the steady slide (both ends
+// advanced — the sum gains the entering residual at s and loses the leaving
+// one at from−1, touching two ring entries instead of the whole window) and
+// the ramp growth (start pinned, only the end advanced — the run prefix
+// before step w_m, where the window still covers the whole history; the sum
+// just gains the entering residual). A grown sum is even bitwise equal to
+// the exact recompute whenever the previous sum was one, since appending
+// one term to a left-to-right accumulation is the same operation sequence.
+// The leaving step from−1 = s−win−1 ≥ t−w_m−1 is always still retained (the
+// logger's ring is sized exactly so it is); the lookups only miss on a
+// logic bug upstream, and then the caller just falls back to the exact
+// recompute.
+func (w *Window) trySlide(log *logger.Logger, s, from int) bool {
+	if !(w.sumValid && s == w.sumStep+1 && w.sinceRefresh < sumRefreshEvery) {
+		return false
+	}
+	if from != w.sumFrom && from != w.sumFrom+1 {
+		return false
+	}
+	n := len(w.tau)
+	eNew, okN := log.Entry(s)
+	if !okN || len(eNew.Residual) != n {
+		return false
+	}
+	rn := eNew.Residual
+	sum := w.sum
+	if from == w.sumFrom {
+		for i := range sum {
+			sum[i] += rn[i]
+		}
+	} else {
+		eOld, okO := log.Entry(from - 1)
+		if !okO || len(eOld.Residual) != n {
+			return false
+		}
+		ro := eOld.Residual
+		for i := range sum {
+			sum[i] += rn[i] - ro[i]
+		}
+	}
+	w.sumFrom, w.sumStep = from, s
+	w.sinceRefresh++
+	return true
+}
+
+// PrepareSlide advances the incremental window sum for an upcoming
+// CheckAtDims(log, s, win) call when that check is the previous one slid
+// forward by one step — exactly the branch CheckAtDims itself would take.
+// The fleet engine batches these two-entry updates for a whole shard into
+// one tight pass ahead of the decision loop, so the memory-bound part of
+// the window rule runs with high memory-level parallelism instead of being
+// buried inside each stream's branchy decide path. The subsequent
+// CheckAtDims finds the sum already current and goes straight to the
+// threshold; final window-sum state and decisions are bit-identical whether
+// or not the slide was prepared (a prepared slide that the step's check
+// sequence then invalidates — e.g. a shrink-time complementary recompute —
+// is simply overwritten, exactly as the unprepared path would have).
+// It reports whether the slide applied.
+func (w *Window) PrepareSlide(log *logger.Logger, s, win int) bool {
+	if win < 0 {
+		win = 0
+	}
+	from := s - win
+	if from < 0 {
+		from = 0
+	}
+	if from > s || (w.sumValid && s == w.sumStep && from == w.sumFrom) {
+		return false
+	}
+	return w.trySlide(log, s, from)
 }
 
 // threshold derives the windowed average from the current sum and compares

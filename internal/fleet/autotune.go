@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// shardSizeCandidates are the capacities the startup auto-tuner considers,
+// all multiples of the kernel tile (mat.BatchTile) so a shard is always a
+// whole number of tile-resident blocks. The range covers the realistic
+// trade-off: below 256 the per-batch fixed costs (queue hand-off, phase
+// loop setup) dominate; above 2048 the per-stream state slabs outgrow L2
+// on every mainstream part, so wider shards only add latency jitter.
+var shardSizeCandidates = [...]int{1 * mat.BatchTile, 2 * mat.BatchTile, 4 * mat.BatchTile, 8 * mat.BatchTile}
+
+// autoTuneRelTol is the knee criterion: the widest candidate whose measured
+// per-column cost is within this factor of the best candidate's wins.
+// Preferring width at equal cost maximizes the work amortized per queue
+// hand-off; the 10% tolerance keeps one noisy timer sample from flipping
+// the choice to a narrow outlier.
+const autoTuneRelTol = 1.10
+
+// autoTuneCols is the total column count each candidate processes during
+// measurement, so every candidate does identical work and the comparison
+// is per-column cost at different blockings.
+const autoTuneCols = 1 << 15
+
+// autoShardSizes memoizes AutoShardSize results by plant shape
+// (stateDim<<32 | inputDim): the measured knee is a property of the kernel
+// blocking and the machine, not of the matrix values, so one measurement
+// per shape per process is enough — and it keeps every later shard of that
+// shape the same size, which shard-structure-sensitive consumers (snapshot
+// certificate matching) rely on within a process.
+var autoShardSizes sync.Map
+
+// AutoShardSize returns the auto-tuned shard capacity for plants shaped
+// like sys: the widest candidate batch size whose measured per-column
+// batched-prediction cost sits at the throughput knee (within
+// autoTuneRelTol of the best). The engine calls it when Config.ShardSize
+// is zero and a plant's first shard is formed; the first measurement for a
+// shape is memoized for the life of the process.
+//
+// The choice is a pure performance knob: decisions are bit-identical at
+// every shard size (the differential and fuzz tests in this package pin
+// exactly that), so a timing-noise-induced difference between two
+// processes can never change what any stream decides.
+func AutoShardSize(sys *lti.System) int {
+	key := int64(sys.StateDim())<<32 | int64(sys.InputDim())
+	if v, ok := autoShardSizes.Load(key); ok {
+		return v.(int)
+	}
+	size := measureShardKnee(sys)
+	// LoadOrStore so a racing tuner for the same shape yields one winner;
+	// every caller returns the stored value.
+	v, _ := autoShardSizes.LoadOrStore(key, size)
+	return v.(int)
+}
+
+// measureShardKnee times the fused batched prediction at each candidate
+// width over identical total work and picks the knee.
+func measureShardKnee(sys *lti.System) int {
+	best := shardSizeCandidates[0]
+	var costs [len(shardSizeCandidates)]float64
+	for ci, n := range shardSizeCandidates {
+		x := mat.NewBatch(sys.StateDim(), n)
+		u := mat.NewBatch(sys.InputDim(), n)
+		dst := mat.NewBatch(sys.StateDim(), n)
+		// Nonzero inputs so the measurement never runs on denormal-free
+		// all-zero fast paths the real workload would not see.
+		for j := 0; j < x.Dim(); j++ {
+			row := x.Row(j)
+			for i := range row {
+				row[i] = 1 + float64(i%7)*0.125
+			}
+		}
+		for j := 0; j < u.Dim(); j++ {
+			row := u.Row(j)
+			for i := range row {
+				row[i] = 0.5 + float64(i%5)*0.25
+			}
+		}
+		reps := autoTuneCols / n
+		sys.PredictBatchTo(dst, x, u) // warm the caches and page in the slabs
+		//awdlint:allow wallclock -- startup auto-tune measurement only: the result sizes shards (a pure performance knob); decisions are bit-identical at every shard size
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			sys.PredictBatchTo(dst, x, u)
+		}
+		//awdlint:allow wallclock -- closes the auto-tune measurement opened above
+		costs[ci] = float64(time.Since(t0)) / float64(reps*n)
+	}
+	minCost := costs[0]
+	for _, c := range costs[1:] {
+		if c < minCost {
+			minCost = c
+		}
+	}
+	for ci, c := range costs {
+		if c <= autoTuneRelTol*minCost {
+			best = shardSizeCandidates[ci]
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// TestAutoShardSizeReturnsCandidate pins the tuner's contract: the chosen
+// capacity is one of the declared candidates (always a whole number of
+// kernel tiles) and the per-shape memoization makes repeat calls return the
+// same value — the property shard-structure-sensitive consumers rely on
+// within a process.
+func TestAutoShardSizeReturnsCandidate(t *testing.T) {
+	m := models.AircraftPitch()
+	size := AutoShardSize(m.Sys)
+	found := false
+	for _, c := range shardSizeCandidates {
+		if size == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("AutoShardSize = %d, not a candidate %v", size, shardSizeCandidates)
+	}
+	for i := 0; i < 3; i++ {
+		if again := AutoShardSize(m.Sys); again != size {
+			t.Fatalf("repeat AutoShardSize = %d, want memoized %d", again, size)
+		}
+	}
+}
+
+// TestEngineAutoShardSize pins the wiring: with ShardSize unset the engine
+// sizes its shards from the tuner, and the accessor reports the config
+// value (0 = auto) rather than inventing one.
+func TestEngineAutoShardSize(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer func() {
+		if err := eng.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}()
+	if got := eng.ShardSize(); got != 0 {
+		t.Fatalf("ShardSize() = %d, want 0 (auto)", got)
+	}
+	m := models.AircraftPitch()
+	if _, err := eng.AddStream("s0", newDetector(t, m, sim.Adaptive), nil); err != nil {
+		t.Fatalf("AddStream: %v", err)
+	}
+	want := AutoShardSize(m.Sys)
+	eng.mu.RLock()
+	got := eng.shards[0].size
+	eng.mu.RUnlock()
+	if got != want {
+		t.Fatalf("auto-tuned shard size = %d, want %d", got, want)
+	}
+}
+
+// TestFleetOddShardSizeMatchesSerial is the edge-tile differential: an
+// explicit ShardSize that is not a multiple of the kernel tile (and batch
+// chunks that straddle it) must not perturb a single decision. Covers the
+// remainder-tile path of every batched kernel end to end.
+func TestFleetOddShardSizeMatchesSerial(t *testing.T) {
+	const steps = 40
+	m := models.AircraftPitch()
+	eng := New(Config{Workers: 2, ShardSize: 7, MaxBatch: 5})
+	defer func() {
+		if err := eng.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}()
+
+	const streams = 17 // 2 full shards of 7 plus a remainder shard of 3
+	type sc struct {
+		ests, us []mat.Vec
+		got      []core.Decision
+	}
+	cases := make([]*sc, streams)
+	for i := range cases {
+		c := &sc{}
+		id := fmt.Sprintf("odd-%d", i)
+		c.ests, c.us = synthTrajectory(m, StreamSeed(7, id), steps)
+		ci := c
+		if _, err := eng.AddStream(id, newDetector(t, m, sim.Adaptive), func(d core.Decision, err error) {
+			if err == nil {
+				ci.got = append(ci.got, d)
+			}
+		}); err != nil {
+			t.Fatalf("AddStream(%s): %v", id, err)
+		}
+		cases[i] = c
+	}
+	for s := 0; s < steps; s++ {
+		for i, c := range cases {
+			if err := eng.Post(fmt.Sprintf("odd-%d", i), c.ests[s], c.us[s]); err != nil {
+				t.Fatalf("Post(%d, %d): %v", i, s, err)
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, c := range cases {
+		if len(c.got) != steps {
+			t.Fatalf("stream %d: %d decisions, want %d", i, len(c.got), steps)
+		}
+		serial := newDetector(t, m, sim.Adaptive)
+		for s := 0; s < steps; s++ {
+			want, err := serial.Step(c.ests[s], c.us[s])
+			if err != nil {
+				t.Fatalf("serial step: %v", err)
+			}
+			if !decisionsEqual(c.got[s], want) {
+				t.Fatalf("stream %d step %d: fleet %+v != serial %+v", i, s, c.got[s], want)
+			}
+		}
+	}
+}

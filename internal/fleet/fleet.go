@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deadline"
+	"repro/internal/logger"
 	"repro/internal/lti"
 	"repro/internal/mat"
 	"repro/internal/obs"
@@ -54,9 +55,10 @@ var (
 	ErrUnknownStream = errors.New("fleet: unknown stream")
 )
 
-// DefaultShardSize is the number of streams per shard when Config leaves
-// ShardSize zero. It matches the batch kernels' cache tile (mat.batchTile)
-// so a full shard is one tile-resident batch.
+// DefaultShardSize is the fallback number of streams per shard when Config
+// leaves ShardSize zero and the startup auto-tuner cannot run. It matches
+// the batch kernels' cache tile (mat.BatchTile) so a full shard is one
+// tile-resident batch.
 const DefaultShardSize = 256
 
 // Config parameterizes an Engine. The zero value is usable: every field
@@ -65,11 +67,20 @@ type Config struct {
 	// Workers is the number of shard-processing goroutines; <= 0 uses
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// ShardSize caps the streams grouped into one shard; <= 0 uses
-	// DefaultShardSize.
+	// ShardSize caps the streams grouped into one shard. <= 0 auto-tunes a
+	// size per plant shape when that plant's first shard is formed, by
+	// measuring where the batched prediction kernel's per-column cost stops
+	// improving with batch width (see AutoShardSize). A positive value is an
+	// explicit override applied to every shard.
 	ShardSize int
-	// MaxBatch caps the streams stepped in one batch kernel call; <= 0 or
-	// > ShardSize uses ShardSize.
+	// MaxBatch caps the streams stepped in one batch-pass chunk. <= 0
+	// defaults to the kernel tile (mat.BatchTile): a chunk's per-stream
+	// state (~3 KB each — logger ring, window slab, detector headers) then
+	// stays cache-resident across the step's passes (predict, observe,
+	// deadline, slide, finish), where a whole wide shard swept per pass
+	// would evict itself between passes at mid-size fleets. Values above
+	// the shard's size clamp to it. A pure performance knob: decisions are
+	// bit-identical at every chunking.
 	MaxBatch int
 	// Observer receives fleet telemetry (stream/shard gauges, step and
 	// batch counters, run-queue depth, per-shard batch latency). Nil
@@ -116,11 +127,8 @@ func New(cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.ShardSize <= 0 {
-		cfg.ShardSize = DefaultShardSize
-	}
-	if cfg.MaxBatch <= 0 || cfg.MaxBatch > cfg.ShardSize {
-		cfg.MaxBatch = cfg.ShardSize
+	if cfg.ShardSize < 0 {
+		cfg.ShardSize = 0 // auto-tune per plant shape at shard formation
 	}
 	if cfg.Clock == nil {
 		//awdlint:allow wallclock -- the engine's single wall-clock entry point: the default telemetry clock when none is injected; decisions never read it
@@ -132,7 +140,7 @@ func New(cfg Config) *Engine {
 		now:     cfg.Clock,
 		streams: make(map[string]*Stream),
 		open:    make(map[string]*shard),
-		runq:    newRunQueue(),
+		runq:    newRunQueue(cfg.Workers),
 	}
 	if e.o.Enabled() {
 		reg := e.o.Registry()
@@ -148,10 +156,14 @@ func New(cfg Config) *Engine {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.workers.Add(1)
-		go e.worker()
+		go e.worker(i)
 	}
 	return e
 }
+
+// ShardSize returns the configured shard capacity override, or 0 when shard
+// sizes are auto-tuned per plant shape at shard formation (see Config).
+func (e *Engine) ShardSize() int { return e.cfg.ShardSize }
 
 // AddStream registers a detection stream under id. det must be freshly
 // constructed (nothing observed yet) — the engine mirrors the logger's
@@ -180,21 +192,31 @@ func (e *Engine) AddStream(id string, det *core.System, onDecision func(core.Dec
 		return nil, fmt.Errorf("fleet: duplicate stream id %q", id)
 	}
 	key := plantKey(sys)
+	// The open map only ever holds shards with spare capacity: a shard is
+	// evicted the moment it fills (below), so membership alone proves this
+	// stream fits.
 	sh := e.open[key]
-	if sh == nil || sh.nstreams >= e.cfg.ShardSize {
+	if sh == nil {
 		sh = e.newShard(key, sys)
 	}
-	s := &Stream{
-		id:         id,
-		eng:        e,
-		sh:         sh,
-		det:        det,
-		est:        mat.NewVec(sys.StateDim()),
-		u:          mat.NewVec(sys.InputDim()),
-		pred:       mat.NewVec(sys.StateDim()),
-		done:       make(chan result, 1),
-		onDecision: onDecision,
-	}
+	slot := sh.nstreams
+	n, m := sys.StateDim(), sys.InputDim()
+	// Streams live in a shard-owned arena, and their hot vectors are slices
+	// of shard-owned slabs, both laid out in registration order: a batch
+	// pass walking the shard touches contiguous regions per data kind
+	// instead of len(ss) scattered heap objects, which is what lets the
+	// per-pass loops run at streaming speed once shards outgrow cache.
+	s := &sh.streamArr[slot]
+	s.id = id
+	s.eng = e
+	s.sh = sh
+	s.det = det
+	s.log = det.Log()
+	s.est = sh.estSlab[slot*n : (slot+1)*n]
+	s.u = sh.uSlab[slot*m : (slot+1)*m]
+	s.pred = sh.predSlab[slot*n : (slot+1)*n]
+	s.done = make(chan result, 1)
+	s.onDecision = onDecision
 	det.SetStreamID(id)
 	// Adaptive streams share the shard's deadline certificate whenever
 	// their estimator configuration is provably interchangeable (shard
@@ -220,6 +242,12 @@ func (e *Engine) AddStream(id string, det *core.System, onDecision func(core.Dec
 		s.cert = cert
 	}
 	sh.nstreams++
+	if sh.nstreams >= sh.size {
+		// Full: drop it from the open map immediately so the next AddStream
+		// for this plant goes straight to a fresh shard instead of re-probing
+		// a shard that can never admit another stream.
+		delete(e.open, key)
+	}
 	e.streams[id] = s
 	if e.o.Enabled() {
 		e.mStreams.SetInt(len(e.streams))
@@ -229,18 +257,48 @@ func (e *Engine) AddStream(id string, det *core.System, onDecision func(core.Dec
 }
 
 // newShard creates a shard for the plant behind key; e.mu must be held.
-// Batch scratch is allocated up front at full shard capacity so the
-// processing path never allocates.
+// Batch scratch and the per-stream state slabs are allocated up front at
+// full shard capacity so neither registration nor processing allocates
+// afterwards.
 func (e *Engine) newShard(key string, sys *lti.System) *shard {
+	size := e.cfg.ShardSize
+	if size <= 0 {
+		size = AutoShardSize(sys)
+	}
+	mb := e.cfg.MaxBatch
+	if mb <= 0 {
+		mb = mat.BatchTile // phase-block by default; see Config.MaxBatch
+	}
+	if mb > size {
+		mb = size
+	}
+	n, m := sys.StateDim(), sys.InputDim()
 	sh := &shard{
-		eng:     e,
-		idx:     len(e.shards),
-		sys:     sys,
-		pending: make([]*Stream, 0, e.cfg.ShardSize),
-		work:    make([]*Stream, 0, e.cfg.ShardSize),
-		xb:      mat.NewBatch(sys.StateDim(), e.cfg.ShardSize),
-		ub:      mat.NewBatch(sys.InputDim(), e.cfg.ShardSize),
-		pb:      mat.NewBatch(sys.StateDim(), e.cfg.ShardSize),
+		eng:       e,
+		idx:       len(e.shards),
+		owner:     len(e.shards) % e.cfg.Workers,
+		sys:       sys,
+		size:      size,
+		maxBatch:  mb,
+		pending:   make([]*Stream, 0, size),
+		work:      make([]*Stream, 0, size),
+		streamArr: make([]Stream, size),
+		xb:        mat.NewBatch(n, size),
+		ub:        mat.NewBatch(m, size),
+		pb:        mat.NewBatch(n, size),
+		tb:        mat.NewBatch(n, size),
+		estSlab:   mat.NewVec(size * n),
+		uSlab:     mat.NewVec(size * m),
+		predSlab:  mat.NewVec(size * n),
+		entries:   make([]*logger.Entry, size),
+		errs:      make([]error, size),
+		tds:       make([]int, size),
+		press:     make([]float64, size),
+		x0s:       make([]mat.Vec, 0, size),
+		qidx:      make([]int, 0, size),
+		qd2:       make([]float64, size),
+		qpress:    make([]float64, size),
+		qout:      make([]int, size),
 	}
 	if e.o.Enabled() {
 		reg := e.o.Registry()
@@ -354,10 +412,10 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(w int) {
 	defer e.workers.Done()
 	for {
-		sh, ok := e.runq.pop()
+		sh, ok := e.runq.popFor(w)
 		if !ok {
 			return
 		}
@@ -378,6 +436,7 @@ type Stream struct {
 	eng *Engine
 	sh  *shard
 	det *core.System
+	log *logger.Logger // det.Log(), cached to shorten the gather pass's pointer chain
 
 	// Ingest slot, written by the token holder, read by the worker. The
 	// shard mutex orders the hand-off.
@@ -390,11 +449,13 @@ type Stream struct {
 	// to keep in lockstep.
 	pred mat.Vec
 
-	// cert is the shard-shared deadline certificate this stream queries
-	// through its detector (nil for non-adaptive streams). The worker reads
-	// its per-query deadline pressure right after each StepPredicted, while
-	// the shard's serial processing still attributes the consuming read to
-	// this stream.
+	// cert is the shard-shared deadline certificate this stream's deadline
+	// queries go through (nil for non-adaptive streams). The worker batches
+	// every stream sharing a certificate into one FromStateBatch call per
+	// step, which also hands back the per-stream deadline pressure the
+	// telemetry attributes to this stream. The certificate is additionally
+	// installed as the detector's deadline source so a stream stepped
+	// outside the batch path (td not injected) queries the same state.
 	cert *deadline.Certificate
 
 	// tok is the sample token: holding it (the mutex locked) is the right
@@ -495,9 +556,12 @@ func (s *Stream) noteStep() { s.steps++ }
 // shard is a group of streams sharing one plant model, processed as
 // batches by one worker at a time.
 type shard struct {
-	eng *Engine
-	idx int
-	sys *lti.System
+	eng      *Engine
+	idx      int
+	owner    int // preferred worker (idx mod Workers); see runQueue
+	sys      *lti.System
+	size     int // stream capacity (configured or auto-tuned)
+	maxBatch int // per-batch stream cap, clamped to size
 
 	mu       sync.Mutex
 	pending  []*Stream // streams with a fresh sample awaiting processing
@@ -513,12 +577,35 @@ type shard struct {
 	// Batch scratch, allocated at shard capacity; only the processing
 	// worker touches it, and the queued flag admits one worker at a time.
 	xb, ub, pb *mat.Batch
-	pes        []mat.Vec // gather scratch: per-stream previous estimates
+	tb         *mat.Batch // deadline-query gather block
+	pes        []mat.Vec  // gather scratch: per-stream previous estimates
+
+	// Per-stream state slabs the Stream hot vectors slice into, and the
+	// arena the Stream structs themselves live in (see AddStream):
+	// registration-ordered, so batch passes touch contiguous memory. The
+	// arena is never reallocated, so *Stream handles stay valid for the
+	// engine's life.
+	estSlab, uSlab, predSlab mat.Vec
+	streamArr                []Stream
+
+	// Per-batch phase scratch (indexed by position in the batch): the logged
+	// entry and error of the observe pass, the injected deadline and
+	// pressure of the certificate pass, and the certificate pass's own
+	// gather/result arrays.
+	entries []*logger.Entry
+	errs    []error
+	tds     []int
+	press   []float64
+	x0s     []mat.Vec
+	qidx    []int
+	qd2     []float64
+	qpress  []float64
+	qout    []int
 
 	// Shared deadline certificates, one per compatible estimator
 	// configuration among the shard's adaptive streams (appended under
 	// eng.mu at registration; queried only by the shard's processing
-	// worker through each detector's deadline source).
+	// worker, which batches each certificate's queries per step).
 	certs []*deadline.Certificate
 
 	batchUS *obs.Histogram // nil when observability is disabled
@@ -549,8 +636,8 @@ func (sh *shard) process() {
 	work := sh.work
 	for len(work) > 0 {
 		k := len(work)
-		if k > sh.eng.cfg.MaxBatch {
-			k = sh.eng.cfg.MaxBatch
+		if k > sh.maxBatch {
+			k = sh.maxBatch
 		}
 		sh.stepBatch(work[:k])
 		work = work[k:]
@@ -565,11 +652,24 @@ func (sh *shard) process() {
 	sh.mu.Unlock()
 }
 
-// stepBatch runs one batch: gather previous estimates and inputs into the
-// SoA blocks, one batched prediction for the whole batch, then each
-// detector steps on its own column. The per-column float semantics are
-// exactly the serial path's (see package comment), and per-stream state
-// (estimator warm start, detector windows) lives in each det untouched.
+// stepBatch runs one batch through the step pipeline one phase at a time —
+// gather, batched prediction, scatter, logging, batched deadline queries,
+// window-sum slides, decisions — instead of running every phase per stream.
+// Each pass walks one kind of data for the whole batch, so the memory
+// system sees long independent access streams (high memory-level
+// parallelism) where the per-stream loop interleaved half a dozen working
+// sets per iteration.
+//
+// Bit-identity with serial core.System.Step holds phase by phase: the
+// prediction kernels preserve per-column summation order (see package
+// comment); the observe pass is each stream's own ObservePredicted; the
+// certificate pass issues each certificate's queries in batch order — the
+// same order the per-stream loop queried it — through FromStateBatch, which
+// is exactly that query sequence; the slide pass is decision-neutral by
+// Window.PrepareSlide's contract; and StepObserved with the injected
+// deadline is decide with the query it would have made. Per-stream state
+// (logger ring, estimator warm start, detector windows) lives in each det
+// untouched.
 func (sh *shard) stepBatch(ss []*Stream) {
 	var start time.Time
 	if sh.eng.o.Enabled() {
@@ -588,7 +688,7 @@ func (sh *shard) stepBatch(ss []*Stream) {
 		// A nil previous estimate means first sample: the logger ignores
 		// the prediction, any column value works; zero keeps the kernel
 		// input deterministic.
-		pes = append(pes, s.det.Log().PrevEstimate())
+		pes = append(pes, s.log.PrevEstimate())
 	}
 	sh.pes = pes
 	for j := 0; j < sh.xb.Dim(); j++ {
@@ -615,22 +715,81 @@ func (sh *shard) stepBatch(ss []*Stream) {
 			s.pred[j] = row[i]
 		}
 	}
+
+	// Observe pass: log every stream's sample and prediction. Entries stay
+	// valid through the batch — a stream's next Observe cannot happen until
+	// its token is released in the finish pass.
+	entries, errs := sh.entries[:k], sh.errs[:k]
+	for i, s := range ss {
+		entries[i], errs[i] = s.det.ObservePredicted(s.est, s.pred)
+	}
+
+	// Certificate pass: answer every adaptive stream's deadline query, one
+	// FromStateBatch call per shared certificate. tds[i] < 0 means "no
+	// injected deadline" (non-adaptive streams, or an observe error);
+	// press[i] < 0 means no pressure reading.
+	tds, press := sh.tds[:k], sh.press[:k]
+	for i := range tds {
+		tds[i], press[i] = -1, -1
+	}
+	for _, cert := range sh.certs {
+		x0s, qidx := sh.x0s[:0], sh.qidx[:0]
+		for i, s := range ss {
+			if s.cert != cert || errs[i] != nil {
+				continue
+			}
+			if x0, ok := s.det.DeadlineQueryState(); ok {
+				x0s = append(x0s, x0)
+				qidx = append(qidx, i)
+			} else {
+				// Same fallback decide takes without touching the source.
+				tds[i] = s.det.Estimator().MaxDeadline()
+			}
+		}
+		sh.x0s, sh.qidx = x0s, qidx
+		q := len(qidx)
+		if q == 0 {
+			continue
+		}
+		sh.tb.Resize(q)
+		for j := 0; j < sh.tb.Dim(); j++ {
+			row := sh.tb.Row(j)
+			for qi, x0 := range x0s {
+				row[qi] = x0[j]
+			}
+		}
+		cert.FromStateBatch(sh.tb, sh.qd2[:q], sh.qpress[:q], sh.qout[:q])
+		for qi, i := range qidx {
+			tds[i] = sh.qout[qi]
+			press[i] = sh.qpress[qi]
+		}
+	}
+
+	// Slide pass: advance every stream's incremental window sum back to
+	// back (decision-neutral; see core.System.PrepareSlide).
+	for i, s := range ss {
+		if errs[i] == nil {
+			s.det.PrepareSlide(tds[i])
+		}
+	}
+
+	// Finish pass: run each detector's decision logic on its logged entry
+	// with the pre-computed deadline, then deliver.
 	obsOn := sh.eng.o.Enabled()
 	alarms := int64(0)
-	for _, s := range ss {
-		dec, err := s.det.StepPredicted(s.est, s.pred)
+	for i, s := range ss {
+		var dec core.Decision
+		err := errs[i]
+		if err == nil {
+			dec, err = s.det.StepObserved(entries[i], tds[i])
+		}
 		s.noteStep()
 		if obsOn {
 			if err == nil && dec.Alarmed() {
 				alarms++
 			}
-			// The consuming read attributes the shared certificate's last
-			// query to this stream: the shard is processed serially, so no
-			// other stream has queried it since StepPredicted above.
-			if s.cert != nil {
-				if p, ok := s.cert.TakePressure(); ok {
-					sh.eng.mPressure.Observe(p)
-				}
+			if press[i] >= 0 {
+				sh.eng.mPressure.Observe(press[i])
 			}
 		}
 		syncWait := s.syncWait
@@ -660,65 +819,102 @@ func (sh *shard) stepBatch(ss []*Stream) {
 	}
 }
 
-// runQueue is the engine's work queue of shards with pending samples: a
-// mutex-guarded ring (FIFO so shards make even progress) with a condition
-// variable for idle workers. Each shard appears at most once (the queued
-// flag), so the ring's steady-state capacity is bounded by the shard count
-// and pushes never allocate after warm-up.
+// runQueue is the engine's work queue of shards with pending samples, split
+// into one FIFO ring per worker for shard-to-worker affinity: a shard is
+// always pushed onto its owner's ring (owner = shard index mod workers), so
+// in the loaded steady state the same worker re-processes the same shards
+// and their detector state and batch scratch stay warm in that worker's
+// cache. A worker whose own ring is empty steals from the next non-empty
+// ring — work only migrates on imbalance, never round-robins by default.
+// FIFO within each ring keeps shards making even progress; each shard
+// appears at most once across all rings (the queued flag), so steady-state
+// pushes never allocate after warm-up. One mutex and condition variable
+// cover all rings: pushes are rare relative to batch work, and a single
+// wait point lets any idle worker pick up any overflow.
 type runQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []*shard
-	head   int
-	count  int
+	rings  []workRing // one per worker, indexed by owner
+	total  int        // shards queued across all rings
 	closed bool
 	depth  *obs.Gauge // nil when observability is disabled
 }
 
-func newRunQueue() *runQueue {
-	q := &runQueue{buf: make([]*shard, 16)}
+// workRing is one worker's FIFO of runnable shards.
+type workRing struct {
+	buf   []*shard
+	head  int
+	count int
+}
+
+func (r *workRing) push(sh *shard) {
+	if r.count == len(r.buf) {
+		nb := make([]*shard, 2*len(r.buf))
+		for i := 0; i < r.count; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = sh
+	r.count++
+}
+
+func (r *workRing) pop() *shard {
+	sh := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return sh
+}
+
+func newRunQueue(workers int) *runQueue {
+	q := &runQueue{rings: make([]workRing, workers)}
+	for i := range q.rings {
+		q.rings[i].buf = make([]*shard, 16)
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
 func (q *runQueue) push(sh *shard) {
 	q.mu.Lock()
-	if q.count == len(q.buf) {
-		nb := make([]*shard, 2*len(q.buf))
-		for i := 0; i < q.count; i++ {
-			nb[i] = q.buf[(q.head+i)%len(q.buf)]
-		}
-		q.buf = nb
-		q.head = 0
-	}
-	q.buf[(q.head+q.count)%len(q.buf)] = sh
-	q.count++
+	q.rings[sh.owner%len(q.rings)].push(sh)
+	q.total++
 	if q.depth != nil {
-		q.depth.SetInt(q.count)
+		q.depth.SetInt(q.total)
 	}
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-// pop blocks until a shard is available or the queue is closed and empty.
-// A closed queue still drains: remaining shards are handed out first.
-func (q *runQueue) pop() (*shard, bool) {
+// popFor blocks until a shard is available or the queue is closed and
+// empty; a closed queue still drains. Worker w serves its own ring first
+// and steals from the next non-empty ring (scanning w+1, w+2, ...) only
+// when its own is dry — the imbalance signal that justifies migrating a
+// shard's cache footprint.
+func (q *runQueue) popFor(w int) (*shard, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for q.count == 0 && !q.closed {
+	for q.total == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if q.count == 0 {
+	if q.total == 0 {
 		return nil, false
 	}
-	sh := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
-	q.count--
-	if q.depth != nil {
-		q.depth.SetInt(q.count)
+	nw := len(q.rings)
+	for i := 0; i < nw; i++ {
+		if r := &q.rings[(w+i)%nw]; r.count > 0 {
+			sh := r.pop()
+			q.total--
+			if q.depth != nil {
+				q.depth.SetInt(q.total)
+			}
+			return sh, true
+		}
 	}
-	return sh, true
+	// Unreachable: total > 0 implies some ring is non-empty.
+	return nil, false
 }
 
 func (q *runQueue) close() {

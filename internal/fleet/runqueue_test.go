@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// rqShards builds bare shards with the given owners — the only field the
+// queue reads.
+func rqShards(owners ...int) []*shard {
+	shs := make([]*shard, len(owners))
+	for i, o := range owners {
+		shs[i] = &shard{owner: o}
+	}
+	return shs
+}
+
+// TestRunQueueOwnerAffinity pins the affinity contract: a worker whose own
+// ring is non-empty is served from it, even when other rings also hold
+// runnable shards.
+func TestRunQueueOwnerAffinity(t *testing.T) {
+	q := newRunQueue(3)
+	shs := rqShards(0, 1, 2)
+	for _, sh := range shs {
+		q.push(sh)
+	}
+	// Pop for workers in reverse order: each must still get its own shard.
+	for w := 2; w >= 0; w-- {
+		sh, ok := q.popFor(w)
+		if !ok {
+			t.Fatalf("popFor(%d): queue reported closed", w)
+		}
+		if sh != shs[w] {
+			t.Fatalf("popFor(%d) = shard owned by %d, want own shard", w, sh.owner)
+		}
+	}
+}
+
+// TestRunQueueStealsOnEmpty pins the imbalance escape hatch: a worker with
+// an empty ring steals from the next non-empty ring instead of blocking
+// while work is runnable elsewhere.
+func TestRunQueueStealsOnEmpty(t *testing.T) {
+	q := newRunQueue(3)
+	shs := rqShards(0, 0)
+	for _, sh := range shs {
+		q.push(sh)
+	}
+	// Worker 1 owns nothing; it must steal worker 0's oldest shard
+	// (scan order 1, 2, 0 — ring 0 is the first non-empty).
+	sh, ok := q.popFor(1)
+	if !ok || sh != shs[0] {
+		t.Fatalf("popFor(1) = %v, %v; want steal of worker 0's oldest shard", sh, ok)
+	}
+	// Worker 0 still gets the remaining shard from its own ring.
+	sh, ok = q.popFor(0)
+	if !ok || sh != shs[1] {
+		t.Fatalf("popFor(0) = %v, %v; want own remaining shard", sh, ok)
+	}
+}
+
+// TestRunQueueFIFOWithinRing pins per-ring ordering (shards make even
+// progress) across enough pushes to force the ring's backing buffer to grow
+// and wrap.
+func TestRunQueueFIFOWithinRing(t *testing.T) {
+	q := newRunQueue(2)
+	const n = 50 // > initial ring capacity, forces growth mid-stream
+	shs := make([]*shard, n)
+	for i := range shs {
+		shs[i] = &shard{owner: 0}
+		q.push(shs[i])
+	}
+	for i := 0; i < n; i++ {
+		sh, ok := q.popFor(0)
+		if !ok {
+			t.Fatalf("pop %d: queue reported closed", i)
+		}
+		if sh != shs[i] {
+			t.Fatalf("pop %d out of FIFO order", i)
+		}
+	}
+}
+
+// TestRunQueueInterleavedGrowth exercises the ring's wrap-around path: pops
+// interleaved with pushes move head off zero before the buffer grows, so
+// growth must relocate a wrapped sequence correctly.
+func TestRunQueueInterleavedGrowth(t *testing.T) {
+	q := newRunQueue(1)
+	var want []*shard
+	mk := func() *shard { sh := &shard{owner: 0}; q.push(sh); return sh }
+	for i := 0; i < 12; i++ {
+		want = append(want, mk())
+	}
+	for i := 0; i < 8; i++ { // advance head
+		sh, _ := q.popFor(0)
+		if sh != want[i] {
+			t.Fatalf("warm pop %d out of order", i)
+		}
+	}
+	for i := 0; i < 30; i++ { // force growth with head != 0
+		want = append(want, mk())
+	}
+	for i := 8; i < len(want); i++ {
+		sh, ok := q.popFor(0)
+		if !ok || sh != want[i] {
+			t.Fatalf("pop %d after growth out of order", i)
+		}
+	}
+}
+
+// TestRunQueueCloseDrains pins the shutdown contract: a closed queue still
+// hands out every queued shard before reporting closed, and a worker blocked
+// on an empty queue is released by close.
+func TestRunQueueCloseDrains(t *testing.T) {
+	q := newRunQueue(2)
+	shs := rqShards(0, 1)
+	for _, sh := range shs {
+		q.push(sh)
+	}
+	q.close()
+	seen := map[*shard]bool{}
+	for i := 0; i < len(shs); i++ {
+		sh, ok := q.popFor(0)
+		if !ok {
+			t.Fatalf("pop %d: closed queue did not drain", i)
+		}
+		seen[sh] = true
+	}
+	if _, ok := q.popFor(0); ok {
+		t.Fatal("drained closed queue still returned a shard")
+	}
+
+	// A blocked popFor must be released by close.
+	q2 := newRunQueue(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q2.popFor(0)
+		done <- ok
+	}()
+	q2.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked popFor returned a shard from an empty closed queue")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not release blocked popFor")
+	}
+}

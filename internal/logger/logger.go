@@ -83,17 +83,19 @@ func New(sys *lti.System, maxWin int) *Logger {
 	}
 	n := sys.StateDim()
 	ring := make([]Entry, maxWin+2)
-	// The ring's vectors live in two flat backing arrays, so the windowed
-	// residual walks of the detection hot path stream over contiguous
-	// memory instead of chasing per-entry allocations — with thousands of
-	// detector streams the residual history is the bulk of the per-step
-	// memory traffic. The capped subslices keep an accidental append from
-	// bleeding into the neighboring entry.
-	estFlat := make([]float64, len(ring)*n)
-	resFlat := make([]float64, len(ring)*n)
+	// The ring's vectors live in one flat backing array with each entry's
+	// estimate and residual adjacent, so the detection hot path touches one
+	// contiguous span per step it visits instead of chasing per-entry
+	// allocations — with thousands of detector streams the ring is the bulk
+	// of the per-step memory traffic, and the steps a silent step visits
+	// come in estimate/residual pairs: the new entry writes both halves of
+	// one span, and the trusted-estimate read at t−w−1 shares its span with
+	// the residual leaving the sliding window sum. The capped subslices keep
+	// an accidental append from bleeding into the neighboring half.
+	flat := make([]float64, len(ring)*2*n)
 	for i := range ring {
-		ring[i].Estimate = estFlat[i*n : (i+1)*n : (i+1)*n]
-		ring[i].Residual = resFlat[i*n : (i+1)*n : (i+1)*n]
+		ring[i].Estimate = flat[i*2*n : i*2*n+n : i*2*n+n]
+		ring[i].Residual = flat[i*2*n+n : (i+1)*2*n : (i+1)*2*n]
 	}
 	return &Logger{
 		sys:    sys,

@@ -103,14 +103,26 @@ func (s *System) PredictTo(dst, x, u mat.Vec) {
 // PredictBatchTo computes the nominal one-step prediction A x + B u for a
 // whole block of states and inputs at once (column s of dst, x, and u
 // belong to stream s), loading the shared plant matrices through cache once
-// per batch instead of once per stream. Column-wise the summation order is
-// exactly PredictTo's — MulVecTo then a grouped MulVecAddTo — so every
-// column is bit-identical to a standalone PredictTo call (the fleet
-// engine's differential tests pin this). dst must alias neither x nor u;
-// shape mismatches panic exactly like PredictTo.
+// per batch instead of once per stream. The sweep is fused per stream tile:
+// each mat.BatchTile-wide block of columns gets its A-part and its B-part
+// back to back, so the tile's dst block is written while still L1-resident
+// instead of being streamed through cache twice by two whole-batch kernel
+// calls — the difference between compute-bound and bandwidth-bound once the
+// batch outgrows L2. Column-wise the summation order is exactly PredictTo's
+// — MulVecTo then a grouped MulVecAddTo — so every column is bit-identical
+// to a standalone PredictTo call (the fleet engine's differential tests pin
+// this). dst must alias neither x nor u; shape mismatches panic exactly
+// like PredictTo.
 func (s *System) PredictBatchTo(dst, x, u *mat.Batch) {
-	s.A.MulBatchTo(dst, x)
-	s.B.MulBatchAddTo(dst, u)
+	n := dst.Len()
+	for s0 := 0; s0 < n; s0 += mat.BatchTile {
+		s1 := s0 + mat.BatchTile
+		if s1 > n {
+			s1 = n
+		}
+		s.A.MulBatchRangeTo(dst, x, s0, s1)
+		s.B.MulBatchAddRangeTo(dst, u, s0, s1)
+	}
 }
 
 // Discretize converts a continuous-time system ẋ = Ac x + Bc u into the

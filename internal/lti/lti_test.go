@@ -243,3 +243,19 @@ func TestPredictBatchToBitIdenticalToPredictTo(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictBatchToAllocFree pins the fused sweep's steady-state cost: a
+// whole-fleet prediction pass performs zero heap allocations, including on
+// batches with a ragged final tile.
+func TestPredictBatchToAllocFree(t *testing.T) {
+	sys := MustDiscretize(mat.Diag(-0.5, -0.25), mat.ColVec(mat.VecOf(1, 0.5)), nil, 0.05)
+	const n = 300 // crosses the tile boundary with a ragged remainder
+	xb := mat.NewBatch(sys.StateDim(), n)
+	ub := mat.NewBatch(sys.InputDim(), n)
+	pb := mat.NewBatch(sys.StateDim(), n)
+	if allocs := testing.AllocsPerRun(50, func() {
+		sys.PredictBatchTo(pb, xb, ub)
+	}); allocs != 0 {
+		t.Errorf("PredictBatchTo allocates %v per run, want 0", allocs)
+	}
+}

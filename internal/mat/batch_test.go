@@ -52,7 +52,7 @@ func TestBatchAccessors(t *testing.T) {
 func TestMulBatchToBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for _, dim := range []int{1, 2, 3, 6} {
-		for _, n := range []int{1, 7, batchTile - 1, batchTile, batchTile + 3, 2*batchTile + 5} {
+		for _, n := range []int{1, 7, BatchTile - 1, BatchTile, BatchTile + 3, 2*BatchTile + 5} {
 			m := randDense(rng, dim, dim)
 			x := NewBatch(dim, n)
 			for s := 0; s < n; s++ {
@@ -86,7 +86,7 @@ func TestMulBatchAddToBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	for _, shape := range [][2]int{{1, 1}, {3, 1}, {3, 2}, {6, 4}} {
 		rows, cols := shape[0], shape[1]
-		for _, n := range []int{1, 5, batchTile, batchTile + 9} {
+		for _, n := range []int{1, 5, BatchTile, BatchTile + 9} {
 			m := randDense(rng, rows, cols)
 			x := NewBatch(cols, n)
 			dst := NewBatch(rows, n)
@@ -171,7 +171,96 @@ func TestMulBatchToAllocFree(t *testing.T) {
 	if allocs := testing.AllocsPerRun(50, func() {
 		m.MulBatchTo(dst, x)
 		m.MulBatchAddTo(dst, x)
+		m.MulBatchRangeTo(dst, x, 3, 299)
+		m.MulBatchAddRangeTo(dst, x, 3, 299)
 	}); allocs != 0 {
 		t.Errorf("batch kernels allocate %v per run, want 0", allocs)
+	}
+}
+
+// TestMulBatchRangeToBitIdentical pins the range kernels the fused
+// multi-kernel sweep is built from: columns inside [s0, s1) carry exactly
+// the bits of the full-batch kernels (and therefore of MulVecTo /
+// MulVecAddTo), and columns outside the range are untouched. Ranges are
+// chosen to start and end off tile boundaries, inside a single tile, and
+// across several tiles.
+func TestMulBatchRangeToBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const dim = 3
+	n := 2*BatchTile + 17
+	m := randDense(rng, dim, dim)
+	x := NewBatch(dim, n)
+	for s := 0; s < n; s++ {
+		for j := 0; j < dim; j++ {
+			x.Set(j, s, rng.NormFloat64())
+		}
+	}
+	full := NewBatch(dim, n)
+	m.MulBatchTo(full, x)
+	fullAdd := NewBatch(dim, n)
+	m.MulBatchAddTo(fullAdd, x)
+
+	const sentinel = -1234.5
+	for _, r := range [][2]int{
+		{0, n},                         // whole batch
+		{5, 9},                         // inside the first tile
+		{BatchTile - 3, BatchTile + 3}, // straddles one tile boundary
+		{7, 2*BatchTile + 1},           // crosses two boundaries, both ends misaligned
+		{2 * BatchTile, n},             // the ragged last tile alone
+	} {
+		s0, s1 := r[0], r[1]
+		dst := NewBatch(dim, n)
+		for j := 0; j < dim; j++ {
+			row := dst.Row(j)
+			for s := range row {
+				row[s] = sentinel
+			}
+		}
+		m.MulBatchRangeTo(dst, x, s0, s1)
+		dstAdd := NewBatch(dim, n) // zero-initialized, so += matches fullAdd
+		m.MulBatchAddRangeTo(dstAdd, x, s0, s1)
+		for j := 0; j < dim; j++ {
+			got, want := dst.Row(j), full.Row(j)
+			gotAdd, wantAdd := dstAdd.Row(j), fullAdd.Row(j)
+			for s := 0; s < n; s++ {
+				in := s >= s0 && s < s1
+				if in && math.Float64bits(got[s]) != math.Float64bits(want[s]) {
+					t.Fatalf("range [%d,%d) col %d row %d: %v != full %v", s0, s1, s, j, got[s], want[s])
+				}
+				if !in && got[s] != sentinel {
+					t.Fatalf("range [%d,%d) wrote outside the range at col %d row %d", s0, s1, s, j)
+				}
+				if in && math.Float64bits(gotAdd[s]) != math.Float64bits(wantAdd[s]) {
+					t.Fatalf("add range [%d,%d) col %d row %d: %v != full %v", s0, s1, s, j, gotAdd[s], wantAdd[s])
+				}
+				if !in && gotAdd[s] != 0 {
+					t.Fatalf("add range [%d,%d) wrote outside the range at col %d row %d", s0, s1, s, j)
+				}
+			}
+		}
+	}
+}
+
+// TestMulBatchRangeToPanics pins the range-fault contract.
+func TestMulBatchRangeToPanics(t *testing.T) {
+	m := Identity(3)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"negative s0", func() { m.MulBatchRangeTo(NewBatch(3, 4), NewBatch(3, 4), -1, 2) }},
+		{"s1 past end", func() { m.MulBatchRangeTo(NewBatch(3, 4), NewBatch(3, 4), 0, 5) }},
+		{"inverted", func() { m.MulBatchRangeTo(NewBatch(3, 4), NewBatch(3, 4), 3, 2) }},
+		{"empty", func() { m.MulBatchRangeTo(NewBatch(3, 4), NewBatch(3, 4), 2, 2) }},
+		{"add inverted", func() { m.MulBatchAddRangeTo(NewBatch(3, 4), NewBatch(3, 4), 3, 2) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
 	}
 }
