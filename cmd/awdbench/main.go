@@ -64,13 +64,17 @@ func main() {
 	base := flag.String("base", "streams=1000", "benchmark suffix of the flatness baseline row (with -check-flat)")
 	minFrac := flag.Float64("min-frac", 0.35,
 		"minimum largest-stream/base steps-per-second ratio accepted by -check-flat")
+	scaleKey := flag.String("scale-key", "streams",
+		"row-name key whose =N value picks the largest row compared against base (with -check-flat)")
+	metric := flag.String("metric", "steps/sec",
+		"custom metric unit the -check-flat gate compares (min-frac > 1 turns the gate into a speedup floor)")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintf(os.Stderr, "awdbench: -phase must be before or after, got %q\n", *phase)
 		os.Exit(2)
 	}
 	if *checkFlat != "" {
-		if err := checkFlatness(*checkFlat, *phase, *base, *minFrac); err != nil {
+		if err := checkFlatness(*checkFlat, *phase, *base, *scaleKey, *metric, *minFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "awdbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -182,16 +186,20 @@ func gitCommit() string {
 	return strings.TrimSpace(string(out))
 }
 
-// streamsRe extracts the stream count from a fleet benchmark row name.
-var streamsRe = regexp.MustCompile(`/streams=(\d+)$`)
-
 // checkFlatness is the -check-flat mode: it loads the phase section of the
-// ledger, finds the flatness baseline row (name ending in base) and the
-// row with the largest stream count, and compares their best steps/sec
-// samples. Best-of-samples makes the gate one-sided against scheduler
+// ledger, finds the baseline row (name ending in base) and the row with
+// the largest "<scaleKey>=N" value, and compares their best samples of the
+// named metric. Best-of-samples makes the gate one-sided against scheduler
 // noise: a slow outlier sample cannot fail a healthy tree, only a tree
-// whose peak throughput actually regressed fails.
-func checkFlatness(path, phase, base string, minFrac float64) error {
+// whose peak throughput actually regressed fails. With minFrac < 1 this is
+// a flatness gate (scaling must not collapse); with minFrac > 1 it is a
+// speedup floor (the largest row must beat the base by that factor), which
+// is how `make bench-serve` pins batched ingest against batch=1.
+func checkFlatness(path, phase, base, scaleKey, metric string, minFrac float64) error {
+	scaleRe, err := regexp.Compile(`/` + regexp.QuoteMeta(scaleKey) + `=(\d+)$`)
+	if err != nil {
+		return fmt.Errorf("scale-key %q: %v", scaleKey, err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -209,9 +217,9 @@ func checkFlatness(path, phase, base string, minFrac float64) error {
 		return fmt.Errorf("%s: %q section: %v", path, phase, err)
 	}
 	baseBest, maxBest := 0.0, 0.0
-	baseName, maxName, maxStreams := "", "", -1
+	baseName, maxName, maxScale := "", "", -1
 	for name, raw := range section {
-		m := streamsRe.FindStringSubmatch(name)
+		m := scaleRe.FindStringSubmatch(name)
 		if m == nil {
 			continue
 		}
@@ -220,30 +228,30 @@ func checkFlatness(path, phase, base string, minFrac float64) error {
 			return fmt.Errorf("%s: row %s: %v", path, name, err)
 		}
 		best := 0.0
-		for _, v := range r.Metrics["steps/sec"] {
+		for _, v := range r.Metrics[metric] {
 			if v > best {
 				best = v
 			}
 		}
 		if best == 0 {
-			return fmt.Errorf("%s: row %s has no steps/sec samples", path, name)
+			return fmt.Errorf("%s: row %s has no %s samples", path, name, metric)
 		}
 		if strings.HasSuffix(name, base) {
 			baseName, baseBest = name, best
 		}
-		if n, _ := strconv.Atoi(m[1]); n > maxStreams {
-			maxStreams, maxName, maxBest = n, name, best
+		if n, _ := strconv.Atoi(m[1]); n > maxScale {
+			maxScale, maxName, maxBest = n, name, best
 		}
 	}
 	if baseName == "" {
 		return fmt.Errorf("%s: no row matching base %q in %q section", path, base, phase)
 	}
 	if maxName == baseName {
-		return fmt.Errorf("%s: largest-stream row is the base row %s; nothing to gate", path, baseName)
+		return fmt.Errorf("%s: largest %s row is the base row %s; nothing to gate", path, scaleKey, baseName)
 	}
 	frac := maxBest / baseBest
-	fmt.Fprintf(os.Stderr, "awdbench: flatness %s: %s %.0f steps/sec vs %s %.0f steps/sec = %.2f (min %.2f)\n",
-		phase, maxName, maxBest, baseName, baseBest, frac, minFrac)
+	fmt.Fprintf(os.Stderr, "awdbench: flatness %s: %s %.0f %s vs %s %.0f %s = %.2f (min %.2f)\n",
+		phase, maxName, maxBest, metric, baseName, baseBest, metric, frac, minFrac)
 	if frac < minFrac {
 		return fmt.Errorf("flatness gate failed: %s runs at %.2f of %s, below min-frac %.2f",
 			maxName, frac, baseName, minFrac)

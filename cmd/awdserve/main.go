@@ -36,6 +36,10 @@ func main() {
 		maxPerTen   = flag.Int("max-streams-per-tenant", 0, "per-tenant open-stream quota (0 = unlimited)")
 		workers     = flag.Int("workers", 0, "shard-processing goroutines (0 = GOMAXPROCS)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /snapshot on this address")
+		maxInflight = flag.Int("max-inflight", wire.DefaultMaxInflight,
+			"per-connection cap on decided-but-unwritten responses (pipelining window backpressure)")
+		flushEvery = flag.Duration("flush-interval", wire.DefaultFlushInterval,
+			"max time a decided response may wait in the writer's coalescing buffer while the connection stays busy")
 	)
 	flag.Parse()
 
@@ -56,6 +60,8 @@ func main() {
 		CheckpointDir:       *ckptDir,
 		MaxStreamsPerTenant: *maxPerTen,
 		Workers:             *workers,
+		MaxInflight:         *maxInflight,
+		FlushInterval:       *flushEvery,
 		Observer:            obsrv,
 	})
 	if *restoreFrom != "" {

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// BatchItem is one sample of a batched submit: the target stream plus the
+// same (estimate, appliedU) pair Stream.Submit takes. A nil Stream yields
+// ErrUnknownStream for that item — the wire server resolves handles under
+// its own lock and leaves unknowns nil rather than aborting the batch.
+type BatchItem struct {
+	Stream   *Stream
+	Estimate mat.Vec
+	AppliedU mat.Vec // nil means zero input, as in Stream.Submit
+}
+
+// BatchResult is one sample's outcome: the decision, or the per-item error
+// (dimension mismatch, unknown stream, engine closed).
+type BatchResult struct {
+	Decision core.Decision
+	Err      error
+}
+
+// Batcher is the batched ingest seam: it submits many samples in one call,
+// letting the engine's shards step them as batches instead of one blocking
+// Submit round trip per sample. A Batcher owns reusable scratch and is NOT
+// safe for concurrent use — open one per connection or worker (the engine
+// it came from multiplexes).
+type Batcher struct {
+	eng  *Engine
+	seen map[*Stream]struct{} // wave membership, reused across calls
+}
+
+// NewBatcher returns a batcher over this engine.
+func (e *Engine) NewBatcher() *Batcher {
+	return &Batcher{eng: e, seen: make(map[*Stream]struct{})}
+}
+
+// Submit ingests every item and fills out (which must have the same
+// length) with the per-item decisions. Per-stream sample order is the item
+// order, and each sample is stepped exactly as Stream.Submit would step it,
+// so the decision sequence every stream sees is bit-identical to serial
+// submission — the wire differential tests pin this across plants and
+// attacks. The call returns once every item is decided; the only non-nil
+// return is a slice-length mismatch, everything per-item lands in out.
+//
+// Items are admitted in waves within which each stream appears at most
+// once: a stream's single-sample ingest token and one-slot decision
+// channel admit one outstanding sample, so a second sample for the same
+// stream must wait until the first's decision has been collected. Waves
+// preserve order (duplicates always land in a later wave than their
+// predecessor) while letting every distinct stream in the batch be in
+// flight at once — which is what engages the shards' batched step passes.
+func (b *Batcher) Submit(items []BatchItem, out []BatchResult) error {
+	if len(out) != len(items) {
+		return fmt.Errorf("fleet: batch results length %d, want %d", len(out), len(items))
+	}
+	start := 0
+	for start < len(items) {
+		clear(b.seen)
+		end := start
+		for end < len(items) {
+			s := items[end].Stream
+			if s != nil {
+				if _, dup := b.seen[s]; dup {
+					break
+				}
+				b.seen[s] = struct{}{}
+			}
+			end++
+		}
+		// Enqueue the wave: every stream's slot fills and its shard wakes
+		// before anything blocks on a decision.
+		for i := start; i < end; i++ {
+			it := &items[i]
+			out[i] = BatchResult{}
+			switch {
+			case it.Stream == nil:
+				out[i].Err = ErrUnknownStream
+			case it.Stream.eng != b.eng:
+				out[i].Err = fmt.Errorf("fleet: stream %q belongs to a different engine", it.Stream.id)
+			default:
+				if err := it.Stream.validate(it.Estimate, it.AppliedU); err != nil {
+					out[i].Err = err
+				} else if err := it.Stream.enqueue(it.Estimate, it.AppliedU, true); err != nil {
+					out[i].Err = err
+				}
+			}
+		}
+		// Collect in item order; an item that failed to enqueue has its
+		// error already and nothing in flight.
+		for i := start; i < end; i++ {
+			if out[i].Err != nil {
+				continue
+			}
+			r := <-items[i].Stream.done
+			out[i].Decision, out[i].Err = r.dec, r.err
+		}
+		start = end
+	}
+	return nil
+}

@@ -189,6 +189,15 @@ type Decoder struct {
 // callers must not mutate it during decoding.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
 
+// Reset re-aims the decoder at b, clearing any sticky error, so a
+// long-lived decoder (a network server decoding one request per frame)
+// avoids a per-message allocation. The previous buffer is released.
+func (d *Decoder) Reset(b []byte) {
+	d.buf = b
+	d.off = 0
+	d.err = nil
+}
+
 // Err returns the first decoding error, or nil.
 func (d *Decoder) Err() error { return d.err }
 

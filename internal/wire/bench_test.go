@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -93,6 +94,166 @@ func BenchmarkServeIngestHTTP(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// benchBatchServer starts a server with n open aircraft-pitch streams and
+// a connected client, returning the per-stream handles and one silent
+// sample per stream.
+func benchBatchServer(b *testing.B, n int) (*Client, []uint64, [][]float64, [][]float64) {
+	b.Helper()
+	srv := NewServer(Config{Workers: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	b.Cleanup(func() { c.Close() })
+	est, u := benchSample(models.ByName("aircraft-pitch"))
+	handles := make([]uint64, n)
+	ests := make([][]float64, n)
+	inputs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		if handles[i], err = c.Open("bench", fmt.Sprintf("s-%04d", i), "aircraft-pitch", "adaptive", 0); err != nil {
+			b.Fatalf("Open(%d): %v", i, err)
+		}
+		ests[i] = est
+		inputs[i] = u
+	}
+	return c, handles, ests, inputs
+}
+
+// BenchmarkServeIngestWireBatch measures batched wire ingest: one
+// MsgIngestBatch frame per op carrying one silent sample for each of
+// batch streams. ns/op is per batch; the samples/sec metric is the
+// per-sample throughput `make bench-serve` gates against the batch=1 row
+// (the framing-amortization win is the whole point of the batch frames).
+func BenchmarkServeIngestWireBatch(b *testing.B) {
+	for _, n := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", n), func(b *testing.B) {
+			c, handles, ests, inputs := benchBatchServer(b, n)
+			out := make([]IngestResult, n)
+			if err := c.IngestBatch(handles, ests, inputs, out); err != nil { // warm-up
+				b.Fatalf("IngestBatch: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.IngestBatch(handles, ests, inputs, out); err != nil {
+					b.Fatalf("IngestBatch: %v", err)
+				}
+				if out[0].Err != nil {
+					b.Fatalf("batch item: %v", out[0].Err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkServeIngestPipelined measures the async single-frame path: one
+// sample per MsgIngest frame, but with an in-flight window instead of a
+// blocking round trip per sample, round-robin over 8 streams. Together
+// with the batch rows this separates the two amortizations: pipelining
+// removes the round-trip stalls, batching additionally removes per-frame
+// overhead.
+func BenchmarkServeIngestPipelined(b *testing.B) {
+	for _, w := range []int{16, 256} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			const streams = 8
+			c, handles, ests, inputs := benchBatchServer(b, streams)
+			delivered := 0
+			p, err := c.Pipeline(w, func(_ uint64, _ core.Decision, err error) {
+				if err != nil {
+					b.Errorf("delivery: %v", err)
+				}
+				delivered++
+			})
+			if err != nil {
+				b.Fatalf("Pipeline: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % streams
+				if err := p.Ingest(handles[k], ests[k], inputs[k]); err != nil {
+					b.Fatalf("Ingest: %v", err)
+				}
+			}
+			if err := p.Flush(); err != nil {
+				b.Fatalf("Flush: %v", err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+			if err := p.Close(); err != nil {
+				b.Fatalf("Close: %v", err)
+			}
+			if delivered != b.N {
+				b.Fatalf("delivered %d of %d", delivered, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkServeIngestWireConns measures synchronous single-frame ingest
+// across parallel connections, each with its own stream — the multi-tenant
+// shape where per-connection round trips overlap.
+func BenchmarkServeIngestWireConns(b *testing.B) {
+	for _, nc := range []int{1, 4} {
+		b.Run(fmt.Sprintf("conns=%d", nc), func(b *testing.B) {
+			srv := NewServer(Config{Workers: 2})
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				b.Fatalf("Start: %v", err)
+			}
+			defer srv.Close()
+			est, u := benchSample(models.ByName("aircraft-pitch"))
+			clients := make([]*Client, nc)
+			handles := make([]uint64, nc)
+			for k := 0; k < nc; k++ {
+				if clients[k], err = Dial(addr); err != nil {
+					b.Fatalf("Dial: %v", err)
+				}
+				defer clients[k].Close()
+				if handles[k], err = clients[k].Open("bench", fmt.Sprintf("c-%d", k), "aircraft-pitch", "adaptive", 0); err != nil {
+					b.Fatalf("Open: %v", err)
+				}
+				if _, err := clients[k].Ingest(handles[k], est, u); err != nil {
+					b.Fatalf("warm-up Ingest: %v", err)
+				}
+			}
+			per := b.N / nc
+			if per == 0 {
+				per = 1
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errCh := make(chan error, nc)
+			for k := 0; k < nc; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := clients[k].Ingest(handles[k], est, u); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(k)
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				b.Fatalf("Ingest: %v", err)
+			default:
+			}
+			b.ReportMetric(float64(nc*per)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
 }
 
 // benchFleet builds a warmed fleet of n adaptive aircraft-pitch streams.

@@ -19,6 +19,13 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	enc  *state.Encoder // reused per request to keep ingest allocation-light
+	dec  state.Decoder  // reused per response
+	rbuf []byte         // reused response frame buffer
+
+	// serverVersion is the protocol version the server announced in its
+	// hello response; a pre-batch server reports 1 and IngestBatch/Pipeline
+	// must not be used against it.
+	serverVersion uint16
 }
 
 // Dial connects to a wire server and performs the hello handshake.
@@ -35,16 +42,33 @@ func Dial(addr string) (*Client, error) {
 	}
 	c.enc.U16(ProtocolVersion)
 	c.enc.String("wire-client")
-	if _, _, err := c.roundTrip(MsgHello); err != nil {
+	_, dec, err := c.roundTrip(MsgHello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = dec.String() // server name: diagnostic only
+	c.serverVersion = 1
+	if dec.Remaining() >= 2 {
+		// Version 2+ servers append their protocol version; a version 1
+		// server's hello response ends after the name.
+		c.serverVersion = dec.U16()
+	}
+	if err := dec.Err(); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
+// ServerVersion reports the protocol version the server announced during
+// the hello handshake (1 for servers that predate version negotiation in
+// the response).
+func (c *Client) ServerVersion() uint16 { return c.serverVersion }
+
 // roundTrip sends the staged request payload and reads one response,
 // translating MsgError into a Go error. The returned decoder reads the
-// response payload.
+// response payload and is valid until the next request.
 func (c *Client) roundTrip(typ byte) (byte, *state.Decoder, error) {
 	if err := writeFrame(c.bw, typ, c.enc.Bytes()); err != nil {
 		return 0, nil, err
@@ -52,19 +76,19 @@ func (c *Client) roundTrip(typ byte) (byte, *state.Decoder, error) {
 	if err := c.bw.Flush(); err != nil {
 		return 0, nil, err
 	}
-	rtyp, payload, err := readFrame(c.br)
+	rtyp, payload, err := readFrameInto(c.br, &c.rbuf)
 	if err != nil {
 		return 0, nil, err
 	}
-	dec := state.NewDecoder(payload)
+	c.dec.Reset(payload)
 	if rtyp == MsgError {
-		msg := dec.String()
-		if dec.Err() != nil {
+		msg := c.dec.String()
+		if c.dec.Err() != nil {
 			msg = "malformed error response"
 		}
 		return rtyp, nil, errors.New(msg)
 	}
-	return rtyp, dec, nil
+	return rtyp, &c.dec, nil
 }
 
 // reset stages a fresh request payload.
@@ -104,6 +128,40 @@ func (c *Client) Ingest(handle uint64, estimate, appliedU []float64) (core.Decis
 		return core.Decision{}, fmt.Errorf("wire: ingest got response type 0x%02x", rtyp)
 	}
 	return decodeDecision(dec)
+}
+
+// IngestResult is one sample's outcome from a batched or pipelined
+// ingest: the decision, or the per-sample server error.
+type IngestResult struct {
+	Decision core.Decision
+	Err      error
+}
+
+// IngestBatch feeds one sample per handle in a single MsgIngestBatch frame
+// and fills out with the per-sample decisions, amortizing the network
+// round trip and the server's framing work across the whole batch. The
+// four slices must have equal length. Per-sample failures (unknown handle,
+// dimension mismatch) land in out[i].Err; the returned error is reserved
+// for transport and whole-batch protocol failures. Requires a version 2
+// server (see ServerVersion).
+func (c *Client) IngestBatch(handles []uint64, estimates, inputs [][]float64, out []IngestResult) error {
+	if len(estimates) != len(handles) || len(inputs) != len(handles) || len(out) != len(handles) {
+		return fmt.Errorf("wire: batch slice lengths %d/%d/%d/%d differ",
+			len(handles), len(estimates), len(inputs), len(out))
+	}
+	if c.serverVersion < 2 {
+		return fmt.Errorf("wire: server speaks protocol %d, batch ingest needs 2", c.serverVersion)
+	}
+	c.reset()
+	appendIngestBatch(c.enc, handles, estimates, inputs)
+	rtyp, dec, err := c.roundTrip(MsgIngestBatch)
+	if err != nil {
+		return err
+	}
+	if rtyp != MsgDecisionBatch {
+		return fmt.Errorf("wire: batch ingest got response type 0x%02x", rtyp)
+	}
+	return decodeDecisionBatch(dec, out)
 }
 
 // Checkpoint asks the server to write a whole-fleet snapshot; name "" uses

@@ -3,9 +3,11 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/state"
 )
 
@@ -22,6 +24,12 @@ import (
 //     the codec is its own inverse on the valid subset.
 //   - A frame tagged MsgDecision feeds decodeDecision without panicking,
 //     whatever its payload (the claimed-dims bound must hold).
+//   - A frame tagged MsgIngestBatch feeds ingestBatch.decode without
+//     panicking; anything it accepts re-encodes byte-identically through
+//     appendIngestBatch (exact consumption makes the batch codec its own
+//     inverse).
+//   - A frame tagged MsgDecisionBatch feeds decodeDecisionBatch without
+//     panicking, whatever its claimed count.
 func FuzzFrameRoundTrip(f *testing.F) {
 	// Seed with a valid OK frame, a decision frame, a truncated header, an
 	// oversized length prefix, and a length/payload mismatch.
@@ -46,6 +54,28 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(decFrame.Bytes())
+
+	// A two-sample ingest batch and its decision batch.
+	enc.Reset()
+	appendIngestBatch(enc,
+		[]uint64{1, 2},
+		[][]float64{{0.5, -1.25}, {3}},
+		[][]float64{{0}, {}})
+	var batchFrame bytes.Buffer
+	if err := writeFrame(&batchFrame, MsgIngestBatch, enc.Bytes()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batchFrame.Bytes())
+
+	enc.Reset()
+	enc.U32(2)
+	appendBatchDecision(enc, core.Decision{Step: 3, Window: 9, Deadline: 2, Dims: []int{1}}, nil)
+	appendBatchDecision(enc, core.Decision{}, errors.New("fleet: unknown stream"))
+	var decBatchFrame bytes.Buffer
+	if err := writeFrame(&decBatchFrame, MsgDecisionBatch, enc.Bytes()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(decBatchFrame.Bytes())
 
 	f.Add([]byte{3, 0, 0}) // truncated header
 	var huge [5]byte
@@ -89,6 +119,33 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			d, err := decodeDecision(state.NewDecoder(payload))
 			if err == nil && len(d.Dims) > len(payload)/8 {
 				t.Fatalf("decoded %d dims from %d payload bytes", len(d.Dims), len(payload))
+			}
+		}
+
+		// Batch ingest payloads must decode or error — never panic — and
+		// anything accepted must re-encode to the payload byte for byte:
+		// decode enforces exact consumption, so the batch codec is its own
+		// inverse on the valid subset.
+		if typ == MsgIngestBatch {
+			var ib ingestBatch
+			if err := ib.decode(payload); err == nil {
+				re := state.NewEncoder()
+				appendIngestBatch(re, ib.handles, ib.ests, ib.us)
+				if !bytes.Equal(re.Bytes(), payload) {
+					t.Fatalf("batch re-encode mismatch:\n  in %x\n out %x", payload, re.Bytes())
+				}
+			}
+		}
+
+		// Decision batch payloads must decode or error for whatever count
+		// they claim — never panic, never decode more results than fit.
+		if typ == MsgDecisionBatch && len(payload) >= 4 {
+			n := binary.LittleEndian.Uint32(payload[:4])
+			// Each result is at least 1 status byte; larger claims must be
+			// rejected by the decoder itself when results run out of bytes.
+			if int64(n) <= int64(len(payload)) {
+				out := make([]IngestResult, n)
+				_ = decodeDecisionBatch(state.NewDecoder(payload), out)
 			}
 		}
 

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/mat"
 )
 
 // httpServer is the HTTP/JSON fallback surface: the same five RPCs as the
@@ -34,6 +36,18 @@ type ingestRequest struct {
 	Handle   uint64    `json:"handle"`
 	Estimate []float64 `json:"estimate"`
 	Input    []float64 `json:"input"`
+}
+
+// ingestBatchRequest is the POST /v1/ingest-batch body.
+type ingestBatchRequest struct {
+	Items []ingestRequest `json:"items"`
+}
+
+// ingestBatchItemJSON is one sample's outcome in the batch response;
+// exactly one of decision and error is set.
+type ingestBatchItemJSON struct {
+	Decision *decisionJSON `json:"decision,omitempty"`
+	Error    string        `json:"error,omitempty"`
 }
 
 // decisionJSON mirrors core.Decision for the JSON surface.
@@ -92,6 +106,35 @@ func (s *Server) StartHTTP(addr string) (string, error) {
 			return
 		}
 		httpJSON(w, toDecisionJSON(d))
+	})
+	mux.HandleFunc("POST /v1/ingest-batch", func(w http.ResponseWriter, r *http.Request) {
+		var req ingestBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		n := len(req.Items)
+		handles := make([]uint64, n)
+		items := make([]fleet.BatchItem, n)
+		results := make([]fleet.BatchResult, n)
+		for i, it := range req.Items {
+			handles[i] = it.Handle
+			items[i] = fleet.BatchItem{Estimate: mat.Vec(it.Estimate), AppliedU: mat.Vec(it.Input)}
+		}
+		if err := s.IngestBatch(s.eng.NewBatcher(), handles, items, results); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		out := make([]ingestBatchItemJSON, n)
+		for i, res := range results {
+			if res.Err != nil {
+				out[i].Error = res.Err.Error()
+			} else {
+				d := toDecisionJSON(res.Decision)
+				out[i].Decision = &d
+			}
+		}
+		httpJSON(w, map[string]any{"items": out})
 	})
 	mux.HandleFunc("POST /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {

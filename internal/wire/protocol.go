@@ -16,13 +16,25 @@
 // little-endian integers, IEEE-754 bit patterns, length-prefixed strings)
 // without the snapshot container header — framing already delimits
 // messages. Each request frame gets exactly one response frame: MsgOpened
-// for MsgOpen, MsgDecision for MsgIngest, MsgOK for the rest, MsgError for
-// any failure. The per-request payloads are documented on the Client
-// methods, which are the reference implementation.
+// for MsgOpen, MsgDecision for MsgIngest, MsgDecisionBatch for
+// MsgIngestBatch, MsgOK for the rest, MsgError for any failure. The
+// per-request payloads are documented on the Client methods, which are the
+// reference implementation.
+//
+// # Pipelining
+//
+// Responses are delivered strictly in request order, and a client may have
+// many requests in flight on one connection: the server decouples frame
+// reading from response writing, so a pipelined client pays the network
+// round trip once per window rather than once per sample. MsgIngestBatch
+// carries many samples in one frame for the same amortization at the
+// framing layer. Protocol version 2 adds the batch frames; everything a
+// version 1 client sends means exactly what it meant before.
 package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -37,25 +49,29 @@ import (
 const MaxFrame = 1 << 20
 
 // ProtocolVersion is negotiated by MsgHello; the server rejects clients
-// that speak a newer major version.
-const ProtocolVersion uint16 = 1
+// that speak a newer major version. Version 2 adds the batched ingest
+// frames (MsgIngestBatch/MsgDecisionBatch); a version 1 client never sends
+// them and is served exactly as before.
+const ProtocolVersion uint16 = 2
 
 // Request message types.
 const (
-	MsgHello      = 0x01 // u16 version, string client name
-	MsgOpen       = 0x02 // string tenant, stream, model, strategy; i64 fixedWin
-	MsgIngest     = 0x03 // u64 handle, f64s estimate, f64s input
-	MsgCheckpoint = 0x04 // string name (optional; "" = server picks)
-	MsgDrain      = 0x05 // empty
-	MsgRestore    = 0x06 // string path
+	MsgHello       = 0x01 // u16 version, string client name
+	MsgOpen        = 0x02 // string tenant, stream, model, strategy; i64 fixedWin
+	MsgIngest      = 0x03 // u64 handle, f64s estimate, f64s input
+	MsgCheckpoint  = 0x04 // string name (optional; "" = server picks)
+	MsgDrain       = 0x05 // empty
+	MsgRestore     = 0x06 // string path
+	MsgIngestBatch = 0x07 // u32 count, then per sample: u64 handle, f64s estimate, f64s input (v2)
 )
 
 // Response message types.
 const (
-	MsgOK       = 0x80 // string detail (may be empty)
-	MsgError    = 0x81 // string message
-	MsgOpened   = 0x82 // u64 handle
-	MsgDecision = 0x83 // encoded Decision, see appendDecision
+	MsgOK            = 0x80 // string detail (may be empty)
+	MsgError         = 0x81 // string message
+	MsgOpened        = 0x82 // u64 handle
+	MsgDecision      = 0x83 // encoded Decision, see appendDecision
+	MsgDecisionBatch = 0x84 // u32 count, then per sample: u8 status, decision (0) or string error (1) (v2)
 )
 
 // writeFrame sends one frame. The payload must fit MaxFrame.
@@ -74,21 +90,41 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 // readFrame receives one frame, enforcing the MaxFrame bound before
-// allocating.
+// allocating. The steady-state paths use readFrameInto instead; readFrame
+// remains for one-shot callers that want an owned payload.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
-	var hdr [5]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+	var buf []byte
+	return readFrameInto(r, &buf)
+}
+
+// readFrameInto receives one frame into *buf, growing it only when a frame
+// exceeds every previous frame's size — the steady-state ingest loop
+// therefore reads frames without allocating. The returned payload aliases
+// *buf and is valid until the next call; the MaxFrame bound is enforced
+// before any growth.
+func readFrameInto(r io.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
+	// The header is read through *buf as well: a stack array passed to an
+	// io.Reader escapes and would cost one allocation per frame.
+	if cap(*buf) < 5 {
+		*buf = make([]byte, 64)
+	}
+	hdr := (*buf)[:5]
+	if _, err = io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
+	typ = hdr[4]
 	if n > MaxFrame {
 		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds %d", n, MaxFrame)
 	}
-	payload = make([]byte, n)
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload = (*buf)[:n]
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
-	return hdr[4], payload, nil
+	return typ, payload, nil
 }
 
 // appendDecision encodes a core.Decision as a MsgDecision payload.
@@ -103,6 +139,152 @@ func appendDecision(enc *state.Encoder, d core.Decision) {
 	for _, dim := range d.Dims {
 		enc.Int(dim)
 	}
+}
+
+// Per-sample status bytes inside a MsgDecisionBatch payload.
+const (
+	batchOK  = 0 // followed by an encoded decision
+	batchErr = 1 // followed by a length-prefixed error string
+)
+
+// appendIngestBatch encodes a MsgIngestBatch payload: one (handle,
+// estimate, input) tuple per sample. The three slices must have equal
+// length (the client validates before calling).
+func appendIngestBatch(enc *state.Encoder, handles []uint64, estimates, inputs [][]float64) {
+	enc.U32(uint32(len(handles)))
+	for i, h := range handles {
+		enc.U64(h)
+		enc.F64s(estimates[i])
+		enc.F64s(inputs[i])
+	}
+}
+
+// ingestBatch is the decoded form of a MsgIngestBatch payload. Its slices
+// and the flat float slab backing every vector are reused across decodes,
+// so a warm connection parses batches without allocating.
+type ingestBatch struct {
+	handles  []uint64
+	ests, us [][]float64 // alias slab, one pair per sample
+	slab     []float64
+	dec      state.Decoder
+}
+
+// minBatchSampleBytes is the smallest legal encoded sample: a u64 handle
+// plus two empty length-prefixed vectors.
+const minBatchSampleBytes = 8 + 4 + 4
+
+// decode parses payload into the batch, replacing its previous contents.
+// The payload must be consumed exactly — trailing bytes are a protocol
+// error, which is what makes the encoding its own inverse (the fuzz target
+// checks re-encoding reproduces the payload byte for byte). A first pass
+// validates the layout and sizes the float slab so the second pass can
+// hand out slab-aliasing vectors without reallocating under them.
+func (ib *ingestBatch) decode(payload []byte) error {
+	d := &ib.dec
+	d.Reset(payload)
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if int(n) > d.Remaining()/minBatchSampleBytes {
+		return fmt.Errorf("wire: batch claims %d samples in %d bytes", n, d.Remaining())
+	}
+	total := 0
+	for i := 0; i < int(n); i++ {
+		_ = d.U64() // handle
+		for j := 0; j < 2; j++ {
+			k := d.U32()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			if int(k) > d.Remaining()/8 {
+				return fmt.Errorf("wire: batch sample %d claims %d floats in %d bytes", i, k, d.Remaining())
+			}
+			d.SkipTo(d.Offset() + 8*int(k))
+			total += int(k)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after batch", d.Remaining())
+	}
+
+	ib.handles = ib.handles[:0]
+	ib.ests = ib.ests[:0]
+	ib.us = ib.us[:0]
+	if cap(ib.slab) < total {
+		ib.slab = make([]float64, total)
+	}
+	slab, off := ib.slab[:total], 0
+	d.Reset(payload)
+	_ = d.U32()
+	for i := 0; i < int(n); i++ {
+		ib.handles = append(ib.handles, d.U64())
+		for j := 0; j < 2; j++ {
+			k := int(d.U32())
+			v := slab[off : off+k : off+k]
+			for x := range v {
+				v[x] = d.F64()
+			}
+			off += k
+			if j == 0 {
+				ib.ests = append(ib.ests, v)
+			} else {
+				ib.us = append(ib.us, v)
+			}
+		}
+	}
+	return d.Err()
+}
+
+// appendBatchDecision encodes one sample's outcome inside a
+// MsgDecisionBatch payload.
+func appendBatchDecision(enc *state.Encoder, d core.Decision, err error) {
+	if err != nil {
+		enc.U8(batchErr)
+		enc.String(err.Error())
+		return
+	}
+	enc.U8(batchOK)
+	appendDecision(enc, d)
+}
+
+// decodeDecisionBatch parses a MsgDecisionBatch payload into out; the
+// encoded count must equal len(out) (the client knows how many samples it
+// sent). Per-sample server errors come back as out[i].Err.
+func decodeDecisionBatch(dec *state.Decoder, out []IngestResult) error {
+	n := dec.U32()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if int(n) != len(out) {
+		return fmt.Errorf("wire: decision batch carries %d results, want %d", n, len(out))
+	}
+	for i := range out {
+		out[i] = IngestResult{}
+		switch status := dec.U8(); status {
+		case batchOK:
+			d, err := decodeDecision(dec)
+			if err != nil {
+				return err
+			}
+			out[i].Decision = d
+		case batchErr:
+			msg := dec.String()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			out[i].Err = errors.New(msg)
+		default:
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("wire: decision batch status byte %d", status)
+		}
+	}
+	return dec.Err()
 }
 
 // decodeDecision parses a MsgDecision payload.

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -28,6 +29,16 @@ const serverStateVersion = 1
 // request does not name one.
 const DefaultCheckpointName = "fleet.awds"
 
+// DefaultMaxInflight is the per-connection cap on decided-but-unwritten
+// responses when Config.MaxInflight is zero. It bounds both the server's
+// buffering and how far a pipelined client can run ahead of its decisions.
+const DefaultMaxInflight = 256
+
+// DefaultFlushInterval is the flush coalescing deadline when
+// Config.FlushInterval is zero: a decided response never sits in the
+// writer's buffer longer than this while the connection stays busy.
+const DefaultFlushInterval = 200 * time.Microsecond
+
 // Config describes one fleet server.
 type Config struct {
 	// CheckpointDir is where Checkpoint writes and Restore reads whole-
@@ -38,8 +49,33 @@ type Config struct {
 	MaxStreamsPerTenant int
 	// Workers, ShardSize, and MaxBatch pass through to fleet.Config.
 	Workers, ShardSize, MaxBatch int
+	// MaxInflight caps the responses a connection's writer may hold
+	// decided but unflushed; a pipelined client stalls (backpressure)
+	// beyond it. <= 0 uses DefaultMaxInflight.
+	MaxInflight int
+	// FlushInterval bounds how long a decided response may wait for
+	// coalescing while more requests keep arriving; the writer always
+	// flushes immediately when the connection goes idle. <= 0 uses
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
 	// Observer receives fleet telemetry; nil disables instrumentation.
 	Observer *obs.Observer
+}
+
+// maxInflight resolves the configured in-flight window.
+func (c Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return DefaultMaxInflight
+}
+
+// flushInterval resolves the configured coalescing deadline.
+func (c Config) flushInterval() time.Duration {
+	if c.FlushInterval > 0 {
+		return c.FlushInterval
+	}
+	return DefaultFlushInterval
 }
 
 // streamSpec is everything needed to reconstruct a stream's detector: its
@@ -90,7 +126,7 @@ type Server struct {
 
 	mu         sync.Mutex // guards the registries below
 	specs      map[string]streamSpec
-	handles    map[uint64]string // open handle -> fleet stream ID
+	handles    map[uint64]*fleet.Stream // open handle -> engine stream
 	nextHandle uint64
 	tenants    map[string]int // tenant -> open stream count
 	draining   bool
@@ -113,7 +149,7 @@ func NewServer(cfg Config) *Server {
 			Observer:  cfg.Observer,
 		}),
 		specs:   make(map[string]streamSpec),
-		handles: make(map[uint64]string),
+		handles: make(map[uint64]*fleet.Stream),
 		tenants: make(map[string]int),
 	}
 }
@@ -150,7 +186,11 @@ func (s *Server) Open(tenant, stream, model, strategy string, fixedWin int) (uin
 		if have != spec {
 			return 0, fmt.Errorf("wire: stream %s already open with a different spec", spec.id())
 		}
-		return s.bindHandle(spec.id()), nil
+		st, ok := s.eng.Stream(spec.id())
+		if !ok {
+			return 0, fmt.Errorf("wire: stream %s has a spec but no engine state", spec.id())
+		}
+		return s.bindHandle(st), nil
 	}
 	if q := s.cfg.MaxStreamsPerTenant; q > 0 && s.tenants[tenant] >= q {
 		return 0, fmt.Errorf("wire: tenant %q at stream quota %d", tenant, q)
@@ -159,18 +199,19 @@ func (s *Server) Open(tenant, stream, model, strategy string, fixedWin int) (uin
 	if err != nil {
 		return 0, err
 	}
-	if _, err := s.eng.AddStream(spec.id(), det, nil); err != nil {
+	st, err := s.eng.AddStream(spec.id(), det, nil)
+	if err != nil {
 		return 0, err
 	}
 	s.specs[spec.id()] = spec
 	s.tenants[tenant]++
-	return s.bindHandle(spec.id()), nil
+	return s.bindHandle(st), nil
 }
 
 // bindHandle allocates a fresh handle for an open stream. Caller holds mu.
-func (s *Server) bindHandle(id string) uint64 {
+func (s *Server) bindHandle(st *fleet.Stream) uint64 {
 	s.nextHandle++
-	s.handles[s.nextHandle] = id
+	s.handles[s.nextHandle] = st
 	return s.nextHandle
 }
 
@@ -180,16 +221,42 @@ func (s *Server) Ingest(handle uint64, estimate, appliedU []float64) (core.Decis
 	s.ingestMu.RLock()
 	defer s.ingestMu.RUnlock()
 	s.mu.Lock()
-	id, ok := s.handles[handle]
+	st := s.handles[handle]
 	draining := s.draining
 	s.mu.Unlock()
-	if !ok {
+	if st == nil {
 		return core.Decision{}, fmt.Errorf("wire: unknown handle %d", handle)
 	}
 	if draining {
 		return core.Decision{}, errors.New("wire: server is draining")
 	}
-	return s.eng.Submit(id, mat.Vec(estimate), mat.Vec(appliedU))
+	return st.Submit(mat.Vec(estimate), mat.Vec(appliedU))
+}
+
+// IngestBatch feeds one sample per item through the fleet's batched submit
+// seam: handles are resolved under the registry lock in one pass (unknown
+// handles leave their item's Stream nil and fail per-item), then every
+// sample is admitted in one Batcher.Submit call so distinct streams step
+// as shard batches instead of one blocking round trip each. The whole
+// batch shares one ingestMu read hold, so a checkpoint quiesces at batch
+// granularity — it can never cut a batch in half. items[i].Estimate and
+// items[i].AppliedU must be filled by the caller; out must match len.
+func (s *Server) IngestBatch(bt *fleet.Batcher, handles []uint64, items []fleet.BatchItem, out []fleet.BatchResult) error {
+	if len(items) != len(handles) || len(out) != len(handles) {
+		return fmt.Errorf("wire: batch slice lengths %d/%d/%d differ", len(handles), len(items), len(out))
+	}
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	s.mu.Lock()
+	draining := s.draining
+	for i, h := range handles {
+		items[i].Stream = s.handles[h]
+	}
+	s.mu.Unlock()
+	if draining {
+		return errors.New("wire: server is draining")
+	}
+	return bt.Submit(items, out)
 }
 
 // Checkpoint quiesces ingest and writes the whole fleet — stream specs
@@ -374,35 +441,121 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn runs one connection's request/response loop. Protocol errors
+// connState is one connection's reusable scratch: the frame read buffer,
+// request decoder, response encoder, ingest vectors, and the batch
+// machinery. Everything is sized by the largest request seen so far, so a
+// warm connection's ingest path runs without allocating.
+type connState struct {
+	frame   []byte
+	dec     state.Decoder
+	enc     *state.Encoder
+	est, u  []float64
+	batch   ingestBatch
+	items   []fleet.BatchItem
+	results []fleet.BatchResult
+	batcher *fleet.Batcher
+}
+
+func newConnState(eng *fleet.Engine) *connState {
+	return &connState{enc: state.NewEncoder(), batcher: eng.NewBatcher()}
+}
+
+// outFrame is one queued response: type plus a payload buffer the writer
+// owns until it recycles it through the connection's free list.
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// serveConn runs one connection. The reader half decodes and handles
+// request frames strictly in arrival order — which is what guarantees
+// responses are delivered in request order — and hands each response to
+// the writer half over a bounded queue; the queue's capacity is the
+// connection's in-flight window, so a pipelined client that outruns the
+// writer blocks here instead of ballooning server memory. Protocol errors
 // are answered with MsgError and the loop continues; transport errors end
 // the connection.
 func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	cs := newConnState(s.eng)
+	inflight := s.cfg.maxInflight()
+	out := make(chan outFrame, inflight)
+	free := make(chan []byte, inflight)
+	writerDone := make(chan struct{})
+	go s.writeLoop(conn, out, free, writerDone)
 	for {
-		typ, payload, err := readFrame(br)
+		typ, payload, err := readFrameInto(br, &cs.frame)
 		if err != nil {
-			return
+			break
 		}
-		rtyp, rpayload := s.handle(typ, payload)
-		if err := writeFrame(bw, rtyp, rpayload); err != nil {
-			return
+		rtyp, rp := s.handleReq(cs, typ, payload)
+		// rp aliases cs.enc's buffer, which the next handleReq reuses, so
+		// the queued copy lives in a recycled buffer from the free list.
+		var buf []byte
+		select {
+		case buf = <-free:
+		default:
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		out <- outFrame{typ: rtyp, payload: append(buf[:0], rp...)}
+	}
+	close(out)
+	<-writerDone
+}
+
+// writeLoop drains one connection's response queue with coalesced
+// flushes: it flushes when the queue goes empty (the client is blocked
+// waiting on a decision) or when flushInterval has elapsed since the last
+// flush (bounding decision latency while the pipeline stays saturated);
+// between those points bufio batches frames into large writes. After a
+// write error it closes the connection — unblocking the reader — and
+// keeps draining the queue so the reader never blocks on send.
+func (s *Server) writeLoop(conn net.Conn, out <-chan outFrame, free chan<- []byte, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(conn)
+	interval := s.cfg.flushInterval()
+	broken := false
+	lastFlush := time.Now()
+	for f := range out {
+		if !broken {
+			if err := writeFrame(bw, f.typ, f.payload); err != nil {
+				broken = true
+				conn.Close()
+			}
 		}
+		// Recycle the buffer; never blocks because free's capacity matches
+		// the queue's.
+		select {
+		case free <- f.payload:
+		default:
+		}
+		if broken {
+			continue
+		}
+		if len(out) == 0 || time.Since(lastFlush) >= interval {
+			if err := bw.Flush(); err != nil {
+				broken = true
+				conn.Close()
+			}
+			lastFlush = time.Now()
+		}
+	}
+	if !broken {
+		bw.Flush()
 	}
 }
 
-// handle dispatches one request frame and builds its response frame.
-func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
-	dec := state.NewDecoder(payload)
-	enc := state.NewEncoder()
+// handleReq dispatches one request frame and builds its response frame in
+// the connection's scratch encoder. The returned payload aliases that
+// encoder and is valid until the next call.
+func (s *Server) handleReq(cs *connState, typ byte, payload []byte) (byte, []byte) {
+	dec := &cs.dec
+	dec.Reset(payload)
+	enc := cs.enc
+	enc.Reset()
 	fail := func(err error) (byte, []byte) {
-		e := state.NewEncoder()
-		e.String(err.Error())
-		return MsgError, e.Bytes()
+		enc.Reset()
+		enc.String(err.Error())
+		return MsgError, enc.Bytes()
 	}
 	switch typ {
 	case MsgHello:
@@ -415,6 +568,7 @@ func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 			return fail(fmt.Errorf("wire: client speaks protocol %d, server %d", v, ProtocolVersion))
 		}
 		enc.String("awdserve")
+		enc.U16(ProtocolVersion)
 		return MsgOK, enc.Bytes()
 	case MsgOpen:
 		tenant := dec.String()
@@ -433,20 +587,39 @@ func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 		return MsgOpened, enc.Bytes()
 	case MsgIngest:
 		h := dec.U64()
-		est, err := decodeF64s(dec)
-		if err != nil {
+		var err error
+		if cs.est, err = decodeF64sInto(dec, cs.est); err != nil {
 			return fail(err)
 		}
-		u, err := decodeF64s(dec)
-		if err != nil {
+		if cs.u, err = decodeF64sInto(dec, cs.u); err != nil {
 			return fail(err)
 		}
-		d, err := s.Ingest(h, est, u)
+		d, err := s.Ingest(h, cs.est, cs.u)
 		if err != nil {
 			return fail(err)
 		}
 		appendDecision(enc, d)
 		return MsgDecision, enc.Bytes()
+	case MsgIngestBatch:
+		if err := cs.batch.decode(payload); err != nil {
+			return fail(err)
+		}
+		b := &cs.batch
+		n := len(b.handles)
+		cs.items = cs.items[:0]
+		cs.results = cs.results[:0]
+		for i := 0; i < n; i++ {
+			cs.items = append(cs.items, fleet.BatchItem{Estimate: mat.Vec(b.ests[i]), AppliedU: mat.Vec(b.us[i])})
+			cs.results = append(cs.results, fleet.BatchResult{})
+		}
+		if err := s.IngestBatch(cs.batcher, b.handles, cs.items, cs.results); err != nil {
+			return fail(err)
+		}
+		enc.U32(uint32(n))
+		for i := range cs.results {
+			appendBatchDecision(enc, cs.results[i].Decision, cs.results[i].Err)
+		}
+		return MsgDecisionBatch, enc.Bytes()
 	case MsgCheckpoint:
 		name := dec.String()
 		if err := dec.Err(); err != nil {
@@ -478,17 +651,23 @@ func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 	}
 }
 
-// decodeF64s reads a length-prefixed float slice, bounds-checking the
-// claimed length against the remaining payload before allocating.
-func decodeF64s(dec *state.Decoder) ([]float64, error) {
+// decodeF64sInto reads a length-prefixed float slice into buf's capacity,
+// growing it only when a vector exceeds every previous one — the steady-
+// state ingest path therefore decodes without allocating. The claimed
+// length is bounds-checked against the remaining payload before any
+// growth.
+func decodeF64sInto(dec *state.Decoder, buf []float64) ([]float64, error) {
 	n := dec.U32()
 	if err := dec.Err(); err != nil {
-		return nil, err
+		return buf, err
 	}
 	if int(n) > dec.Remaining()/8 {
-		return nil, fmt.Errorf("wire: vector claims %d floats in %d bytes", n, dec.Remaining())
+		return buf, fmt.Errorf("wire: vector claims %d floats in %d bytes", n, dec.Remaining())
 	}
-	v := make([]float64, n)
+	if cap(buf) < int(n) {
+		buf = make([]float64, n)
+	}
+	v := buf[:n]
 	for i := range v {
 		v[i] = dec.F64()
 	}
